@@ -1,0 +1,42 @@
+//! End-to-end inference cost of the seven architectures on the host
+//! (32×32 input, single image) — the software analogue of Table 5's
+//! "Total w/o PL" column, measured rather than modelled.
+
+use bench::random_tensor;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rodenet::{BnMode, NetSpec, Network, Variant};
+use std::time::Duration;
+use tensor::Shape4;
+
+fn bench_variants(c: &mut Criterion) {
+    let x = random_tensor(Shape4::new(1, 3, 32, 32), 5);
+    let mut g = c.benchmark_group("e2e_forward_n20");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_secs(1));
+    for v in Variant::ALL {
+        let net = Network::new(NetSpec::new(v, 20).with_classes(100), 3);
+        g.bench_with_input(BenchmarkId::from_parameter(v.name()), &(), |b, _| {
+            b.iter(|| black_box(net.forward(&x, BnMode::OnTheFly)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_depth_scaling(c: &mut Criterion) {
+    let x = random_tensor(Shape4::new(1, 3, 32, 32), 6);
+    let mut g = c.benchmark_group("e2e_resnet_depth");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_secs(1));
+    for n in [20usize, 32] {
+        let net = Network::new(NetSpec::new(Variant::ResNet, n).with_classes(100), 4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| black_box(net.forward(&x, BnMode::OnTheFly)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_depth_scaling);
+criterion_main!(benches);

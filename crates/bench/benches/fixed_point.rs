@@ -1,0 +1,78 @@
+//! Throughput of the Q20 fixed-point primitives — the operations the
+//! simulated PL datapath executes billions of times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use qfixed::{Mac, MacPolicy, Q20};
+use std::time::Duration;
+
+fn bench_ops(c: &mut Criterion) {
+    let xs: Vec<Q20> = (0..4096).map(|i| Q20::from_f64((i as f64 * 0.37).sin() * 3.0)).collect();
+    let ys: Vec<Q20> =
+        (0..4096).map(|i| Q20::from_f64((i as f64 * 0.11).cos() * 2.0 + 0.01)).collect();
+
+    let mut g = c.benchmark_group("q20");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("mul_trunc", |b| {
+        b.iter(|| {
+            let mut acc = Q20::ZERO;
+            for (x, y) in xs.iter().zip(&ys) {
+                acc = acc.wrapping_add(x.mul_trunc(*y));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("div_trunc", |b| {
+        b.iter(|| {
+            let mut acc = Q20::ZERO;
+            for (x, y) in xs.iter().zip(&ys) {
+                acc = acc.wrapping_add(x.div_trunc(*y));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("sqrt", |b| {
+        b.iter(|| {
+            let mut acc = Q20::ZERO;
+            for x in &xs {
+                acc = acc.wrapping_add(x.abs().sqrt());
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("mac_wide", |b| {
+        b.iter(|| {
+            let mut mac = Mac::<20>::new(MacPolicy::WideAccumulate);
+            for (x, y) in xs.iter().zip(&ys) {
+                mac.mac(*x, *y);
+            }
+            black_box(mac.finish())
+        })
+    });
+    g.bench_function("mac_truncate_each", |b| {
+        b.iter(|| {
+            let mut mac = Mac::<20>::new(MacPolicy::TruncateEach);
+            for (x, y) in xs.iter().zip(&ys) {
+                mac.mac(*x, *y);
+            }
+            black_box(mac.finish())
+        })
+    });
+    // f32 baseline for the same dot product.
+    let xf: Vec<f32> = xs.iter().map(|v| v.to_f32()).collect();
+    let yf: Vec<f32> = ys.iter().map(|v| v.to_f32()).collect();
+    g.bench_function("f32_dot_baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for (x, y) in xf.iter().zip(&yf) {
+                acc += x * y;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

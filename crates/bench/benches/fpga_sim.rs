@@ -1,0 +1,52 @@
+//! Simulator throughput: how fast the bit-exact Q20 ODEBlock runs on the
+//! host, against the cycles it models — i.e. the simulation slowdown
+//! factor relative to the real 100 MHz fabric.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfixed::Q20;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rodenet::{LayerName, ResBlock};
+use tensor::{Shape4, Tensor};
+use std::time::Duration;
+use zynq_sim::{OdeBlockAccel, PYNQ_Z2};
+
+fn bench_accel(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut g = c.benchmark_group("accel_run_f");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_secs(1));
+    for layer in [LayerName::Layer1, LayerName::Layer2_2, LayerName::Layer3_2] {
+        let block = ResBlock::new(&mut rng, layer, true);
+        let accel = OdeBlockAccel::new(&block, 16, &PYNQ_Z2);
+        let (ch, hw) = layer.geometry();
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, ch, hw, hw), |_, _, _, _| {
+            rng.random::<f32>() - 0.5
+        });
+        let xq: Tensor<Q20> = Tensor::from_f32_tensor(&x);
+        g.bench_with_input(BenchmarkId::from_parameter(layer.name()), &(), |b, _| {
+            b.iter(|| black_box(accel.run_f(&xq, Q20::ZERO)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_stage(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10);
+    let block = ResBlock::new(&mut rng, LayerName::Layer3_2, true);
+    let accel = OdeBlockAccel::new(&block, 16, &PYNQ_Z2);
+    let x = Tensor::<f32>::from_fn(Shape4::new(1, 64, 8, 8), |_, _, _, _| {
+        rng.random::<f32>() - 0.5
+    });
+    let xq: Tensor<Q20> = Tensor::from_f32_tensor(&x);
+    let mut g = c.benchmark_group("accel_stage");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("layer3_2_x6", |b| b.iter(|| black_box(accel.run_stage(&xq, 6))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_accel, bench_full_stage);
+criterion_main!(benches);

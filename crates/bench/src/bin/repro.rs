@@ -1,0 +1,636 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- <command> [flags]
+//!
+//! Commands
+//!   table1        PYNQ-Z2 specification (Table 1)
+//!   table2        ODENet network structure and parameter sizes (Table 2)
+//!   table3        FPGA resource utilization (Table 3)
+//!   table4        Network structure of all variants (Table 4)
+//!   table5        Execution time and speedups (Table 5)
+//!   fig5          Parameter size vs depth (Figure 5)
+//!   fig6          Accuracy of the variants, scaled training (Figure 6)
+//!   cycles        layer3_2 conv cycles vs parallelism (§3.1)
+//!   reductions    Parameter-reduction quotes (§4.2)
+//!   amdahl        Offload-ratio analysis & what-if clocks (§4.4)
+//!   bitexact      PL simulation vs Q20 software bit-exactness check
+//!   quantization  Extension: accuracy vs fixed-point width ablation
+//!   macpolicy     Extension: accumulator-policy ablation
+//!   solver        Extension: Euler vs RK2/RK4 + adjoint-gap ablation
+//!   planner       Extension: latency-optimal offload plans vs paper
+//!   energy        Extension: first-order energy-per-inference model
+//!   all           Everything except the slow fig6 full sweep
+//!
+//! Flags
+//!   --n=<depth>      Depth for table2/table4/amdahl (default 56)
+//!   --epochs=<e>     Override fig6 epochs
+//!   --full           fig6: the full (slow) sweep over N = 20..56
+//!   --seed=<s>       RNG seed (default 42)
+//! ```
+
+use bench::{pct2, s2, Table};
+use cifar_data::synth::{generate_split, SynthConfig};
+use qfixed::{Mac, MacPolicy, QFormat, Q20};
+use rodenet::params::{block_kb, reduction_vs_resnet, spec_kb, spec_params, table2};
+use rodenet::train::{evaluate, train_epochs, TrainConfig};
+use rodenet::{BnMode, GradMode, LayerName, NetSpec, Network, Variant, PAPER_DEPTHS};
+use tensor::{Shape4, Tensor};
+use zynq_sim::planner::{plan_offload, plan_offload_extended, OffloadTarget};
+use zynq_sim::resources::{layer_geom, ode_block_resources};
+use zynq_sim::timing::{paper_row, speedup_vs_resnet, table5_row, PlModel, PsModel};
+use zynq_sim::{conv_cycles, OdeBlockAccel, PowerModel, PYNQ_Z2};
+
+struct Flags {
+    n: usize,
+    epochs: Option<usize>,
+    full: bool,
+    seed: u64,
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut f = Flags { n: 56, epochs: None, full: false, seed: 42 };
+    for a in args {
+        if let Some(v) = a.strip_prefix("--n=") {
+            f.n = v.parse().expect("--n=<depth>");
+        } else if let Some(v) = a.strip_prefix("--epochs=") {
+            f.epochs = Some(v.parse().expect("--epochs=<e>"));
+        } else if a == "--full" {
+            f.full = true;
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            f.seed = v.parse().expect("--seed=<s>");
+        } else {
+            panic!("unknown flag {a}");
+        }
+    }
+    f
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
+    let flags = parse_flags(&args[1.min(args.len())..]);
+    match cmd {
+        "table1" => table1(),
+        "table2" => table2_cmd(flags.n),
+        "table3" => table3_cmd(),
+        "table4" => table4_cmd(flags.n),
+        "table5" => table5_cmd(),
+        "fig5" => fig5_cmd(),
+        "fig6" => fig6_cmd(&flags),
+        "cycles" => cycles_cmd(),
+        "reductions" => reductions_cmd(),
+        "amdahl" => amdahl_cmd(flags.n),
+        "bitexact" => bitexact_cmd(flags.seed),
+        "quantization" => quantization_cmd(&flags),
+        "macpolicy" => macpolicy_cmd(),
+        "solver" => solver_cmd(&flags),
+        "planner" => planner_cmd(),
+        "energy" => energy_cmd(),
+        "all" => {
+            table1();
+            table2_cmd(flags.n);
+            table3_cmd();
+            table4_cmd(flags.n);
+            table5_cmd();
+            fig5_cmd();
+            cycles_cmd();
+            reductions_cmd();
+            amdahl_cmd(flags.n);
+            bitexact_cmd(flags.seed);
+            macpolicy_cmd();
+            planner_cmd();
+            energy_cmd();
+            println!("\n(run `repro fig6`, `repro quantization`, `repro solver` separately — they train networks)");
+        }
+        _ => {
+            println!("unknown command '{cmd}'; see the module docs in repro.rs");
+        }
+    }
+}
+
+fn table1() {
+    let b = PYNQ_Z2;
+    let mut t = Table::new("Table 1: Specification of PYNQ-Z2 board", &["Item", "Value"]);
+    t.row(vec!["OS".into(), b.os.into()]);
+    t.row(vec!["CPU".into(), format!("{} × {}", b.cpu, b.ps_cores)]);
+    t.row(vec!["DRAM".into(), format!("{}MB (DDR3)", b.dram_bytes >> 20)]);
+    t.row(vec!["FPGA".into(), b.fpga.into()]);
+    t.row(vec!["PL clock".into(), format!("{}MHz", b.pl_clock_hz / 1_000_000)]);
+    t.emit("table1");
+}
+
+fn table2_cmd(n: usize) {
+    let mut t = Table::new(
+        &format!("Table 2: Network structure of ODENet (N = {n})"),
+        &["Layer", "Output size", "Parameter size [kB]", "# executions per block"],
+    );
+    for row in table2(n) {
+        let (c, hw) = row.out;
+        let size = if row.layer == LayerName::Fc {
+            format!("1×{c}")
+        } else {
+            format!("{hw}×{hw}, {c}ch")
+        };
+        t.row(vec![
+            row.layer.name().into(),
+            size,
+            format!("{:.2}", row.kb),
+            row.execs.to_string(),
+        ]);
+    }
+    t.emit("table2");
+    println!("paper: 1.86 / 19.84 / 55.81 / 76.54 / 222.21 / 300.54 / 26.00 kB");
+}
+
+fn table3_cmd() {
+    let mut t = Table::new(
+        "Table 3: Resource utilization on Zynq XC7Z020 (paper synthesis for LUT/FF)",
+        &["Layer", "Parallelism", "BRAM", "DSP", "LUT", "FF"],
+    );
+    for layer in [LayerName::Layer1, LayerName::Layer2_2, LayerName::Layer3_2] {
+        for n in [1usize, 4, 8, 16] {
+            let r = ode_block_resources(layer, n);
+            let [b, d, l, f] = r.utilization(&PYNQ_Z2);
+            t.row(vec![
+                layer.name().into(),
+                format!("conv_x{n}"),
+                format!("{} ({:.2}%)", r.bram36_used(), b),
+                format!("{} ({:.2}%)", r.dsp, d),
+                format!("{} ({:.2}%)", r.lut, l),
+                format!("{} ({:.2}%)", r.ff, f),
+            ]);
+        }
+    }
+    t.emit("table3");
+}
+
+fn table4_cmd(n: usize) {
+    let mut t = Table::new(
+        &format!("Table 4: # stacked blocks / # executions per block (N = {n})"),
+        &["Layer", "ResNet", "ODENet", "rODENet-1", "rODENet-2", "rODENet-1+2", "rODENet-3", "Hybrid-3"],
+    );
+    let specs: Vec<NetSpec> = Variant::ALL.iter().map(|&v| NetSpec::new(v, n)).collect();
+    for layer in LayerName::ALL {
+        let mut cells = vec![layer.name().to_string()];
+        for spec in &specs {
+            let p = spec.plan(layer);
+            cells.push(format!("{} / {}", p.stacked, p.execs));
+        }
+        t.row(cells);
+    }
+    t.emit("table4");
+}
+
+fn table5_cmd() {
+    let mut t = Table::new(
+        "Table 5: Execution time of ResNet, ODENet and rODENet variants (PS: Cortex-A9@650MHz, PL: conv_x16@100MHz)",
+        &[
+            "Model",
+            "N",
+            "Offload target",
+            "Total w/o PL [s]",
+            "Target w/o PL [s]",
+            "Ratio of target [%]",
+            "Target w/ PL [s]",
+            "Total w/ PL [s]",
+            "Overall speedup",
+        ],
+    );
+    let order = [
+        Variant::ResNet,
+        Variant::ROdeNet1,
+        Variant::ROdeNet2,
+        Variant::ROdeNet12,
+        Variant::ROdeNet3,
+        Variant::OdeNet,
+        Variant::Hybrid3,
+    ];
+    for v in order {
+        for n in PAPER_DEPTHS {
+            let r = paper_row(v, n);
+            let join = |vals: &[f64]| -> String {
+                if vals.is_empty() {
+                    "–".to_string()
+                } else {
+                    vals.iter().map(|x| s2(*x)).collect::<Vec<_>>().join(" / ")
+                }
+            };
+            let joinp = |vals: &[f64]| -> String {
+                if vals.is_empty() {
+                    "–".to_string()
+                } else {
+                    vals.iter().map(|x| pct2(*x)).collect::<Vec<_>>().join(" / ")
+                }
+            };
+            let name = if v == Variant::OdeNet { "ODENet-3".to_string() } else { v.name().to_string() };
+            t.row(vec![
+                name,
+                n.to_string(),
+                r.offload.iter().map(|l| l.name()).collect::<Vec<_>>().join(" / "),
+                s2(r.total_wo_pl),
+                join(&r.targets_wo_pl),
+                joinp(&r.ratio_pct),
+                join(&r.targets_w_pl),
+                s2(r.total_w_pl),
+                if r.offload.is_empty() { "–".into() } else { format!("{:.2}", r.speedup) },
+            ]);
+        }
+    }
+    t.emit("table5");
+    let r = paper_row(Variant::ROdeNet3, 56);
+    println!(
+        "rODENet-3-56: {:.2}× vs own software, {:.2}× vs software ResNet-56 (paper: 2.66 / 2.67)",
+        r.speedup,
+        speedup_vs_resnet(&r, &PsModel::Calibrated, &PYNQ_Z2)
+    );
+}
+
+fn fig5_cmd() {
+    let mut t = Table::new(
+        "Figure 5: Parameter size [kB] of ResNet, ODENet and rODENet variants",
+        &["N", "ResNet", "ODENet", "rODENet-1", "rODENet-2", "rODENet-1+2", "rODENet-3", "Hybrid-3"],
+    );
+    for n in PAPER_DEPTHS {
+        let mut cells = vec![n.to_string()];
+        for v in Variant::ALL {
+            cells.push(format!("{:.1}", spec_kb(&NetSpec::new(v, n))));
+        }
+        t.row(cells);
+    }
+    t.emit("fig5");
+}
+
+fn fig6_cmd(flags: &Flags) {
+    // Scaled Figure 6: train every variant on SynthCIFAR (see DESIGN.md
+    // substitution 2/3) and report accuracy. The full CIFAR-100 protocol
+    // is reproduced structurally (SGD, L2 1e-4, step LR) at reduced
+    // scale; absolute accuracies are not comparable to the paper,
+    // orderings and stability are.
+    let depths: Vec<usize> = if flags.full { PAPER_DEPTHS.to_vec() } else { vec![20] };
+    let hw = if flags.full { 32 } else { 16 };
+    let per_class = if flags.full { 100 } else { 40 };
+    let epochs = flags.epochs.unwrap_or(if flags.full { 30 } else { 8 });
+    let classes = if flags.full { 20 } else { 5 };
+    let cfg = SynthConfig {
+        classes,
+        per_class,
+        hw,
+        noise: 0.4,
+        jitter: 2,
+        seed: flags.seed,
+    };
+    let (train, test) = generate_split(&cfg, per_class / 3);
+    println!(
+        "fig6: SynthCIFAR {} train / {} test, {hw}×{hw}, {classes} classes, {epochs} epochs",
+        train.len(),
+        test.len()
+    );
+    let mut t = Table::new(
+        "Figure 6 (scaled): final test accuracy per architecture",
+        &["Model", "N", "train loss", "train acc", "test acc"],
+    );
+    for &n in &depths {
+        for v in Variant::ALL {
+            let spec = NetSpec::new(v, n).with_classes(classes);
+            let mut net = Network::new(spec, flags.seed);
+            let mut tc = TrainConfig::quick(epochs, 24);
+            tc.seed = flags.seed;
+            let hist = train_epochs(
+                &mut net,
+                &train.images,
+                &train.labels,
+                Some(&test.images),
+                Some(&test.labels),
+                tc,
+            );
+            let last = hist.last().expect("at least one epoch");
+            t.row(vec![
+                v.name().into(),
+                n.to_string(),
+                format!("{:.3}", last.train_loss),
+                format!("{:.3}", last.train_acc),
+                format!("{:.3}", last.test_acc),
+            ]);
+            println!(
+                "  {}-{n}: loss {:.3} train {:.3} test {:.3}",
+                v.name(),
+                last.train_loss,
+                last.train_acc,
+                last.test_acc
+            );
+        }
+    }
+    t.emit("fig6");
+}
+
+fn cycles_cmd() {
+    let mut t = Table::new(
+        "§3.1: layer3_2 convolution cycles vs multiply-add units",
+        &["Units", "Cycles (model)", "Mcycles", "Paper"],
+    );
+    let paper = [23.78, 6.07, 3.12, 1.64, 0.90];
+    for (i, n) in [1usize, 4, 8, 16, 32].iter().enumerate() {
+        let c = 2 * conv_cycles(layer_geom(LayerName::Layer3_2), *n);
+        t.row(vec![
+            format!("conv_x{n}"),
+            c.to_string(),
+            format!("{:.2}", c as f64 / 1e6),
+            format!("{:.2}", paper[i]),
+        ]);
+    }
+    t.emit("cycles");
+}
+
+fn reductions_cmd() {
+    let mut t = Table::new(
+        "§4.2: parameter-size reduction vs ResNet-N [%]",
+        &["Variant", "N=20", "N=32", "N=44", "N=56", "Paper quote"],
+    );
+    let quotes = [
+        (Variant::OdeNet, "36.24% (N=20), 79.54% (N=56)"),
+        (Variant::ROdeNet1, "–"),
+        (Variant::ROdeNet2, "–"),
+        (Variant::ROdeNet12, "–"),
+        (Variant::ROdeNet3, "43.29% (N=20), 81.80% (N=56)"),
+        (Variant::Hybrid3, "26.43% (N=20), 60.16% (N=56)"),
+    ];
+    for (v, quote) in quotes {
+        let mut cells = vec![v.name().to_string()];
+        for n in PAPER_DEPTHS {
+            cells.push(format!("{:.2}", reduction_vs_resnet(v, n)));
+        }
+        cells.push(quote.into());
+        t.row(cells);
+    }
+    t.emit("reductions");
+}
+
+fn amdahl_cmd(n: usize) {
+    // §4.4's implicit Amdahl analysis: overall speedup is bounded by the
+    // offloaded fraction; rODENets widen that fraction by design.
+    let mut t = Table::new(
+        &format!("§4.4: Amdahl view at N = {n} (conv_x16)"),
+        &["Model", "Offloaded fraction [%]", "Stage speedup", "Overall speedup", "Amdahl bound"],
+    );
+    for v in [Variant::ROdeNet1, Variant::ROdeNet2, Variant::ROdeNet12, Variant::ROdeNet3, Variant::OdeNet, Variant::Hybrid3] {
+        let r = paper_row(v, n);
+        let frac: f64 = r.ratio_pct.iter().sum::<f64>() / 100.0;
+        let stage_speedup =
+            r.targets_wo_pl.iter().sum::<f64>() / r.targets_w_pl.iter().sum::<f64>();
+        let bound = 1.0 / (1.0 - frac);
+        t.row(vec![
+            v.name().into(),
+            format!("{:.1}", frac * 100.0),
+            format!("{:.2}", stage_speedup),
+            format!("{:.2}", r.speedup),
+            format!("{:.2}", bound),
+        ]);
+    }
+    t.emit("amdahl");
+}
+
+fn bitexact_cmd(seed: u64) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new(
+        "PL simulation vs Q20 software reference (bit-exactness)",
+        &["Layer", "Steps", "Elements", "Max |PL - Q20 ref|", "Bit-exact"],
+    );
+    for (layer, steps) in [
+        (LayerName::Layer1, 4usize),
+        (LayerName::Layer2_2, 3),
+        (LayerName::Layer3_2, 6),
+    ] {
+        let block = rodenet::ResBlock::new(&mut rng, layer, true);
+        let (c, hw) = layer.geometry();
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, c, hw, hw), |_, _, _, _| {
+            rng.random::<f32>() - 0.5
+        });
+        let xq: Tensor<Q20> = Tensor::from_f32_tensor(&x);
+        let accel = OdeBlockAccel::new(&block, 16, &PYNQ_Z2);
+        let run = accel.run_stage(&xq, steps);
+        let reference = block.quantize::<Q20>().ode_forward(&xq, steps);
+        let exact = run.output.as_slice() == reference.as_slice();
+        t.row(vec![
+            layer.name().into(),
+            steps.to_string(),
+            run.output.len().to_string(),
+            format!("{:.2e}", run.output.max_abs_diff(&reference)),
+            exact.to_string(),
+        ]);
+        assert!(exact, "bit-exactness violated for {layer}");
+    }
+    t.emit("bitexact");
+}
+
+fn quantization_cmd(flags: &Flags) {
+    // Extension (paper footnote 2): reduced bit widths would let more
+    // layers fit in BRAM. Train a small network, then quantize the ODE
+    // block to several formats and measure output divergence + accuracy.
+    let cfg = SynthConfig { classes: 4, per_class: 24, hw: 16, noise: 0.25, jitter: 2, seed: flags.seed };
+    let (train, test) = generate_split(&cfg, 8);
+    let spec = NetSpec::new(Variant::ROdeNet3, 20).with_classes(4);
+    let mut net = Network::new(spec, flags.seed);
+    let mut tc = TrainConfig::quick(flags.epochs.unwrap_or(4), 16);
+    tc.seed = flags.seed;
+    let _ = train_epochs(&mut net, &train.images, &train.labels, None, None, tc);
+    let base_acc = evaluate(&net, &test.images, &test.labels, 16, BnMode::OnTheFly);
+    let mut t = Table::new(
+        "Extension: fixed-point width ablation (rODENet-3-20 on SynthCIFAR)",
+        &["Format", "Weight bytes", "layer3_2 params fit in", "Weight quantization SQNR [dB]"],
+    );
+    let block = &net.stage(LayerName::Layer3_2).expect("layer3_2 present").blocks[0];
+    let weights: Vec<f64> = block.conv1.w.as_slice().iter().map(|&v| v as f64).collect();
+    for (name, fmt) in [
+        ("Q11.20 (paper)", QFormat::new(32, 20)),
+        ("Q7.24", QFormat::new(32, 24)),
+        ("Q7.8 (16-bit)", QFormat::new(16, 8)),
+        ("Q3.12 (16-bit)", QFormat::new(16, 12)),
+        ("Q3.4 (8-bit)", QFormat::new(8, 4)),
+    ] {
+        let bytes = rodenet::params::block_bytes(LayerName::Layer3_2, true, 4, fmt.bytes());
+        let brams = zynq_sim::resources::bram36_at_width(LayerName::Layer3_2, 16, fmt.bytes());
+        t.row(vec![
+            name.into(),
+            bytes.to_string(),
+            format!("{brams} BRAM36 (full circuit)"),
+            format!("{:.1}", fmt.sqnr_db(&weights)),
+        ]);
+    }
+    t.emit("quantization");
+    println!("float32 test accuracy of the trained model: {base_acc:.3}");
+    println!("(lower widths halve BRAM but lose SQNR — the paper's footnote-2 trade-off)");
+}
+
+fn macpolicy_cmd() {
+    // Extension: accumulator construction. WideAccumulate (DSP cascade)
+    // truncates once per output; TruncateEach loses precision per product.
+    let mut t = Table::new(
+        "Extension: MAC accumulator policy divergence (1024-term dot products)",
+        &["Policy", "Mean |error| vs f64", "Max |error| vs f64"],
+    );
+    for policy in [MacPolicy::WideAccumulate, MacPolicy::TruncateEach] {
+        let mut sum_err = 0.0f64;
+        let mut max_err = 0.0f64;
+        let trials = 50;
+        for t_i in 0..trials {
+            let mut mac = Mac::<20>::new(policy);
+            let mut exact = 0.0f64;
+            for i in 0..1024 {
+                let a = ((i * 31 + t_i * 17) % 997) as f64 / 997.0 - 0.5;
+                let b = ((i * 57 + t_i * 23) % 991) as f64 / 991.0 - 0.5;
+                let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+                mac.mac(qa, qb);
+                exact += qa.to_f64() * qb.to_f64();
+            }
+            let err = (mac.finish().to_f64() - exact).abs();
+            sum_err += err;
+            max_err = max_err.max(err);
+        }
+        t.row(vec![
+            format!("{policy:?}"),
+            format!("{:.3e}", sum_err / trials as f64),
+            format!("{max_err:.3e}"),
+        ]);
+    }
+    t.emit("macpolicy");
+}
+
+fn solver_cmd(flags: &Flags) {
+    use odesolve::{ode_solve, ClosureField, Method, SolveOpts};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    // Extension (paper future work): more accurate ODE solvers on the
+    // same block dynamics, plus the adjoint-vs-unrolled gradient gap the
+    // paper cites as its accuracy-loss issue.
+    let mut rng = StdRng::seed_from_u64(flags.seed);
+    let block = rodenet::ResBlock::new(&mut rng, LayerName::Layer1, true);
+    let z0 = Tensor::<f32>::from_fn(Shape4::new(1, 16, 8, 8), |_, _, _, _| {
+        rng.random::<f32>() - 0.5
+    });
+    let field = ClosureField::new(|z: &Tensor<f32>, t: f32| block.f_eval(z, t, BnMode::OnTheFly));
+    // Ground truth: very fine RK4.
+    let truth = ode_solve(&field, &z0, SolveOpts::new(0.0, 1.0, 256, Method::Rk4));
+    let mut t = Table::new(
+        "Extension: solver accuracy on one trained-shape ODE block (state error vs fine RK4)",
+        &["Steps M", "Euler", "Midpoint (RK2)", "RK4"],
+    );
+    for steps in [1usize, 2, 4, 8, 16] {
+        let mut cells = vec![steps.to_string()];
+        for method in [Method::Euler, Method::Midpoint, Method::Rk4] {
+            let z = ode_solve(&field, &z0, SolveOpts::new(0.0, 1.0, steps, method));
+            cells.push(format!("{:.2e}", z.max_abs_diff(&truth)));
+        }
+        t.row(cells);
+    }
+    t.emit("solver");
+
+    // Adjoint-vs-unrolled gradient agreement: the gap shrinks with N
+    // (more solver steps), matching the paper's small-N instability.
+    let cfg = SynthConfig { classes: 3, per_class: 4, hw: 16, noise: 0.25, jitter: 1, seed: flags.seed };
+    let data = cifar_data::synth::generate(&cfg);
+    let mut t2 = Table::new(
+        "Extension: adjoint vs unrolled gradient cosine similarity (ODENet-N)",
+        &["N", "cosine(grad_adjoint, grad_unrolled)"],
+    );
+    for n in [20usize, 56] {
+        let spec = NetSpec::new(Variant::OdeNet, n).with_classes(3);
+        let grads = |mode: GradMode| -> Vec<f32> {
+            let mut net = Network::new(spec, flags.seed);
+            let (logits, cache) = net.forward_train(&data.images, mode);
+            let (_, g) = tensor::softmax::cross_entropy(&logits, &data.labels);
+            net.zero_grads();
+            net.backward(&g, &cache);
+            let mut out = Vec::new();
+            net.visit_params(&mut |p| out.extend_from_slice(p.g));
+            out
+        };
+        let gu = grads(GradMode::Unrolled);
+        let ga = grads(GradMode::Adjoint);
+        let dot: f64 = gu.iter().zip(&ga).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let nu: f64 = gu.iter().map(|a| (*a as f64).powi(2)).sum::<f64>().sqrt();
+        let na: f64 = ga.iter().map(|a| (*a as f64).powi(2)).sum::<f64>().sqrt();
+        t2.row(vec![n.to_string(), format!("{:.5}", dot / (nu * na).max(1e-30))]);
+    }
+    t2.emit("solver_adjoint_gap");
+}
+
+fn planner_cmd() {
+    let ps = PsModel::Calibrated;
+    let pl = PlModel::default();
+    let mut t = Table::new(
+        "Extension: latency-optimal offload plans vs the paper's placement (N = 56)",
+        &["Model", "Paper target", "Planned (ODE-only)", "Planned (extended)", "Paper total [s]", "Planned total [s]"],
+    );
+    for v in [
+        Variant::ROdeNet1,
+        Variant::ROdeNet2,
+        Variant::ROdeNet12,
+        Variant::ROdeNet3,
+        Variant::OdeNet,
+        Variant::Hybrid3,
+    ] {
+        let spec = NetSpec::new(v, 56);
+        let paper = OffloadTarget::paper_default(v);
+        let planned = plan_offload(&spec, &PYNQ_Z2, 16, &ps, &pl);
+        let extended = plan_offload_extended(&spec, &PYNQ_Z2, 16, &ps, &pl);
+        let t_paper = table5_row(v, 56, &paper, &ps, &pl, &PYNQ_Z2).total_w_pl;
+        let t_ext = table5_row(v, 56, &extended, &ps, &pl, &PYNQ_Z2).total_w_pl;
+        t.row(vec![
+            v.name().into(),
+            format!("{paper:?}"),
+            format!("{planned:?}"),
+            format!("{extended:?}"),
+            s2(t_paper),
+            s2(t_ext),
+        ]);
+    }
+    t.emit("planner");
+    let _ = (spec_params(&NetSpec::new(Variant::ResNet, 20)), block_kb(LayerName::Fc, false, 100));
+}
+
+fn energy_cmd() {
+    // Extension: the paper's intro motivates FPGAs as energy-efficient;
+    // quantify it with the first-order PowerModel (illustrative
+    // constants — compare ratios, not joules).
+    let pm = PowerModel::default();
+    let mut t = Table::new(
+        "Extension: energy per inference at N = 56 (illustrative power model)",
+        &["Model", "Offload", "Time [s]", "PS [J]", "PL [J]", "Total [J]", "vs ResNet sw"],
+    );
+    let base = {
+        let row = paper_row(Variant::ResNet, 56);
+        pm.energy(&row, &[], &PYNQ_Z2).total_joules
+    };
+    for v in [
+        Variant::ResNet,
+        Variant::ROdeNet1,
+        Variant::ROdeNet2,
+        Variant::ROdeNet3,
+        Variant::Hybrid3,
+    ] {
+        let row = paper_row(v, 56);
+        let resources: Vec<_> = row
+            .offload
+            .iter()
+            .map(|&l| ode_block_resources(l, 16))
+            .collect();
+        let e = pm.energy(&row, &resources, &PYNQ_Z2);
+        t.row(vec![
+            v.name().into(),
+            if row.offload.is_empty() {
+                "–".into()
+            } else {
+                row.offload.iter().map(|l| l.name()).collect::<Vec<_>>().join("+")
+            },
+            s2(row.total_w_pl),
+            format!("{:.3}", e.ps_joules),
+            format!("{:.3}", e.pl_joules),
+            format!("{:.3}", e.total_joules),
+            format!("{:.2}x", base / e.total_joules),
+        ]);
+    }
+    t.emit("energy");
+}

@@ -1,0 +1,121 @@
+//! Standard CIFAR training augmentation: 4-pixel zero padding followed by
+//! a random crop back to the original size, plus a random horizontal
+//! flip. Deterministic given the RNG.
+
+use rand::Rng;
+use tensor::Tensor;
+#[cfg(test)]
+use tensor::Shape4;
+
+/// Augmentation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AugmentConfig {
+    /// Padding before the random crop (4 is the CIFAR standard).
+    pub pad: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig { pad: 4, flip_prob: 0.5 }
+    }
+}
+
+/// Augment one batch (out-of-place).
+pub fn augment_batch(x: &Tensor<f32>, cfg: &AugmentConfig, rng: &mut impl Rng) -> Tensor<f32> {
+    let s = x.shape();
+    let mut out = Tensor::<f32>::zeros(s);
+    for n in 0..s.n {
+        let dy = rng.random_range(0..=2 * cfg.pad) as isize - cfg.pad as isize;
+        let dx = rng.random_range(0..=2 * cfg.pad) as isize - cfg.pad as isize;
+        let flip = rng.random::<f32>() < cfg.flip_prob;
+        for c in 0..s.c {
+            let src = x.plane(n, c);
+            let dst = out.plane_mut(n, c);
+            for y in 0..s.h {
+                let sy = y as isize + dy;
+                if sy < 0 || sy >= s.h as isize {
+                    continue; // zero padding
+                }
+                for xcol in 0..s.w {
+                    let sx0 = if flip { s.w - 1 - xcol } else { xcol };
+                    let sx = sx0 as isize + dx;
+                    if sx < 0 || sx >= s.w as isize {
+                        continue;
+                    }
+                    dst[y * s.w + xcol] = src[sy as usize * s.w + sx as usize];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn probe() -> Tensor<f32> {
+        Tensor::from_fn(Shape4::new(1, 1, 8, 8), |_, _, h, w| (h * 8 + w) as f32 + 1.0)
+    }
+
+    #[test]
+    fn zero_pad_zero_flip_is_identity() {
+        let x = probe();
+        let cfg = AugmentConfig { pad: 0, flip_prob: 0.0 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let y = augment_batch(&x, &cfg, &mut rng);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn always_flip_mirrors() {
+        let x = probe();
+        let cfg = AugmentConfig { pad: 0, flip_prob: 1.0 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let y = augment_batch(&x, &cfg, &mut rng);
+        assert_eq!(y.get(0, 0, 0, 0), x.get(0, 0, 0, 7));
+        assert_eq!(y.get(0, 0, 3, 2), x.get(0, 0, 3, 5));
+    }
+
+    #[test]
+    fn crop_shifts_content() {
+        let x = probe();
+        let cfg = AugmentConfig { pad: 2, flip_prob: 0.0 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let y = augment_batch(&x, &cfg, &mut rng);
+        assert_eq!(y.shape(), x.shape());
+        // Values are either zeros (padding) or values from x.
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (1.0..=64.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = probe();
+        let cfg = AugmentConfig::default();
+        let a = augment_batch(&x, &cfg, &mut StdRng::seed_from_u64(3));
+        let b = augment_batch(&x, &cfg, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn per_item_independent_randomness() {
+        // Two identical items in one batch should usually receive
+        // different crops.
+        let mut x = Tensor::<f32>::zeros(Shape4::new(2, 1, 8, 8));
+        for n in 0..2 {
+            for i in 0..64 {
+                x.item_mut(n)[i] = i as f32;
+            }
+        }
+        let cfg = AugmentConfig { pad: 3, flip_prob: 0.5 };
+        let mut rng = StdRng::seed_from_u64(11);
+        let y = augment_batch(&x, &cfg, &mut rng);
+        assert_ne!(y.item(0), y.item(1));
+    }
+}

@@ -1,0 +1,139 @@
+//! Loader for the real CIFAR-100 binary distribution.
+//!
+//! Format (per record): 1 coarse-label byte, 1 fine-label byte, then
+//! 3 072 pixel bytes (three 32×32 planes, R, G, B). `train.bin` holds
+//! 50 000 records, `test.bin` 10 000.
+//!
+//! The loader is exercised automatically when the data is present (the
+//! `CIFAR_DATA` environment variable or `data/cifar-100-binary/`); the
+//! rest of the stack falls back to [`crate::synth`] otherwise, so the
+//! repository works offline.
+
+use crate::Dataset;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use tensor::{Shape4, Tensor};
+
+/// Bytes per CIFAR-100 record.
+pub const RECORD_BYTES: usize = 2 + 3 * 32 * 32;
+/// Fine-label class count.
+pub const CLASSES: usize = 100;
+
+/// Per-channel normalization constants (the standard CIFAR statistics).
+pub const MEAN: [f32; 3] = [0.5071, 0.4865, 0.4409];
+/// Per-channel standard deviations.
+pub const STD: [f32; 3] = [0.2673, 0.2564, 0.2762];
+
+/// Where to look for the binary files.
+pub fn default_data_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("CIFAR_DATA") {
+        let p = PathBuf::from(dir);
+        if p.is_dir() {
+            return Some(p);
+        }
+    }
+    let local = Path::new("data/cifar-100-binary");
+    if local.is_dir() {
+        return Some(local.to_path_buf());
+    }
+    None
+}
+
+/// Parse raw CIFAR-100 records into a normalized dataset.
+///
+/// `max_records` truncates (0 = everything). Labels are the fine labels.
+pub fn parse_records(bytes: &[u8], max_records: usize) -> Dataset {
+    assert!(
+        bytes.len().is_multiple_of(RECORD_BYTES),
+        "byte length {} is not a multiple of the {RECORD_BYTES}-byte record",
+        bytes.len()
+    );
+    let total = bytes.len() / RECORD_BYTES;
+    let n = if max_records == 0 { total } else { total.min(max_records) };
+    let mut images = Tensor::<f32>::zeros(Shape4::new(n, 3, 32, 32));
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let rec = &bytes[i * RECORD_BYTES..(i + 1) * RECORD_BYTES];
+        labels.push(rec[1] as usize); // fine label
+        for c in 0..3 {
+            let plane = &rec[2 + c * 1024..2 + (c + 1) * 1024];
+            let out = images.plane_mut(i, c);
+            for (o, &b) in out.iter_mut().zip(plane) {
+                *o = (b as f32 / 255.0 - MEAN[c]) / STD[c];
+            }
+        }
+    }
+    Dataset::new(images, labels, CLASSES)
+}
+
+/// Load `train.bin` / `test.bin` from `dir`.
+pub fn load(dir: &Path, file: &str, max_records: usize) -> std::io::Result<Dataset> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(dir.join(file))?.read_to_end(&mut bytes)?;
+    Ok(parse_records(&bytes, max_records))
+}
+
+/// Load the real dataset if available, otherwise `None`.
+pub fn load_if_available(max_train: usize, max_test: usize) -> Option<(Dataset, Dataset)> {
+    let dir = default_data_dir()?;
+    let train = load(&dir, "train.bin", max_train).ok()?;
+    let test = load(&dir, "test.bin", max_test).ok()?;
+    Some((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build two synthetic CIFAR-format records.
+    fn fake_records() -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for (coarse, fine) in [(3u8, 42u8), (7, 99)] {
+            bytes.push(coarse);
+            bytes.push(fine);
+            for c in 0..3u32 {
+                for px in 0..1024u32 {
+                    bytes.push(((px + c * 37) % 256) as u8);
+                }
+            }
+        }
+        bytes
+    }
+
+    #[test]
+    fn parses_labels_and_shape() {
+        let ds = parse_records(&fake_records(), 0);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.labels, vec![42, 99]);
+        assert_eq!(ds.images.shape(), Shape4::new(2, 3, 32, 32));
+        assert_eq!(ds.classes, 100);
+    }
+
+    #[test]
+    fn normalization_applied() {
+        let ds = parse_records(&fake_records(), 0);
+        // First pixel of channel 0 is byte 0 → (0/255 − mean)/std.
+        let expect = (0.0 - MEAN[0]) / STD[0];
+        assert!((ds.images.get(0, 0, 0, 0) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncation() {
+        let ds = parse_records(&fake_records(), 1);
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_ragged_input() {
+        let _ = parse_records(&[0u8; 100], 0);
+    }
+
+    #[test]
+    fn planes_are_channel_major() {
+        let ds = parse_records(&fake_records(), 0);
+        // Channel 1's first byte is 37 (px0 + 1*37).
+        let expect = (37.0 / 255.0 - MEAN[1]) / STD[1];
+        assert!((ds.images.get(0, 1, 0, 0) - expect).abs() < 1e-6);
+    }
+}

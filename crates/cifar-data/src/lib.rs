@@ -1,0 +1,131 @@
+//! # cifar-data — the dataset substrate
+//!
+//! The paper evaluates on CIFAR-100. That dataset cannot be shipped with
+//! this repository, so this crate provides:
+//!
+//! * [`cifar`] — a loader for the standard CIFAR-100 binary format
+//!   (`train.bin`/`test.bin`), used automatically when the data is
+//!   present (`CIFAR_DATA` env var or `data/cifar-100-binary/`);
+//! * [`synth`] — **SynthCIFAR**, a deterministic procedural stand-in:
+//!   3×32×32 images whose classes are defined by spatial structure
+//!   (oriented gratings, blobs, checkers) rather than raw brightness, so
+//!   the signal survives the on-the-fly batch norm of the PL datapath;
+//! * [`augment`] — the standard CIFAR augmentation pipeline (4-pixel pad
+//!   + random crop, horizontal flip);
+//! * [`Dataset`] — a tiny container with split/subset helpers.
+//!
+//! ```
+//! use cifar_data::synth::{SynthConfig, generate};
+//!
+//! let ds = generate(&SynthConfig { classes: 10, per_class: 20, hw: 32, seed: 7, ..Default::default() });
+//! assert_eq!(ds.images.shape().n, 200);
+//! assert_eq!(ds.classes, 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod cifar;
+pub mod synth;
+
+use tensor::{Shape4, Tensor};
+
+/// An in-memory labelled image dataset (NCHW, f32, roughly zero-mean).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Images, shape `(N, 3, H, W)`.
+    pub images: Tensor<f32>,
+    /// One label per image, in `0..classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Construct, validating shapes.
+    pub fn new(images: Tensor<f32>, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(images.shape().n, labels.len(), "one label per image");
+        assert!(labels.iter().all(|&l| l < classes), "labels within range");
+        Dataset { images, labels, classes }
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Split into `(first n, rest)`.
+    pub fn split(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len());
+        (self.subset(0..n), self.subset(n..self.len()))
+    }
+
+    /// Copy a contiguous range into a new dataset.
+    pub fn subset(&self, range: core::ops::Range<usize>) -> Dataset {
+        let s = self.images.shape();
+        let shape = Shape4::new(range.len(), s.c, s.h, s.w);
+        let mut images = Tensor::<f32>::zeros(shape);
+        for (row, i) in range.clone().enumerate() {
+            images.item_mut(row).copy_from_slice(self.images.item(i));
+        }
+        Dataset {
+            images,
+            labels: self.labels[range].to_vec(),
+            classes: self.classes,
+        }
+    }
+
+    /// Per-class counts (sanity metric for generators and loaders).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::<f32>::from_fn(Shape4::new(4, 3, 2, 2), |n, _, _, _| n as f32);
+        Dataset::new(images, vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn split_partitions() {
+        let ds = tiny();
+        let (a, b) = ds.split(3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.labels, vec![1]);
+        assert_eq!(b.images.get(0, 0, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn histogram() {
+        assert_eq!(tiny().class_histogram(), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per image")]
+    fn label_count_checked() {
+        let images = Tensor::<f32>::zeros(Shape4::new(2, 3, 2, 2));
+        let _ = Dataset::new(images, vec![0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "within range")]
+    fn label_range_checked() {
+        let images = Tensor::<f32>::zeros(Shape4::new(1, 3, 2, 2));
+        let _ = Dataset::new(images, vec![5], 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Adaptive Runge–Kutta–Fehlberg 4(5) — the "more accurate ODE solvers"
+//! of the paper's future work, with embedded error control.
+//!
+//! `f32` only: adaptivity is a training/analysis tool; the PL datapath
+//! always runs fixed-step Euler.
+
+use crate::OdeField;
+use tensor::ops::axpy;
+use tensor::Tensor;
+
+/// Outcome of an adaptive solve.
+#[derive(Clone, Debug)]
+pub struct AdaptiveResult {
+    /// Final state at `t1`.
+    pub z: Tensor<f32>,
+    /// Accepted steps.
+    pub accepted: usize,
+    /// Rejected (re-tried) steps.
+    pub rejected: usize,
+    /// Total field evaluations (6 per attempted step).
+    pub evals: usize,
+}
+
+/// Tolerances and step bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveOpts {
+    /// Absolute error tolerance per step.
+    pub atol: f32,
+    /// Relative error tolerance per step.
+    pub rtol: f32,
+    /// Initial step size (positive magnitude).
+    pub h0: f32,
+    /// Hard cap on attempted steps (guards against pathological fields).
+    pub max_steps: usize,
+}
+
+impl Default for AdaptiveOpts {
+    fn default() -> Self {
+        AdaptiveOpts { atol: 1e-6, rtol: 1e-5, h0: 0.1, max_steps: 100_000 }
+    }
+}
+
+// Fehlberg coefficients (RKF45).
+const A: [[f32; 5]; 5] = [
+    [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+    [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+    [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+    [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+];
+const C: [f32; 6] = [0.0, 1.0 / 4.0, 3.0 / 8.0, 12.0 / 13.0, 1.0, 1.0 / 2.0];
+const B4: [f32; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+const B5: [f32; 6] =
+    [16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0, -9.0 / 50.0, 2.0 / 55.0];
+
+/// Integrate `f` from `t0` to `t1` with adaptive step control.
+pub fn rkf45<F: OdeField<f32> + ?Sized>(
+    f: &F,
+    z0: &Tensor<f32>,
+    t0: f32,
+    t1: f32,
+    opts: AdaptiveOpts,
+) -> AdaptiveResult {
+    assert!(t1 > t0, "adaptive solver integrates forward (t1 > t0)");
+    let mut z = z0.clone();
+    let mut t = t0;
+    let mut h = opts.h0.min(t1 - t0).max(1e-9);
+    let mut accepted = 0;
+    let mut rejected = 0;
+    let mut evals = 0;
+
+    while t < t1 && accepted + rejected < opts.max_steps {
+        if t + h > t1 {
+            h = t1 - t;
+        }
+        // Six stages.
+        let mut k: Vec<Tensor<f32>> = Vec::with_capacity(6);
+        k.push(f.eval(&z, t));
+        for s in 1..6 {
+            let mut zs = z.clone();
+            for (j, kj) in k.iter().enumerate() {
+                let a = A[s - 1][j];
+                if a != 0.0 {
+                    zs = axpy(&zs, h * a, kj);
+                }
+            }
+            k.push(f.eval(&zs, t + C[s] * h));
+        }
+        evals += 6;
+        // 4th and 5th order estimates.
+        let mut z4 = z.clone();
+        let mut z5 = z.clone();
+        for (j, kj) in k.iter().enumerate() {
+            if B4[j] != 0.0 {
+                z4 = axpy(&z4, h * B4[j], kj);
+            }
+            if B5[j] != 0.0 {
+                z5 = axpy(&z5, h * B5[j], kj);
+            }
+        }
+        // Scaled error norm.
+        let mut err_max = 0.0f32;
+        for (a, b) in z4.as_slice().iter().zip(z5.as_slice()) {
+            let scale = opts.atol + opts.rtol * a.abs().max(b.abs());
+            err_max = err_max.max((a - b).abs() / scale);
+        }
+        if err_max <= 1.0 {
+            t += h;
+            z = z5; // local extrapolation: accept the 5th-order estimate
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+        // PI-free classic step update, clamped to [0.1, 4]x.
+        let factor = if err_max > 0.0 {
+            (0.9 * err_max.powf(-0.2)).clamp(0.1, 4.0)
+        } else {
+            4.0
+        };
+        h = (h * factor).max(1e-9);
+    }
+    AdaptiveResult { z, accepted, rejected, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClosureField;
+    use tensor::Shape4;
+
+    fn state(v: f32) -> Tensor<f32> {
+        Tensor::full(Shape4::new(1, 1, 1, 1), v)
+    }
+
+    #[test]
+    fn decay_matches_exact() {
+        let f = ClosureField::new(|z: &Tensor<f32>, _t| z.map(|v| -v));
+        let r = rkf45(&f, &state(1.0), 0.0, 1.0, AdaptiveOpts::default());
+        assert!((r.z.get(0, 0, 0, 0) - (-1.0f32).exp()).abs() < 1e-5);
+        assert!(r.accepted > 0);
+    }
+
+    #[test]
+    fn stiff_region_shrinks_steps() {
+        // dz/dt = -50 z needs smaller steps than dz/dt = -0.1 z.
+        let gentle = ClosureField::new(|z: &Tensor<f32>, _t| z.map(|v| -0.1 * v));
+        let stiff = ClosureField::new(|z: &Tensor<f32>, _t| z.map(|v| -50.0 * v));
+        let rg = rkf45(&gentle, &state(1.0), 0.0, 1.0, AdaptiveOpts::default());
+        let rs = rkf45(&stiff, &state(1.0), 0.0, 1.0, AdaptiveOpts::default());
+        assert!(rs.accepted > rg.accepted, "{} vs {}", rs.accepted, rg.accepted);
+        assert!((rs.z.get(0, 0, 0, 0) - (-50.0f32).exp()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn oscillator_energy_roughly_conserved() {
+        // (x, v): x' = v, v' = -x. Energy x² + v² stays 1.
+        let f = ClosureField::new(|z: &Tensor<f32>, _t| {
+            let x = z.get(0, 0, 0, 0);
+            let v = z.get(0, 0, 0, 1);
+            Tensor::from_vec(z.shape(), vec![v, -x])
+        });
+        let z0 = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![1.0, 0.0]);
+        let r = rkf45(&f, &z0, 0.0, core::f32::consts::TAU, AdaptiveOpts::default());
+        let (x, v) = (r.z.get(0, 0, 0, 0), r.z.get(0, 0, 0, 1));
+        assert!((x * x + v * v - 1.0).abs() < 1e-3, "energy drift");
+        assert!((x - 1.0).abs() < 1e-2 && v.abs() < 1e-2, "period TAU");
+    }
+
+    #[test]
+    fn respects_max_steps() {
+        let f = ClosureField::new(|z: &Tensor<f32>, _t| z.map(|v| -1000.0 * v));
+        let opts = AdaptiveOpts { max_steps: 10, ..Default::default() };
+        let r = rkf45(&f, &state(1.0), 0.0, 1.0, opts);
+        assert!(r.accepted + r.rejected <= 10);
+    }
+
+    #[test]
+    fn tighter_tolerance_more_steps() {
+        let f = ClosureField::new(|z: &Tensor<f32>, t: f32| z.map(|v| (t * 3.0).sin() - 0.5 * v));
+        let loose = rkf45(&f, &state(1.0), 0.0, 4.0, AdaptiveOpts { rtol: 1e-3, atol: 1e-4, ..Default::default() });
+        let tight = rkf45(&f, &state(1.0), 0.0, 4.0, AdaptiveOpts { rtol: 1e-8, atol: 1e-9, ..Default::default() });
+        assert!(tight.accepted >= loose.accepted);
+        assert!((tight.z.get(0, 0, 0, 0) - loose.z.get(0, 0, 0, 0)).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn backward_range_rejected() {
+        let f = ClosureField::new(|z: &Tensor<f32>, _t| z.clone());
+        let _ = rkf45(&f, &state(1.0), 1.0, 0.0, AdaptiveOpts::default());
+    }
+}

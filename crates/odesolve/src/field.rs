@@ -1,0 +1,59 @@
+//! The dynamics traits: what an ODE block must expose to the solvers.
+
+use tensor::{Scalar, Tensor};
+
+/// A time-dependent vector field `f(z, t, θ)` over tensor states.
+///
+/// The parameters θ live inside the implementor (an ODE block holds its
+/// convolution weights and batch-norm parameters); the solver only sees
+/// the state and the scalar time.
+pub trait OdeField<S: Scalar> {
+    /// Evaluate `f(z, t)`.
+    fn eval(&self, z: &Tensor<S>, t: S) -> Tensor<S>;
+}
+
+/// Reverse-mode hooks for training through a solve (f32 only, training
+/// happens in float as in the paper).
+pub trait OdeVjp: OdeField<f32> {
+    /// Vector–Jacobian product: returns `aᵀ ∂f/∂z` evaluated at `(z, t)`
+    /// and accumulates `weight · aᵀ ∂f/∂θ` into the implementor's
+    /// parameter-gradient buffers.
+    fn vjp(&mut self, z: &Tensor<f32>, t: f32, a: &Tensor<f32>, weight: f32) -> Tensor<f32>;
+}
+
+/// Adapter turning a closure into an [`OdeField`] (handy for tests and
+/// classic textbook ODEs).
+pub struct ClosureField<F> {
+    f: F,
+}
+
+impl<F> ClosureField<F> {
+    /// Wrap a closure `f(z, t) -> dz/dt`.
+    pub fn new(f: F) -> Self {
+        ClosureField { f }
+    }
+}
+
+impl<S, F> OdeField<S> for ClosureField<F>
+where
+    S: Scalar,
+    F: Fn(&Tensor<S>, S) -> Tensor<S>,
+{
+    fn eval(&self, z: &Tensor<S>, t: S) -> Tensor<S> {
+        (self.f)(z, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Shape4;
+
+    #[test]
+    fn closure_field_evaluates() {
+        let f = ClosureField::new(|z: &Tensor<f32>, t: f32| z.map(|v| v * t));
+        let z = Tensor::full(Shape4::new(1, 1, 1, 2), 3.0f32);
+        let out = f.eval(&z, 2.0);
+        assert_eq!(out.as_slice(), &[6.0, 6.0]);
+    }
+}

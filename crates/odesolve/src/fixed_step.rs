@@ -1,0 +1,256 @@
+//! Fixed-step solvers: Euler (the paper's prediction solver), midpoint
+//! (RK2) and classical RK4.
+
+use crate::OdeField;
+use tensor::ops::axpy;
+use tensor::{Scalar, Tensor};
+
+/// Which fixed-step scheme to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// First order; one field evaluation per step. What the paper deploys
+    /// on the FPGA ("simple and requires only a small temporary memory").
+    Euler,
+    /// Second-order Runge–Kutta; two evaluations per step.
+    Midpoint,
+    /// Classical fourth-order Runge–Kutta; four evaluations per step.
+    Rk4,
+}
+
+impl Method {
+    /// Field evaluations per step.
+    pub const fn evals_per_step(&self) -> usize {
+        match self {
+            Method::Euler => 1,
+            Method::Midpoint => 2,
+            Method::Rk4 => 4,
+        }
+    }
+
+    /// Classical order of accuracy.
+    pub const fn order(&self) -> usize {
+        match self {
+            Method::Euler => 1,
+            Method::Midpoint => 2,
+            Method::Rk4 => 4,
+        }
+    }
+}
+
+/// Integration range and discretization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveOpts {
+    /// Start time.
+    pub t0: f32,
+    /// End time (may be below `t0` for reverse-time solves).
+    pub t1: f32,
+    /// Number of steps (M in the paper: an ODENet block executed M times
+    /// corresponds to M solver steps).
+    pub steps: usize,
+    /// The scheme.
+    pub method: Method,
+}
+
+impl SolveOpts {
+    /// Construct options.
+    pub fn new(t0: f32, t1: f32, steps: usize, method: Method) -> Self {
+        assert!(steps > 0, "at least one step");
+        SolveOpts { t0, t1, steps, method }
+    }
+
+    /// The paper's default: Euler over `[0, 1]` in `steps` executions.
+    pub fn euler_unit(steps: usize) -> Self {
+        Self::new(0.0, 1.0, steps, Method::Euler)
+    }
+
+    /// Step size h (signed).
+    pub fn h(&self) -> f32 {
+        (self.t1 - self.t0) / self.steps as f32
+    }
+}
+
+fn step<S: Scalar, F: OdeField<S> + ?Sized>(
+    f: &F,
+    z: &Tensor<S>,
+    t: f32,
+    h: f32,
+    method: Method,
+) -> Tensor<S> {
+    let hs = S::from_f32(h);
+    match method {
+        Method::Euler => {
+            let k1 = f.eval(z, S::from_f32(t));
+            axpy(z, hs, &k1)
+        }
+        Method::Midpoint => {
+            let k1 = f.eval(z, S::from_f32(t));
+            let zmid = axpy(z, S::from_f32(h * 0.5), &k1);
+            let k2 = f.eval(&zmid, S::from_f32(t + h * 0.5));
+            axpy(z, hs, &k2)
+        }
+        Method::Rk4 => {
+            let k1 = f.eval(z, S::from_f32(t));
+            let z2 = axpy(z, S::from_f32(h * 0.5), &k1);
+            let k2 = f.eval(&z2, S::from_f32(t + h * 0.5));
+            let z3 = axpy(z, S::from_f32(h * 0.5), &k2);
+            let k3 = f.eval(&z3, S::from_f32(t + h * 0.5));
+            let z4 = axpy(z, hs, &k3);
+            let k4 = f.eval(&z4, S::from_f32(t + h));
+            // z + h/6 (k1 + 2k2 + 2k3 + k4)
+            let h6 = S::from_f32(h / 6.0);
+            let h3 = S::from_f32(h / 3.0);
+            let mut out = axpy(z, h6, &k1);
+            out = axpy(&out, h3, &k2);
+            out = axpy(&out, h3, &k3);
+            axpy(&out, h6, &k4)
+        }
+    }
+}
+
+/// `ODESolve(z0, t0, t1, f)`: integrate and return the final state.
+pub fn ode_solve<S: Scalar, F: OdeField<S> + ?Sized>(
+    f: &F,
+    z0: &Tensor<S>,
+    opts: SolveOpts,
+) -> Tensor<S> {
+    let h = opts.h();
+    let mut z = z0.clone();
+    for i in 0..opts.steps {
+        let t = opts.t0 + h * i as f32;
+        z = step(f, &z, t, h, opts.method);
+    }
+    z
+}
+
+/// Like [`ode_solve`] but keeps every intermediate state:
+/// returns `[z0, z1, …, z_steps]` (length `steps + 1`).
+///
+/// This is the memory-hungry trajectory the adjoint method avoids storing
+/// (the paper's Section 2.3) — and exactly what the unrolled backward
+/// pass needs.
+pub fn ode_solve_trajectory<S: Scalar, F: OdeField<S> + ?Sized>(
+    f: &F,
+    z0: &Tensor<S>,
+    opts: SolveOpts,
+) -> Vec<Tensor<S>> {
+    let h = opts.h();
+    let mut out = Vec::with_capacity(opts.steps + 1);
+    out.push(z0.clone());
+    for i in 0..opts.steps {
+        let t = opts.t0 + h * i as f32;
+        let next = step(f, out.last().expect("non-empty"), t, h, opts.method);
+        out.push(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClosureField;
+    use qfixed::Q20;
+    use tensor::Shape4;
+
+    fn scalar_state(v: f32) -> Tensor<f32> {
+        Tensor::full(Shape4::new(1, 1, 1, 1), v)
+    }
+
+    /// dz/dt = -z  =>  z(1) = z0·e^{-1}.
+    fn decay() -> ClosureField<impl Fn(&Tensor<f32>, f32) -> Tensor<f32>> {
+        ClosureField::new(|z: &Tensor<f32>, _t| z.map(|v| -v))
+    }
+
+    #[test]
+    fn euler_decay_converges() {
+        let exact = (-1.0f32).exp();
+        let coarse = ode_solve(&decay(), &scalar_state(1.0), SolveOpts::euler_unit(10));
+        let fine = ode_solve(&decay(), &scalar_state(1.0), SolveOpts::euler_unit(1000));
+        let e_coarse = (coarse.get(0, 0, 0, 0) - exact).abs();
+        let e_fine = (fine.get(0, 0, 0, 0) - exact).abs();
+        assert!(e_fine < e_coarse / 50.0, "Euler is first order: {e_coarse} -> {e_fine}");
+    }
+
+    #[test]
+    fn convergence_orders() {
+        // Halving h should cut the error by ~2^order.
+        let exact = (-1.0f32).exp();
+        for (method, order) in [(Method::Euler, 1.0f32), (Method::Midpoint, 2.0), (Method::Rk4, 4.0)] {
+            let err = |steps: usize| -> f32 {
+                let z = ode_solve(
+                    &decay(),
+                    &scalar_state(1.0),
+                    SolveOpts::new(0.0, 1.0, steps, method),
+                );
+                (z.get(0, 0, 0, 0) - exact).abs()
+            };
+            let (e1, e2) = (err(8), err(16));
+            let ratio = e1 / e2.max(1e-12);
+            let expect = 2.0f32.powf(order);
+            // Only a lower bound: once the truncation error reaches f32
+            // roundoff (RK4 gets there immediately) the ratio can exceed
+            // the theoretical 2^order arbitrarily.
+            assert!(
+                ratio > expect * 0.5,
+                "{method:?}: ratio {ratio} vs expected ≥{expect}"
+            );
+            assert!(e2 <= e1, "{method:?}: error must not grow when halving h");
+        }
+    }
+
+    #[test]
+    fn time_dependent_field() {
+        // dz/dt = t  =>  z(1) = z0 + 0.5.
+        let f = ClosureField::new(|z: &Tensor<f32>, t: f32| z.map(|_| t));
+        let z1 = ode_solve(&f, &scalar_state(2.0), SolveOpts::new(0.0, 1.0, 512, Method::Midpoint));
+        assert!((z1.get(0, 0, 0, 0) - 2.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reverse_time_solve_inverts_forward() {
+        // Integrate forward then backward with RK4: should come home.
+        let fwd = ode_solve(&decay(), &scalar_state(1.0), SolveOpts::new(0.0, 1.0, 64, Method::Rk4));
+        let back = ode_solve(&decay(), &fwd, SolveOpts::new(1.0, 0.0, 64, Method::Rk4));
+        assert!((back.get(0, 0, 0, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn trajectory_endpoints_match_solve() {
+        let opts = SolveOpts::euler_unit(7);
+        let traj = ode_solve_trajectory(&decay(), &scalar_state(1.0), opts);
+        assert_eq!(traj.len(), 8);
+        let z1 = ode_solve(&decay(), &scalar_state(1.0), opts);
+        assert_eq!(traj.last().unwrap().as_slice(), z1.as_slice());
+        assert_eq!(traj[0].as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn euler_step_matches_resnet_block_semantics() {
+        // One Euler step with h=1 is exactly z + f(z): Equation 1 == Equation 5.
+        let f = ClosureField::new(|z: &Tensor<f32>, _t| z.map(|v| 0.5 * v + 1.0));
+        let z1 = ode_solve(&f, &scalar_state(2.0), SolveOpts::new(0.0, 1.0, 1, Method::Euler));
+        assert_eq!(z1.get(0, 0, 0, 0), 2.0 + (0.5 * 2.0 + 1.0));
+    }
+
+    #[test]
+    fn fixed_point_euler_runs() {
+        // Same decay ODE in Q20: dz/dt = -z.
+        let f = ClosureField::new(|z: &Tensor<Q20>, _t: Q20| z.map(|v| -v));
+        let z0 = Tensor::full(Shape4::new(1, 1, 1, 1), Q20::from_f32(1.0));
+        let z1 = ode_solve(&f, &z0, SolveOpts::new(0.0, 1.0, 100, Method::Euler));
+        let exact = (-1.0f32).exp();
+        assert!((z1.get(0, 0, 0, 0).to_f32() - exact).abs() < 2e-2);
+    }
+
+    #[test]
+    fn method_metadata() {
+        assert_eq!(Method::Euler.evals_per_step(), 1);
+        assert_eq!(Method::Rk4.order(), 4);
+        assert_eq!(SolveOpts::euler_unit(10).h(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_rejected() {
+        let _ = SolveOpts::new(0.0, 1.0, 0, Method::Euler);
+    }
+}

@@ -1,0 +1,606 @@
+//! The `Fix`/`Fix16` fixed-point types.
+//!
+//! Both types are generated from one macro so their semantics are identical
+//! modulo storage width. All arithmetic follows the conventions of the
+//! paper's Verilog datapath (see crate docs).
+
+use crate::isqrt::{isqrt_u32, isqrt_u64};
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+macro_rules! impl_fix {
+    (
+        $(#[$outer:meta])*
+        $name:ident, $repr:ty, $urepr:ty, $wide:ty, $uwide:ty, $bits:expr, $isqrt:ident
+    ) => {
+        $(#[$outer])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+        #[repr(transparent)]
+        pub struct $name<const F: u32>($repr);
+
+        impl<const F: u32> $name<F> {
+            /// Number of storage bits.
+            pub const BITS: u32 = $bits;
+            /// Number of fractional bits.
+            pub const FRAC: u32 = F;
+            /// Number of integer (non-sign) bits.
+            pub const INT: u32 = $bits - 1 - F;
+            /// The additive identity.
+            pub const ZERO: Self = Self(0);
+            /// The multiplicative identity.
+            pub const ONE: Self = Self(1 << F);
+            /// The smallest positive representable value (one LSB).
+            pub const EPSILON: Self = Self(1);
+            /// Largest representable value.
+            pub const MAX: Self = Self(<$repr>::MAX);
+            /// Smallest (most negative) representable value.
+            pub const MIN: Self = Self(<$repr>::MIN);
+            /// Magnitude of one LSB as an `f64` (2^-F).
+            pub const RESOLUTION: f64 = 1.0 / (1u64 << F) as f64;
+
+            /// Construct from the raw two's-complement bit pattern.
+            #[inline]
+            pub const fn from_bits(bits: $repr) -> Self {
+                Self(bits)
+            }
+
+            /// The raw two's-complement bit pattern.
+            #[inline]
+            pub const fn to_bits(self) -> $repr {
+                self.0
+            }
+
+            /// Convert from an integer, saturating on overflow.
+            #[inline]
+            pub fn from_int(v: i32) -> Self {
+                let shifted = (v as $wide) << F;
+                Self(Self::saturate_wide(shifted))
+            }
+
+            /// Convert from `f64`, rounding to nearest and saturating at the
+            /// format boundaries. NaN maps to zero (hardware converters
+            /// never see NaN; this keeps the software path total).
+            #[inline]
+            pub fn from_f64(v: f64) -> Self {
+                if v.is_nan() {
+                    return Self::ZERO;
+                }
+                let scaled = v * (1u64 << F) as f64;
+                if scaled >= <$repr>::MAX as f64 {
+                    Self::MAX
+                } else if scaled <= <$repr>::MIN as f64 {
+                    Self::MIN
+                } else {
+                    Self(scaled.round_ties_even() as $repr)
+                }
+            }
+
+            /// Convert from `f32` (via `f64`, so no double rounding below
+            /// 2^-F occurs for the 32-bit formats).
+            #[inline]
+            pub fn from_f32(v: f32) -> Self {
+                Self::from_f64(v as f64)
+            }
+
+            /// Exact conversion to `f64` (every representable value fits).
+            #[inline]
+            pub fn to_f64(self) -> f64 {
+                self.0 as f64 * Self::RESOLUTION
+            }
+
+            /// Conversion to `f32` (rounds when F is large).
+            #[inline]
+            pub fn to_f32(self) -> f32 {
+                self.to_f64() as f32
+            }
+
+            /// Truncate toward negative infinity to an integer.
+            #[inline]
+            pub const fn floor_int(self) -> i32 {
+                (self.0 >> F) as i32
+            }
+
+            /// Clamp a double-width value into storage range.
+            #[inline]
+            fn saturate_wide(v: $wide) -> $repr {
+                if v > <$repr>::MAX as $wide {
+                    <$repr>::MAX
+                } else if v < <$repr>::MIN as $wide {
+                    <$repr>::MIN
+                } else {
+                    v as $repr
+                }
+            }
+
+            /// Wrapping addition (hardware register semantics).
+            #[inline]
+            pub const fn wrapping_add(self, rhs: Self) -> Self {
+                Self(self.0.wrapping_add(rhs.0))
+            }
+
+            /// Wrapping subtraction (hardware register semantics).
+            #[inline]
+            pub const fn wrapping_sub(self, rhs: Self) -> Self {
+                Self(self.0.wrapping_sub(rhs.0))
+            }
+
+            /// Saturating addition.
+            #[inline]
+            pub const fn saturating_add(self, rhs: Self) -> Self {
+                Self(self.0.saturating_add(rhs.0))
+            }
+
+            /// Saturating subtraction.
+            #[inline]
+            pub const fn saturating_sub(self, rhs: Self) -> Self {
+                Self(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Checked addition; `None` on overflow.
+            #[inline]
+            pub fn checked_add(self, rhs: Self) -> Option<Self> {
+                self.0.checked_add(rhs.0).map(Self)
+            }
+
+            /// Checked subtraction; `None` on overflow.
+            #[inline]
+            pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+                self.0.checked_sub(rhs.0).map(Self)
+            }
+
+            /// Hardware multiplication: double-width product, arithmetic
+            /// shift right by F (truncation toward −∞), wrap on overflow.
+            ///
+            /// This matches a DSP-slice multiplier whose output tap selects
+            /// bits `[F .. F+BITS)` of the product.
+            #[inline]
+            pub const fn mul_trunc(self, rhs: Self) -> Self {
+                let p = (self.0 as $wide) * (rhs.0 as $wide);
+                Self((p >> F) as $repr)
+            }
+
+            /// Multiplication with round-to-nearest (adds half an LSB before
+            /// the shift). Slightly more accurate, slightly more LUTs — the
+            /// default PL build truncates, so [`Self::mul_trunc`] is what the
+            /// `Mul` operator uses.
+            #[inline]
+            pub const fn mul_round(self, rhs: Self) -> Self {
+                let p = (self.0 as $wide) * (rhs.0 as $wide);
+                let half = 1 as $wide << (F - 1);
+                Self(((p + half) >> F) as $repr)
+            }
+
+            /// Saturating hardware multiplication.
+            #[inline]
+            pub fn saturating_mul(self, rhs: Self) -> Self {
+                let p = ((self.0 as $wide) * (rhs.0 as $wide)) >> F;
+                Self(Self::saturate_wide(p))
+            }
+
+            /// Checked multiplication; `None` when the truncated product does
+            /// not fit the storage width.
+            #[inline]
+            pub fn checked_mul(self, rhs: Self) -> Option<Self> {
+                let p = ((self.0 as $wide) * (rhs.0 as $wide)) >> F;
+                if p > <$repr>::MAX as $wide || p < <$repr>::MIN as $wide {
+                    None
+                } else {
+                    Some(Self(p as $repr))
+                }
+            }
+
+            /// Hardware division: the dividend is pre-shifted by F and then
+            /// divided with truncation toward zero, exactly like a signed
+            /// restoring divider. Division by zero saturates toward the sign
+            /// of the dividend (an all-ones quotient in hardware).
+            #[inline]
+            pub fn div_trunc(self, rhs: Self) -> Self {
+                if rhs.0 == 0 {
+                    return if self.0 >= 0 { Self::MAX } else { Self::MIN };
+                }
+                let q = ((self.0 as $wide) << F) / (rhs.0 as $wide);
+                Self(Self::saturate_wide(q))
+            }
+
+            /// Checked division; `None` for a zero divisor or overflow.
+            #[inline]
+            pub fn checked_div(self, rhs: Self) -> Option<Self> {
+                if rhs.0 == 0 {
+                    return None;
+                }
+                let q = ((self.0 as $wide) << F) / (rhs.0 as $wide);
+                if q > <$repr>::MAX as $wide || q < <$repr>::MIN as $wide {
+                    None
+                } else {
+                    Some(Self(q as $repr))
+                }
+            }
+
+            /// Hardware square root: non-restoring integer square root of the
+            /// radicand pre-shifted by F. Negative inputs clamp to zero — the
+            /// batch-norm variance can round a hair below zero in fixed point
+            /// and the hardware unit treats that as zero.
+            #[inline]
+            pub fn sqrt(self) -> Self {
+                if self.0 <= 0 {
+                    return Self::ZERO;
+                }
+                let shifted = (self.0 as $uwide) << F;
+                Self($isqrt(shifted) as $repr)
+            }
+
+            /// Absolute value (saturating: |MIN| = MAX).
+            #[inline]
+            pub const fn abs(self) -> Self {
+                if self.0 == <$repr>::MIN {
+                    Self::MAX
+                } else if self.0 < 0 {
+                    Self(-self.0)
+                } else {
+                    self
+                }
+            }
+
+            /// `max(self, 0)` — the ReLU activation as the PL implements it
+            /// (a sign-bit multiplexer).
+            #[inline]
+            pub const fn relu(self) -> Self {
+                if self.0 < 0 {
+                    Self::ZERO
+                } else {
+                    self
+                }
+            }
+
+            /// Clamp into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo.0 <= hi.0);
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Minimum of two values.
+            #[inline]
+            pub const fn min(self, rhs: Self) -> Self {
+                if self.0 <= rhs.0 {
+                    self
+                } else {
+                    rhs
+                }
+            }
+
+            /// Maximum of two values.
+            #[inline]
+            pub const fn max(self, rhs: Self) -> Self {
+                if self.0 >= rhs.0 {
+                    self
+                } else {
+                    rhs
+                }
+            }
+
+            /// True if the value is negative.
+            #[inline]
+            pub const fn is_negative(self) -> bool {
+                self.0 < 0
+            }
+
+            /// True if the value is exactly zero.
+            #[inline]
+            pub const fn is_zero(self) -> bool {
+                self.0 == 0
+            }
+
+            /// Multiply-accumulate with a double-width accumulator:
+            /// `acc + self·rhs` where `acc` and the result are raw
+            /// double-width product words (Q(2F)). Used by [`crate::Mac`].
+            #[inline]
+            pub const fn mac_wide(self, rhs: Self, acc: $wide) -> $wide {
+                acc.wrapping_add((self.0 as $wide) * (rhs.0 as $wide))
+            }
+        }
+
+        impl<const F: u32> Add for $name<F> {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                debug_assert!(
+                    self.0.checked_add(rhs.0).is_some(),
+                    concat!(stringify!($name), " addition overflow: {} + {}"),
+                    self.to_f64(),
+                    rhs.to_f64()
+                );
+                self.wrapping_add(rhs)
+            }
+        }
+
+        impl<const F: u32> Sub for $name<F> {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                debug_assert!(
+                    self.0.checked_sub(rhs.0).is_some(),
+                    concat!(stringify!($name), " subtraction overflow: {} - {}"),
+                    self.to_f64(),
+                    rhs.to_f64()
+                );
+                self.wrapping_sub(rhs)
+            }
+        }
+
+        impl<const F: u32> Mul for $name<F> {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                self.mul_trunc(rhs)
+            }
+        }
+
+        impl<const F: u32> Div for $name<F> {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: Self) -> Self {
+                self.div_trunc(rhs)
+            }
+        }
+
+        impl<const F: u32> Neg for $name<F> {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(self.0.wrapping_neg())
+            }
+        }
+
+        impl<const F: u32> AddAssign for $name<F> {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl<const F: u32> SubAssign for $name<F> {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl<const F: u32> MulAssign for $name<F> {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl<const F: u32> DivAssign for $name<F> {
+            #[inline]
+            fn div_assign(&mut self, rhs: Self) {
+                *self = *self / rhs;
+            }
+        }
+
+        impl<const F: u32> PartialOrd for $name<F> {
+            #[inline]
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl<const F: u32> Ord for $name<F> {
+            #[inline]
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.0.cmp(&other.0)
+            }
+        }
+
+        impl<const F: u32> fmt::Debug for $name<F> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(
+                    f,
+                    concat!(stringify!($name), "<{}>({} = {:.6})"),
+                    F,
+                    self.0,
+                    self.to_f64()
+                )
+            }
+        }
+
+        impl<const F: u32> fmt::Display for $name<F> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.to_f64(), f)
+            }
+        }
+
+        impl<const F: u32> From<$name<F>> for f64 {
+            #[inline]
+            fn from(v: $name<F>) -> f64 {
+                v.to_f64()
+            }
+        }
+
+        impl<const F: u32> From<$name<F>> for f32 {
+            #[inline]
+            fn from(v: $name<F>) -> f32 {
+                v.to_f32()
+            }
+        }
+    };
+}
+
+impl_fix!(
+    /// 32-bit fixed point with `F` fractional bits (two's complement,
+    /// 64-bit intermediates). `Fix<20>` is the paper's Q20 format: range
+    /// ±2048, resolution 2⁻²⁰ ≈ 9.5·10⁻⁷.
+    Fix,
+    i32,
+    u32,
+    i64,
+    u64,
+    32,
+    isqrt_u64
+);
+
+impl_fix!(
+    /// 16-bit fixed point with `F` fractional bits (two's complement,
+    /// 32-bit intermediates) — the reduced-width format of the paper's
+    /// future-work discussion.
+    Fix16,
+    i16,
+    u16,
+    i32,
+    u32,
+    16,
+    isqrt_u32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type Q20 = Fix<20>;
+    type Q8 = Fix16<8>;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Q20::ONE.to_f64(), 1.0);
+        assert_eq!(Q20::ZERO.to_f64(), 0.0);
+        assert_eq!(Q20::FRAC, 20);
+        assert_eq!(Q20::INT, 11);
+        assert_eq!(Q20::RESOLUTION, (2.0f64).powi(-20));
+        assert_eq!(Q8::INT, 7);
+    }
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for v in [0.0, 1.0, -1.0, 0.5, -0.5, 1023.75, -1024.25, 0.0000019073486328125] {
+            assert_eq!(Q20::from_f64(v).to_f64(), v, "round-trip of {v}");
+        }
+    }
+
+    #[test]
+    fn from_f64_rounds_to_nearest() {
+        let third = Q20::from_f64(1.0 / 3.0);
+        assert!((third.to_f64() - 1.0 / 3.0).abs() <= Q20::RESOLUTION / 2.0);
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        assert_eq!(Q20::from_f64(1e12), Q20::MAX);
+        assert_eq!(Q20::from_f64(-1e12), Q20::MIN);
+        assert_eq!(Q20::from_f64(f64::NAN), Q20::ZERO);
+    }
+
+    #[test]
+    fn from_int_saturates() {
+        assert_eq!(Q20::from_int(5).to_f64(), 5.0);
+        assert_eq!(Q20::from_int(100_000), Q20::MAX);
+        assert_eq!(Q20::from_int(-100_000), Q20::MIN);
+    }
+
+    #[test]
+    fn mul_truncates_toward_neg_infinity() {
+        // -epsilon * epsilon is a tiny negative product; truncation (asr)
+        // floors it to -1 LSB of the double-width grid -> -epsilon here.
+        let e = Q20::EPSILON;
+        assert_eq!((-e).mul_trunc(e), -e);
+        // Round-to-nearest sends it to zero instead.
+        assert_eq!((-e).mul_round(e), Q20::ZERO);
+    }
+
+    #[test]
+    fn mul_exact_small_values() {
+        let a = Q20::from_f64(1.5);
+        let b = Q20::from_f64(2.5);
+        assert_eq!((a * b).to_f64(), 3.75);
+        assert_eq!((a * -b).to_f64(), -3.75);
+    }
+
+    #[test]
+    fn div_matches_f64_on_exact_cases() {
+        let a = Q20::from_f64(7.5);
+        let b = Q20::from_f64(2.5);
+        assert_eq!((a / b).to_f64(), 3.0);
+        assert_eq!((-a / b).to_f64(), -3.0);
+    }
+
+    #[test]
+    fn div_by_zero_saturates_by_sign() {
+        assert_eq!(Q20::ONE / Q20::ZERO, Q20::MAX);
+        assert_eq!(-Q20::ONE / Q20::ZERO, Q20::MIN);
+        assert_eq!(Q20::ONE.checked_div(Q20::ZERO), None);
+    }
+
+    #[test]
+    fn sqrt_perfect_squares() {
+        for v in [0.0, 1.0, 4.0, 9.0, 0.25, 2.25, 1024.0] {
+            assert_eq!(Q20::from_f64(v).sqrt().to_f64(), v.sqrt(), "sqrt({v})");
+        }
+    }
+
+    #[test]
+    fn sqrt_truncates_downward() {
+        let two = Q20::from_f64(2.0);
+        let r = two.sqrt().to_f64();
+        let exact = 2.0f64.sqrt();
+        assert!(r <= exact && exact - r < Q20::RESOLUTION, "{r} vs {exact}");
+    }
+
+    #[test]
+    fn sqrt_of_negative_is_zero() {
+        assert_eq!(Q20::from_f64(-3.0).sqrt(), Q20::ZERO);
+    }
+
+    #[test]
+    fn relu_is_sign_mux() {
+        assert_eq!(Q20::from_f64(-0.5).relu(), Q20::ZERO);
+        assert_eq!(Q20::from_f64(0.5).relu().to_f64(), 0.5);
+        assert_eq!(Q20::ZERO.relu(), Q20::ZERO);
+    }
+
+    #[test]
+    fn abs_saturates_at_min() {
+        assert_eq!(Q20::MIN.abs(), Q20::MAX);
+        assert_eq!(Q20::from_f64(-2.0).abs().to_f64(), 2.0);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Q20::MAX.saturating_add(Q20::ONE), Q20::MAX);
+        assert_eq!(Q20::MIN.saturating_sub(Q20::ONE), Q20::MIN);
+        let big = Q20::from_f64(1500.0);
+        assert_eq!(big.saturating_mul(big), Q20::MAX);
+        assert_eq!(big.checked_mul(big), None);
+    }
+
+    #[test]
+    fn ordering_matches_f64() {
+        let a = Q20::from_f64(-1.25);
+        let b = Q20::from_f64(0.75);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn fix16_basics() {
+        let a = Q8::from_f64(1.5);
+        let b = Q8::from_f64(2.0);
+        assert_eq!((a * b).to_f64(), 3.0);
+        assert_eq!(Q8::from_f64(500.0), Q8::MAX);
+        assert_eq!(Q8::from_f64(9.0).sqrt().to_f64(), 3.0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let v = Q20::from_f64(1.5);
+        assert_eq!(format!("{v}"), "1.5");
+        assert!(format!("{v:?}").contains("Fix<20>"));
+    }
+
+    #[test]
+    fn floor_int() {
+        assert_eq!(Q20::from_f64(3.9).floor_int(), 3);
+        assert_eq!(Q20::from_f64(-3.1).floor_int(), -4);
+    }
+}

@@ -1,0 +1,157 @@
+//! Runtime-described Q formats for quantization sweeps and resource models.
+//!
+//! The compile-time [`crate::Fix`] types cover the execution paths; this
+//! module covers *analysis*: "what if the PL datapath used Qm.n?" questions
+//! from the paper's footnote 2 ("using reduced bit widths (e.g., 16-bit or
+//! less) can implement more layers in PL").
+
+use core::fmt;
+
+/// A two's-complement fixed-point format described at runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    /// Total storage bits, including the sign bit (2..=64).
+    pub total_bits: u32,
+    /// Fractional bits (`< total_bits`).
+    pub frac_bits: u32,
+}
+
+impl QFormat {
+    /// The paper's PL format: 32-bit Q20.
+    pub const Q20_32: QFormat = QFormat { total_bits: 32, frac_bits: 20 };
+    /// A 16-bit Q8 format (future-work reduced width).
+    pub const Q8_16: QFormat = QFormat { total_bits: 16, frac_bits: 8 };
+
+    /// Construct, panicking on degenerate parameters.
+    pub fn new(total_bits: u32, frac_bits: u32) -> Self {
+        assert!((2..=64).contains(&total_bits), "total_bits {total_bits} out of range");
+        assert!(frac_bits < total_bits, "frac_bits {frac_bits} >= total_bits {total_bits}");
+        QFormat { total_bits, frac_bits }
+    }
+
+    /// Integer (non-sign) bits.
+    pub fn int_bits(&self) -> u32 {
+        self.total_bits - 1 - self.frac_bits
+    }
+
+    /// Storage size in bytes, rounded up to whole bytes (what the BRAM
+    /// packing model and parameter-size accounting use).
+    pub fn bytes(&self) -> usize {
+        self.total_bits.div_ceil(8) as usize
+    }
+
+    /// Magnitude of one LSB.
+    pub fn resolution(&self) -> f64 {
+        (2.0f64).powi(-(self.frac_bits as i32))
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f64 {
+        (((1i128 << (self.total_bits - 1)) - 1) as f64) * self.resolution()
+    }
+
+    /// Most negative representable value.
+    pub fn min_value(&self) -> f64 {
+        (-(1i128 << (self.total_bits - 1)) as f64) * self.resolution()
+    }
+
+    /// Quantize an `f64` through this format (round-to-nearest, saturate).
+    /// Returns the dequantized value, i.e. the value the hardware would see.
+    pub fn quantize(&self, v: f64) -> f64 {
+        if v.is_nan() {
+            return 0.0;
+        }
+        let scale = (2.0f64).powi(self.frac_bits as i32);
+        let max_raw = ((1i128 << (self.total_bits - 1)) - 1) as f64;
+        let min_raw = (-(1i128 << (self.total_bits - 1))) as f64;
+        let raw = (v * scale).round_ties_even().clamp(min_raw, max_raw);
+        raw / scale
+    }
+
+    /// Quantization error of representing `v` in this format.
+    pub fn error(&self, v: f64) -> f64 {
+        (self.quantize(v) - v).abs()
+    }
+
+    /// Signal-to-quantization-noise ratio (dB) of quantizing `signal`
+    /// through this format. Returns `f64::INFINITY` for an exactly
+    /// representable signal.
+    pub fn sqnr_db(&self, signal: &[f64]) -> f64 {
+        let mut sig = 0.0f64;
+        let mut noise = 0.0f64;
+        for &v in signal {
+            sig += v * v;
+            let e = self.quantize(v) - v;
+            noise += e * e;
+        }
+        if noise == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (sig / noise).log10()
+        }
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{} ({}-bit)", self.int_bits(), self.frac_bits, self.total_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Q20;
+
+    #[test]
+    fn q20_matches_fix20() {
+        let fmt = QFormat::Q20_32;
+        assert_eq!(fmt.resolution(), Q20::RESOLUTION);
+        assert_eq!(fmt.bytes(), 4);
+        assert_eq!(fmt.int_bits(), 11);
+        for v in [0.1, -3.75, 1000.5, -2047.0] {
+            assert_eq!(fmt.quantize(v), Q20::from_f64(v).to_f64(), "quantize({v})");
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let fmt = QFormat::Q8_16;
+        assert_eq!(fmt.quantize(1e9), fmt.max_value());
+        assert_eq!(fmt.quantize(-1e9), fmt.min_value());
+    }
+
+    #[test]
+    fn wider_formats_have_lower_error() {
+        let narrow = QFormat::new(16, 8);
+        let wide = QFormat::new(32, 20);
+        for v in [0.123456, -9.87654, 0.000123] {
+            assert!(wide.error(v) <= narrow.error(v));
+        }
+    }
+
+    #[test]
+    fn sqnr_improves_with_width() {
+        let signal: Vec<f64> = (0..256).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let s16 = QFormat::new(16, 12).sqnr_db(&signal);
+        let s32 = QFormat::new(32, 20).sqnr_db(&signal);
+        assert!(s32 > s16 + 20.0, "expected ≥20 dB gain: {s16} -> {s32}");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", QFormat::Q20_32), "Q11.20 (32-bit)");
+    }
+
+    #[test]
+    #[should_panic(expected = "frac_bits")]
+    fn rejects_degenerate() {
+        QFormat::new(8, 8);
+    }
+
+    #[test]
+    fn exact_signal_is_infinite_sqnr() {
+        let fmt = QFormat::Q20_32;
+        assert_eq!(fmt.sqnr_db(&[1.0, 0.5, -0.25]), f64::INFINITY);
+    }
+}

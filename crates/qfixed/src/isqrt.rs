@@ -1,0 +1,90 @@
+//! Bit-serial integer square root.
+//!
+//! This is the classical non-restoring ("binary digit-by-digit") algorithm:
+//! one result bit is resolved per iteration from a trial subtraction, which
+//! is exactly the structure of the iterative square-root unit the paper
+//! instantiates for the batch-normalization standard deviation. The result
+//! is `floor(sqrt(n))`.
+
+/// `floor(sqrt(n))` for a 64-bit radicand (32 iterations in hardware).
+#[inline]
+pub fn isqrt_u64(n: u64) -> u64 {
+    let mut rem = n;
+    let mut res: u64 = 0;
+    // Highest power-of-four at or below n.
+    let mut bit: u64 = if n == 0 { 0 } else { 1 << ((63 - n.leading_zeros()) & !1) };
+    while bit != 0 {
+        if rem >= res + bit {
+            rem -= res + bit;
+            res = (res >> 1) + bit;
+        } else {
+            res >>= 1;
+        }
+        bit >>= 2;
+    }
+    res
+}
+
+/// `floor(sqrt(n))` for a 32-bit radicand (16 iterations in hardware).
+#[inline]
+pub fn isqrt_u32(n: u32) -> u32 {
+    let mut rem = n;
+    let mut res: u32 = 0;
+    let mut bit: u32 = if n == 0 { 0 } else { 1 << ((31 - n.leading_zeros()) & !1) };
+    while bit != 0 {
+        if rem >= res + bit {
+            rem -= res + bit;
+            res = (res >> 1) + bit;
+        } else {
+            res >>= 1;
+        }
+        bit >>= 2;
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_u64() {
+        let expect = [0, 1, 1, 1, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 4];
+        for (n, &e) in expect.iter().enumerate().map(|(i, e)| (i as u64, e)) {
+            assert_eq!(isqrt_u64(n), e, "isqrt({n})");
+        }
+    }
+
+    #[test]
+    fn perfect_squares_u64() {
+        for r in [0u64, 1, 2, 3, 1000, 65535, 65536, 1 << 31] {
+            assert_eq!(isqrt_u64(r * r), r);
+            if r > 0 {
+                assert_eq!(isqrt_u64(r * r - 1), r - 1);
+                assert_eq!(isqrt_u64(r * r + 1), r);
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_u64() {
+        assert_eq!(isqrt_u64(u64::MAX), (1u64 << 32) - 1);
+        assert_eq!(isqrt_u64(0), 0);
+    }
+
+    #[test]
+    fn matches_float_sqrt_u32() {
+        for n in (0u32..100_000).step_by(37) {
+            let f = (n as f64).sqrt() as u32;
+            let i = isqrt_u32(n);
+            assert!(i == f || i + 1 == f || f + 1 == i, "isqrt_u32({n}) = {i}, float {f}");
+            assert!((i as u64) * (i as u64) <= n as u64);
+            assert!(((i as u64) + 1) * ((i as u64) + 1) > n as u64);
+        }
+    }
+
+    #[test]
+    fn extreme_u32() {
+        assert_eq!(isqrt_u32(u32::MAX), (1u32 << 16) - 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! # qfixed — Qm.n fixed-point arithmetic for the ODENet FPGA datapath
+//!
+//! The paper implements the ODEBlock on the Zynq XC7Z020 programmable logic
+//! with a **32-bit Q20** fixed-point format (20 fractional bits, 11 integer
+//! bits, 1 sign bit). This crate provides that format — and the general
+//! `Qm.n` family around it — with *hardware-faithful* semantics:
+//!
+//! * multiplication produces a double-width product and truncates
+//!   (arithmetic shift right), exactly like a DSP48-based multiplier
+//!   followed by a fixed tap selection;
+//! * division is truncating long division on the pre-shifted dividend,
+//!   matching a restoring divider unit;
+//! * square root is a non-restoring bit-serial integer square root on the
+//!   pre-shifted radicand, matching the square-root unit the paper
+//!   instantiates for the batch-normalization σ computation;
+//! * addition/subtraction wrap by default (registers wrap); saturating and
+//!   checked variants are provided for the software layers that want them.
+//!
+//! Two storage widths are generated from one macro so that the paper's
+//! future-work ablation ("using reduced bit widths, e.g. 16-bit or less,
+//! can implement more layers in PL") can be explored:
+//!
+//! * [`Fix<F>`] — 32-bit storage, 64-bit intermediates (the paper's format
+//!   is [`Q20`] = `Fix<20>`);
+//! * [`Fix16<F>`] — 16-bit storage, 32-bit intermediates.
+//!
+//! A runtime-described [`QFormat`] complements the compile-time types for
+//! resource modelling and quantization sweeps over arbitrary widths.
+//!
+//! ```
+//! use qfixed::Q20;
+//!
+//! let a = Q20::from_f64(1.5);
+//! let b = Q20::from_f64(-2.25);
+//! assert_eq!((a * b).to_f64(), -3.375);
+//! let r = Q20::from_f64(2.0).sqrt().to_f64();
+//! assert!((r - std::f64::consts::SQRT_2).abs() < Q20::RESOLUTION);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fix;
+mod format;
+mod isqrt;
+mod mac;
+
+pub use fix::{Fix, Fix16};
+pub use format::QFormat;
+pub use isqrt::{isqrt_u32, isqrt_u64};
+pub use mac::{Mac, MacPolicy};
+
+/// The paper's programmable-logic datapath format: 32-bit, 20 fractional bits.
+pub type Q20 = Fix<20>;
+/// 32-bit, 16 fractional bits (coarser, wider-range alternative).
+pub type Q16 = Fix<16>;
+/// 32-bit, 24 fractional bits (finer, narrower-range alternative).
+pub type Q24 = Fix<24>;
+/// 16-bit, 8 fractional bits — the "16-bit or less" future-work format.
+pub type Q8x16 = Fix16<8>;
+/// 16-bit, 10 fractional bits.
+pub type Q10x16 = Fix16<10>;

@@ -1,0 +1,166 @@
+//! Multiply–accumulate unit emulation.
+//!
+//! The convolution and ReLU steps of the paper's ODEBlock use 1–64
+//! multiply-add units. How the accumulator is built changes the numerics:
+//!
+//! * [`MacPolicy::WideAccumulate`] — each 32×32 product is kept at full
+//!   64-bit width (Q2F) and summed in a 64-bit register; the result is
+//!   truncated **once** at write-back. This is the natural DSP48 cascade
+//!   structure and the default for the simulated PL and the fixed-point
+//!   software reference (they must agree bit-for-bit).
+//! * [`MacPolicy::TruncateEach`] — each product is truncated back to the
+//!   storage width before being added (a narrower, cheaper adder tree).
+//!   More truncation noise; offered for ablations.
+//!
+//! ```
+//! use qfixed::{Mac, MacPolicy, Q20};
+//!
+//! let w = [Q20::from_f64(0.5), Q20::from_f64(-1.25)];
+//! let x = [Q20::from_f64(2.0), Q20::from_f64(4.0)];
+//! let mut mac = Mac::new(MacPolicy::WideAccumulate);
+//! for (wi, xi) in w.iter().zip(&x) {
+//!     mac.mac(*wi, *xi);
+//! }
+//! assert_eq!(mac.finish().to_f64(), 0.5 * 2.0 - 1.25 * 4.0);
+//! ```
+
+use crate::Fix;
+
+/// Accumulator construction policy (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MacPolicy {
+    /// 64-bit Q2F accumulator, single truncation at write-back (default).
+    WideAccumulate,
+    /// Truncate every product to the storage width before accumulating.
+    TruncateEach,
+}
+
+/// A software model of one Q-format multiply–accumulate unit.
+#[derive(Clone, Copy, Debug)]
+pub struct Mac<const F: u32> {
+    policy: MacPolicy,
+    wide: i64,
+    narrow: Fix<F>,
+    ops: u64,
+}
+
+impl<const F: u32> Mac<F> {
+    /// A fresh, zeroed accumulator with the given policy.
+    #[inline]
+    pub fn new(policy: MacPolicy) -> Self {
+        Self { policy, wide: 0, narrow: Fix::ZERO, ops: 0 }
+    }
+
+    /// Reset the accumulator, keeping the policy and op counter.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.wide = 0;
+        self.narrow = Fix::ZERO;
+    }
+
+    /// Accumulate one product.
+    #[inline]
+    pub fn mac(&mut self, w: Fix<F>, x: Fix<F>) {
+        self.ops += 1;
+        match self.policy {
+            MacPolicy::WideAccumulate => {
+                self.wide = w.mac_wide(x, self.wide);
+            }
+            MacPolicy::TruncateEach => {
+                self.narrow = self.narrow.wrapping_add(w.mul_trunc(x));
+            }
+        }
+    }
+
+    /// Add a pre-formed Q-format value (bias / residual input) to the
+    /// accumulator without a multiplication.
+    #[inline]
+    pub fn add(&mut self, v: Fix<F>) {
+        match self.policy {
+            MacPolicy::WideAccumulate => {
+                self.wide = self.wide.wrapping_add((v.to_bits() as i64) << F);
+            }
+            MacPolicy::TruncateEach => {
+                self.narrow = self.narrow.wrapping_add(v);
+            }
+        }
+    }
+
+    /// Truncate to the storage format and return the accumulated value.
+    #[inline]
+    pub fn finish(&self) -> Fix<F> {
+        match self.policy {
+            MacPolicy::WideAccumulate => Fix::from_bits((self.wide >> F) as i32),
+            MacPolicy::TruncateEach => self.narrow,
+        }
+    }
+
+    /// Number of multiply–accumulate operations issued since construction
+    /// (feeds the cycle model: the paper's datapath spends 5 cycles per MAC).
+    #[inline]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type Q20 = Fix<20>;
+
+    fn dot(policy: MacPolicy, w: &[f64], x: &[f64]) -> f64 {
+        let mut mac = Mac::<20>::new(policy);
+        for (a, b) in w.iter().zip(x) {
+            mac.mac(Q20::from_f64(*a), Q20::from_f64(*b));
+        }
+        mac.finish().to_f64()
+    }
+
+    #[test]
+    fn wide_accumulate_exact_dot() {
+        let w = [0.5, -0.25, 1.0, 2.0];
+        let x = [2.0, 4.0, -1.5, 0.125];
+        let exact: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+        assert_eq!(dot(MacPolicy::WideAccumulate, &w, &x), exact);
+    }
+
+    #[test]
+    fn truncate_each_accumulates_more_error() {
+        // Products that are inexact in Q20 make TruncateEach lossier than
+        // WideAccumulate (which truncates exactly once).
+        let w: Vec<f64> = (0..1000).map(|i| 1e-3 + i as f64 * 1e-6).collect();
+        let x: Vec<f64> = (0..1000).map(|i| 3e-3 + i as f64 * 1e-6).collect();
+        let exact: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let wide_err = (dot(MacPolicy::WideAccumulate, &w, &x) - exact).abs();
+        let narrow_err = (dot(MacPolicy::TruncateEach, &w, &x) - exact).abs();
+        assert!(wide_err <= narrow_err, "wide {wide_err} vs narrow {narrow_err}");
+        assert!(wide_err < 1e-4);
+    }
+
+    #[test]
+    fn add_injects_bias() {
+        let mut mac = Mac::<20>::new(MacPolicy::WideAccumulate);
+        mac.mac(Q20::from_f64(2.0), Q20::from_f64(3.0));
+        mac.add(Q20::from_f64(-1.5));
+        assert_eq!(mac.finish().to_f64(), 4.5);
+    }
+
+    #[test]
+    fn clear_resets_value_not_ops() {
+        let mut mac = Mac::<20>::new(MacPolicy::WideAccumulate);
+        mac.mac(Q20::ONE, Q20::ONE);
+        mac.clear();
+        assert_eq!(mac.finish(), Q20::ZERO);
+        assert_eq!(mac.ops(), 1);
+    }
+
+    #[test]
+    fn policies_agree_on_exact_products() {
+        let w = [1.0, 2.0, -3.0];
+        let x = [4.0, 0.5, 0.25];
+        assert_eq!(
+            dot(MacPolicy::WideAccumulate, &w, &x),
+            dot(MacPolicy::TruncateEach, &w, &x)
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-based tests for the fixed-point substrate.
+//!
+//! These pin down the algebraic contracts the rest of the stack leans on:
+//! the FPGA simulator and the fixed-point software reference must agree
+//! bit-for-bit, which only holds if these operations are deterministic,
+//! total, and within the documented error of real arithmetic.
+
+use proptest::prelude::*;
+use qfixed::{isqrt_u64, Fix, Fix16, Mac, MacPolicy, QFormat, Q20};
+
+/// f64 values that fit comfortably in Q11.20 even after one multiply.
+fn q20_safe() -> impl Strategy<Value = f64> {
+    (-40.0f64..40.0).prop_map(|v| (v * 1e4).round() / 1e4)
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_within_half_lsb(v in -2000.0f64..2000.0) {
+        let q = Q20::from_f64(v);
+        prop_assert!((q.to_f64() - v).abs() <= Q20::RESOLUTION / 2.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn bits_roundtrip_exact(bits in any::<i32>()) {
+        prop_assert_eq!(Q20::from_bits(bits).to_bits(), bits);
+    }
+
+    #[test]
+    fn add_matches_f64(a in q20_safe(), b in q20_safe()) {
+        let qa = Q20::from_f64(a);
+        let qb = Q20::from_f64(b);
+        let sum = (qa + qb).to_f64();
+        prop_assert!((sum - (qa.to_f64() + qb.to_f64())).abs() < f64::EPSILON,
+            "Q20 add must be exact when no overflow occurs");
+    }
+
+    #[test]
+    fn add_commutes(a in q20_safe(), b in q20_safe()) {
+        let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+        prop_assert_eq!(qa + qb, qb + qa);
+    }
+
+    #[test]
+    fn add_associates(a in q20_safe(), b in q20_safe(), c in q20_safe()) {
+        let (qa, qb, qc) = (Q20::from_f64(a), Q20::from_f64(b), Q20::from_f64(c));
+        prop_assert_eq!((qa + qb) + qc, qa + (qb + qc));
+    }
+
+    #[test]
+    fn neg_is_additive_inverse(a in q20_safe()) {
+        let qa = Q20::from_f64(a);
+        prop_assert_eq!(qa + (-qa), Q20::ZERO);
+    }
+
+    #[test]
+    fn mul_trunc_error_bound(a in q20_safe(), b in q20_safe()) {
+        let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+        let exact = qa.to_f64() * qb.to_f64();
+        let got = (qa * qb).to_f64();
+        // Truncation floors on the Q20 grid: error in [0, 1 LSB).
+        prop_assert!(got <= exact + f64::EPSILON);
+        prop_assert!(exact - got < Q20::RESOLUTION);
+    }
+
+    #[test]
+    fn mul_round_error_bound(a in q20_safe(), b in q20_safe()) {
+        let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+        let exact = qa.to_f64() * qb.to_f64();
+        let got = qa.mul_round(qb).to_f64();
+        prop_assert!((exact - got).abs() <= Q20::RESOLUTION / 2.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn mul_commutes(a in q20_safe(), b in q20_safe()) {
+        let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+        prop_assert_eq!(qa * qb, qb * qa);
+    }
+
+    #[test]
+    fn mul_by_one_is_identity(a in q20_safe()) {
+        let qa = Q20::from_f64(a);
+        prop_assert_eq!(qa * Q20::ONE, qa);
+        prop_assert_eq!(qa * Q20::ZERO, Q20::ZERO);
+    }
+
+    #[test]
+    fn div_then_mul_close(a in q20_safe(), b in 0.01f64..40.0) {
+        let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+        let q = qa / qb;
+        let back = (q * qb).to_f64();
+        // One truncating division followed by one truncating multiply:
+        // error bounded by (1 + |b|) LSBs plus representation error.
+        let tol = (1.0 + b.abs()) * Q20::RESOLUTION * 2.0;
+        prop_assert!((back - qa.to_f64()).abs() <= tol,
+            "a={a} b={b} back={back}");
+    }
+
+    #[test]
+    fn div_truncates_toward_zero(a in q20_safe(), b in 0.01f64..40.0) {
+        let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+        let exact = qa.to_f64() / qb.to_f64();
+        let got = (qa / qb).to_f64();
+        prop_assert!(got.abs() <= exact.abs() + f64::EPSILON);
+        prop_assert!((exact - got).abs() < Q20::RESOLUTION * 1.0001);
+    }
+
+    #[test]
+    fn sqrt_bounds(a in 0.0f64..2000.0) {
+        let qa = Q20::from_f64(a);
+        let r = qa.sqrt();
+        let exact = qa.to_f64().sqrt();
+        prop_assert!(r.to_f64() <= exact + f64::EPSILON);
+        prop_assert!(exact - r.to_f64() < Q20::RESOLUTION, "sqrt({a})");
+    }
+
+    #[test]
+    fn sqrt_monotone(a in 0.0f64..2000.0, b in 0.0f64..2000.0) {
+        let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+        if qa <= qb {
+            prop_assert!(qa.sqrt() <= qb.sqrt());
+        }
+    }
+
+    #[test]
+    fn isqrt_is_floor_sqrt(n in any::<u64>()) {
+        let r = isqrt_u64(n);
+        prop_assert!((r as u128) * (r as u128) <= n as u128);
+        prop_assert!(((r + 1) as u128) * ((r + 1) as u128) > n as u128);
+    }
+
+    #[test]
+    fn relu_idempotent(a in q20_safe()) {
+        let qa = Q20::from_f64(a);
+        prop_assert_eq!(qa.relu().relu(), qa.relu());
+        prop_assert!(qa.relu() >= Q20::ZERO);
+    }
+
+    #[test]
+    fn abs_non_negative(bits in any::<i32>()) {
+        prop_assert!(Q20::from_bits(bits).abs() >= Q20::ZERO);
+    }
+
+    #[test]
+    fn ordering_agrees_with_f64(a in q20_safe(), b in q20_safe()) {
+        let (qa, qb) = (Q20::from_f64(a), Q20::from_f64(b));
+        prop_assert_eq!(
+            qa.partial_cmp(&qb),
+            qa.to_f64().partial_cmp(&qb.to_f64())
+        );
+    }
+
+    #[test]
+    fn saturating_mul_never_panics(a in any::<i32>(), b in any::<i32>()) {
+        let _ = Q20::from_bits(a).saturating_mul(Q20::from_bits(b));
+    }
+
+    #[test]
+    fn fix16_mul_error_bound(a in -60.0f64..60.0, b in -2.0f64..2.0) {
+        let (qa, qb) = (Fix16::<8>::from_f64(a), Fix16::<8>::from_f64(b));
+        let exact = qa.to_f64() * qb.to_f64();
+        let got = (qa * qb).to_f64();
+        prop_assert!(exact - got < Fix16::<8>::RESOLUTION && got <= exact + f64::EPSILON);
+    }
+
+    #[test]
+    fn qformat_quantize_matches_fix(v in -2000.0f64..2000.0) {
+        prop_assert_eq!(QFormat::Q20_32.quantize(v), Q20::from_f64(v).to_f64());
+    }
+
+    #[test]
+    fn qformat_idempotent(v in -100.0f64..100.0, frac in 4u32..28) {
+        let fmt = QFormat::new(32, frac);
+        let q = fmt.quantize(v);
+        prop_assert_eq!(fmt.quantize(q), q);
+    }
+
+    #[test]
+    fn mac_wide_matches_exact_sum(
+        // Keep |Σ a·b| ≤ 5·5·64 = 1600 < 2047 so the Q20 result cannot wrap.
+        pairs in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..64)
+    ) {
+        let mut mac = Mac::<20>::new(MacPolicy::WideAccumulate);
+        let mut exact = 0.0f64;
+        for (a, b) in &pairs {
+            let (qa, qb) = (Q20::from_f64(*a), Q20::from_f64(*b));
+            mac.mac(qa, qb);
+            exact += qa.to_f64() * qb.to_f64();
+        }
+        // The wide accumulator truncates exactly once -> error < 1 LSB.
+        prop_assert!((mac.finish().to_f64() - exact).abs() < Q20::RESOLUTION + 1e-9);
+    }
+
+    #[test]
+    fn mac_policies_deterministic(pairs in prop::collection::vec((q20_safe(), q20_safe()), 1..32)) {
+        for policy in [MacPolicy::WideAccumulate, MacPolicy::TruncateEach] {
+            let run = || {
+                let mut m = Mac::<20>::new(policy);
+                for (a, b) in &pairs {
+                    m.mac(Q20::from_f64(*a), Q20::from_f64(*b));
+                }
+                m.finish()
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+
+    #[test]
+    fn fix16_roundtrip_within_half_lsb(v in -100.0f64..100.0) {
+        let q = Fix16::<8>::from_f64(v);
+        prop_assert!((q.to_f64() - v).abs() <= Fix16::<8>::RESOLUTION / 2.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn fix16_sqrt_bounds(v in 0.0f64..100.0) {
+        let q = Fix16::<8>::from_f64(v);
+        let r = q.sqrt().to_f64();
+        let exact = q.to_f64().sqrt();
+        prop_assert!(r <= exact + f64::EPSILON);
+        prop_assert!(exact - r < Fix16::<8>::RESOLUTION);
+    }
+
+    #[test]
+    fn fix16_saturates_not_wraps_on_conversion(v in 200.0f64..1e6) {
+        prop_assert_eq!(Fix16::<8>::from_f64(v), Fix16::<8>::MAX);
+        prop_assert_eq!(Fix16::<8>::from_f64(-v), Fix16::<8>::MIN);
+    }
+
+    #[test]
+    fn generic_frac_one_is_identity(v in -3.0f64..3.0) {
+        // Same contract across several fractional widths.
+        macro_rules! check {
+            ($f:expr) => {{
+                let q = Fix::<$f>::from_f64(v);
+                prop_assert_eq!(q * Fix::<$f>::ONE, q);
+            }};
+        }
+        check!(12);
+        check!(16);
+        check!(20);
+        check!(24);
+    }
+}

@@ -1,0 +1,83 @@
+//! Deterministic weight initialization.
+//!
+//! He (Kaiming) normal initialization for convolutions — the standard for
+//! ReLU ResNets — with a hand-rolled Marsaglia polar sampler so the only
+//! dependency is `rand`'s uniform source. Everything is seeded, so any
+//! experiment is reproducible bit-for-bit.
+
+use rand::Rng;
+use tensor::{Shape4, Tensor};
+
+/// Standard-normal sample via the Marsaglia polar method.
+pub fn randn(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u = rng.random::<f64>() * 2.0 - 1.0;
+        let v = rng.random::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// He-normal convolution weights: `std = sqrt(2 / fan_in)`,
+/// `fan_in = in_channels · k·k`.
+pub fn he_conv(rng: &mut impl Rng, shape: Shape4) -> Tensor<f32> {
+    let fan_in = (shape.c * shape.h * shape.w) as f64;
+    let std = (2.0 / fan_in).sqrt();
+    Tensor::from_fn(shape, |_, _, _, _| (randn(rng) * std) as f32)
+}
+
+/// Uniform fully-connected initialization in `±1/sqrt(fan_in)`.
+pub fn uniform_fc(rng: &mut impl Rng, out_features: usize, in_features: usize) -> Vec<f32> {
+    let bound = 1.0 / (in_features as f64).sqrt();
+    (0..out_features * in_features)
+        .map(|_| ((rng.random::<f64>() * 2.0 - 1.0) * bound) as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn he_conv_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = he_conv(&mut rng, Shape4::new(64, 65, 3, 3));
+        let var = w.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()
+            / w.len() as f64;
+        let expect = 2.0 / (65.0 * 9.0);
+        assert!((var / expect - 1.0).abs() < 0.1, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = he_conv(&mut StdRng::seed_from_u64(42), Shape4::new(4, 4, 3, 3));
+        let b = he_conv(&mut StdRng::seed_from_u64(42), Shape4::new(4, 4, 3, 3));
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = he_conv(&mut StdRng::seed_from_u64(43), Shape4::new(4, 4, 3, 3));
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn fc_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = uniform_fc(&mut rng, 100, 64);
+        let bound = 1.0 / 8.0;
+        assert!(w.iter().all(|&v| v.abs() <= bound as f32));
+        assert!(w.iter().any(|&v| v.abs() > bound as f32 * 0.5));
+    }
+}

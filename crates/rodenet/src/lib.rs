@@ -1,0 +1,48 @@
+//! # rodenet — ODENet and reduced-ODENet (rODENet) in Rust
+//!
+//! The primary contribution of *Accelerating ODE-Based Neural Networks on
+//! Low-Cost FPGAs* (Watanabe & Matsutani): a family of ResNet/ODENet
+//! variants whose heavily-repeated ODE block is small enough to live in
+//! FPGA on-chip memory.
+//!
+//! * [`arch`] — the seven architectures of Table 4 ([`Variant`],
+//!   [`NetSpec`]) and their execution-count algebra;
+//! * [`params`] — parameter accounting that reproduces Table 2 and
+//!   Figure 5 exactly;
+//! * [`block`] — residual / downsample / time-augmented ODE blocks with
+//!   forward, backward and Q-format quantization;
+//! * [`model`] — the assembled [`Network`] with inference and training
+//!   passes (unrolled or adjoint gradients through the ODE solver);
+//! * [`train`] — SGD with L2 regularization and the paper's step
+//!   learning-rate schedule, plus dataset-agnostic training loops.
+//!
+//! The FPGA-side execution of these networks lives in the `zynq-sim`
+//! crate, which consumes [`block::QuantBlock`] for bit-exact Q20
+//! emulation of the PL datapath.
+//!
+//! ```
+//! use rodenet::{NetSpec, Network, Variant, BnMode};
+//! use tensor::{Shape4, Tensor};
+//!
+//! let spec = NetSpec::new(Variant::ROdeNet3, 20).with_classes(10);
+//! let net = Network::new(spec, 42);
+//! let image = Tensor::<f32>::zeros(Shape4::new(1, 3, 32, 32));
+//! let logits = net.forward(&image, BnMode::OnTheFly);
+//! assert_eq!(logits.shape().c, 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod block;
+pub mod init;
+pub mod io;
+pub mod model;
+pub mod params;
+pub mod train;
+
+pub use arch::{LayerName, LayerPlan, NetSpec, Variant, PAPER_DEPTHS};
+pub use block::{BnMode, QuantBlock, ResBlock};
+pub use model::{GradMode, Network, ParamSlice};
+pub use train::{train_epochs, train_epochs_with, EpochStats, Sgd, SgdConfig, TrainConfig};

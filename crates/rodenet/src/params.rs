@@ -1,0 +1,206 @@
+//! Parameter accounting — Table 2, Figure 5 and the §4.2 reduction quotes.
+//!
+//! Counting rules (validated to reproduce the paper's kB figures exactly,
+//! see DESIGN.md §4):
+//!
+//! * convolutions are bias-free; batch norms contribute γ and β;
+//! * ODE blocks use time-augmented convolutions (`C+1` input channels);
+//! * blocks executed once (plain stacked blocks, and the once-executed
+//!   layer1 of rODENet-2/-3) are ordinary residual blocks;
+//! * a parameter is 4 bytes (32-bit), and the paper's kB is 1000 bytes.
+
+use crate::arch::{LayerName, NetSpec, Variant};
+
+/// Input/output channels of each residual layer's convolutions.
+pub fn layer_channels(layer: LayerName) -> (usize, usize) {
+    match layer {
+        LayerName::Conv1 => (3, 16),
+        LayerName::Layer1 => (16, 16),
+        LayerName::Layer2_1 => (16, 32),
+        LayerName::Layer2_2 => (32, 32),
+        LayerName::Layer3_1 => (32, 64),
+        LayerName::Layer3_2 => (64, 64),
+        LayerName::Fc => (64, 100),
+    }
+}
+
+/// Parameters of one block instance of `layer`.
+///
+/// For `Conv1` and `Fc` this is the whole layer; for residual layers it
+/// is a single block (multiply by the stack size for ResNet).
+pub fn block_params(layer: LayerName, is_ode: bool, classes: usize) -> usize {
+    let (cin, cout) = layer_channels(layer);
+    match layer {
+        LayerName::Conv1 => 9 * cin * cout + 2 * cout,
+        LayerName::Fc => cin * classes + classes,
+        _ => {
+            // conv1(k=3) + conv2(k=3) + two BNs (γ, β each).
+            let t = usize::from(is_ode); // the concatenated time channel
+            9 * (cin + t) * cout + 9 * (cout + t) * cout + 4 * cout
+        }
+    }
+}
+
+/// Bytes of one block instance at `bytes_per_param` (4 in the paper).
+pub fn block_bytes(layer: LayerName, is_ode: bool, classes: usize, bytes_per_param: usize) -> usize {
+    block_params(layer, is_ode, classes) * bytes_per_param
+}
+
+/// Paper-style kB (1000 bytes) of one block instance at 32-bit.
+pub fn block_kb(layer: LayerName, is_ode: bool, classes: usize) -> f64 {
+    block_bytes(layer, is_ode, classes, 4) as f64 / 1000.0
+}
+
+/// Total parameters of a resolved architecture.
+pub fn spec_params(spec: &NetSpec) -> usize {
+    let mut total = block_params(LayerName::Conv1, false, spec.classes);
+    for layer in [
+        LayerName::Layer1,
+        LayerName::Layer2_1,
+        LayerName::Layer2_2,
+        LayerName::Layer3_1,
+        LayerName::Layer3_2,
+    ] {
+        let plan = spec.plan(layer);
+        total += plan.stacked * block_params(layer, plan.is_ode, spec.classes);
+    }
+    total + block_params(LayerName::Fc, false, spec.classes)
+}
+
+/// Total size in paper-style kB (32-bit parameters, 1000-byte kB).
+pub fn spec_kb(spec: &NetSpec) -> f64 {
+    spec_params(spec) as f64 * 4.0 / 1000.0
+}
+
+/// Percentage reduction of `variant`'s parameter size versus ResNet at
+/// the same depth (the §4.2 quotes: ODENet-20 = 36.24 %, …).
+pub fn reduction_vs_resnet(variant: Variant, n: usize) -> f64 {
+    let base = spec_kb(&NetSpec::new(Variant::ResNet, n));
+    let ours = spec_kb(&NetSpec::new(variant, n));
+    (1.0 - ours / base) * 100.0
+}
+
+/// One row of Table 2 (ODENet structure).
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Layer name.
+    pub layer: LayerName,
+    /// Output geometry `(channels, extent)`.
+    pub out: (usize, usize),
+    /// Parameter size in kB of one block instance (ODE form where the
+    /// ODENet uses an ODE block).
+    pub kb: f64,
+    /// Executions per block in ODENet-N (`(N-2)/6` style strings resolve
+    /// to this number).
+    pub execs: usize,
+}
+
+/// Reproduce Table 2 for depth `n` (ODENet-N structure, 100 classes).
+pub fn table2(n: usize) -> Vec<Table2Row> {
+    let spec = NetSpec::new(Variant::OdeNet, n);
+    LayerName::ALL
+        .iter()
+        .map(|&layer| {
+            let plan = spec.plan(layer);
+            Table2Row {
+                layer,
+                out: layer.geometry(),
+                kb: block_kb(layer, plan.is_ode, spec.classes),
+                execs: plan.execs,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::PAPER_DEPTHS;
+
+    fn kb2(v: f64) -> f64 {
+        (v * 100.0).round() / 100.0
+    }
+
+    #[test]
+    fn table2_parameter_sizes_exact() {
+        // The seven kB values of Table 2, to the printed precision.
+        assert_eq!(kb2(block_kb(LayerName::Conv1, false, 100)), 1.86);
+        assert_eq!(kb2(block_kb(LayerName::Layer1, true, 100)), 19.84);
+        assert_eq!(kb2(block_kb(LayerName::Layer2_1, false, 100)), 55.81);
+        assert_eq!(kb2(block_kb(LayerName::Layer2_2, true, 100)), 76.54);
+        assert_eq!(kb2(block_kb(LayerName::Layer3_1, false, 100)), 222.21);
+        assert_eq!(kb2(block_kb(LayerName::Layer3_2, true, 100)), 300.54);
+        assert_eq!(kb2(block_kb(LayerName::Fc, false, 100)), 26.00);
+    }
+
+    #[test]
+    fn table2_execution_counts() {
+        let rows = table2(56);
+        let by_name = |l: LayerName| rows.iter().find(|r| r.layer == l).unwrap().execs;
+        assert_eq!(by_name(LayerName::Conv1), 1);
+        assert_eq!(by_name(LayerName::Layer1), 9); // (56-2)/6
+        assert_eq!(by_name(LayerName::Layer2_2), 8); // (56-8)/6
+        assert_eq!(by_name(LayerName::Layer3_2), 8);
+        assert_eq!(by_name(LayerName::Fc), 1);
+    }
+
+    #[test]
+    fn section42_reduction_quotes() {
+        // "parameter sizes of ODENet-N and rODENet-3 are 36.24% and
+        //  43.29% less than that of ResNet-20"
+        assert!((reduction_vs_resnet(Variant::OdeNet, 20) - 36.24).abs() < 0.01);
+        assert!((reduction_vs_resnet(Variant::ROdeNet3, 20) - 43.29).abs() < 0.01);
+        // "…79.54% and 81.80% less than that of ResNet-56"
+        assert!((reduction_vs_resnet(Variant::OdeNet, 56) - 79.54).abs() < 0.01);
+        assert!((reduction_vs_resnet(Variant::ROdeNet3, 56) - 81.80).abs() < 0.01);
+        // Hybrid-3: 26.43% (N=20) and 60.16% (N=56).
+        assert!((reduction_vs_resnet(Variant::Hybrid3, 20) - 26.43).abs() < 0.01);
+        assert!((reduction_vs_resnet(Variant::Hybrid3, 56) - 60.16).abs() < 0.01);
+    }
+
+    #[test]
+    fn ode_sizes_independent_of_depth() {
+        let kb20 = spec_kb(&NetSpec::new(Variant::OdeNet, 20));
+        for n in PAPER_DEPTHS {
+            assert_eq!(spec_kb(&NetSpec::new(Variant::OdeNet, n)), kb20);
+        }
+        // ResNet grows with N.
+        assert!(
+            spec_kb(&NetSpec::new(Variant::ResNet, 56))
+                > 3.0 * spec_kb(&NetSpec::new(Variant::ResNet, 20))
+        );
+    }
+
+    #[test]
+    fn resnet_totals() {
+        // Derived in DESIGN.md §4: ResNet-20 = 275 572 params = 1102.288 kB.
+        let s20 = NetSpec::new(Variant::ResNet, 20);
+        assert_eq!(spec_params(&s20), 275_572);
+        let s56 = NetSpec::new(Variant::ResNet, 56);
+        assert_eq!(spec_params(&s56), 858_868);
+    }
+
+    #[test]
+    fn rodenet3_smallest_nontrivial() {
+        // Figure 5 ordering at any depth: rODENet variants < ODENet < Hybrid < ResNet
+        // (rODENet-1 is smallest since it keeps only 16-channel blocks).
+        let n = 32;
+        let kb = |v: Variant| spec_kb(&NetSpec::new(v, n));
+        assert!(kb(Variant::ROdeNet1) < kb(Variant::ROdeNet2));
+        // rODENet-2's once-executed layer1 is plain (288 params lighter
+        // than the ODE form), so it undercuts rODENet-1+2 slightly.
+        assert!(kb(Variant::ROdeNet2) < kb(Variant::ROdeNet12));
+        assert!(kb(Variant::ROdeNet12) < kb(Variant::ROdeNet3));
+        assert!(kb(Variant::ROdeNet3) < kb(Variant::OdeNet));
+        assert!(kb(Variant::OdeNet) < kb(Variant::Hybrid3));
+        assert!(kb(Variant::Hybrid3) < kb(Variant::ResNet));
+    }
+
+    #[test]
+    fn quantization_scales_bytes() {
+        let b32 = block_bytes(LayerName::Layer3_2, true, 100, 4);
+        let b16 = block_bytes(LayerName::Layer3_2, true, 100, 2);
+        assert_eq!(b32, 2 * b16);
+        assert_eq!(b32, 300_544);
+    }
+}

@@ -1,0 +1,354 @@
+//! Batch normalization in the three modes the system needs.
+//!
+//! * **Batch statistics** (`bn_train_forward` / `bn_backward`): the
+//!   training path, `f32`, differentiable.
+//! * **Frozen statistics** (`bn_apply`): inference with stored
+//!   mean/variance — the standard deployment mode.
+//! * **On-the-fly statistics** (`bn_onthefly`): the mode the paper's PL
+//!   circuit implements. The FPGA has no batch: it receives one feature
+//!   map and computes mean, variance and standard deviation *of that map*
+//!   with its multiply-add, divider and square-root units, then applies
+//!   the learned scale/shift. Generic over [`Scalar`] so the Q20 path is
+//!   bit-exact with the simulated hardware.
+//!
+//! Normalization is per channel; the on-the-fly mode is per (sample,
+//! channel). The operation order of the fixed-point path mirrors the
+//! datapath: `σ = sqrt(var + ε)`, `inv = 1/σ` (one divider pass), then
+//! `y = γ·((x − μ)·inv) + β` per element.
+
+use crate::{Scalar, Tensor};
+
+/// Default ε, matching common framework defaults.
+pub const DEFAULT_EPS: f32 = 1e-5;
+
+/// Per-channel mean and **biased** variance over (N, H, W).
+pub fn batch_stats(x: &Tensor<f32>) -> (Vec<f32>, Vec<f32>) {
+    let s = x.shape();
+    let m = (s.n * s.plane()) as f32;
+    let mut mean = vec![0.0f32; s.c];
+    let mut var = vec![0.0f32; s.c];
+    for c in 0..s.c {
+        let mut sum = 0.0f64;
+        for n in 0..s.n {
+            for &v in x.plane(n, c) {
+                sum += v as f64;
+            }
+        }
+        mean[c] = (sum / m as f64) as f32;
+        let mut sq = 0.0f64;
+        for n in 0..s.n {
+            for &v in x.plane(n, c) {
+                let d = v as f64 - mean[c] as f64;
+                sq += d * d;
+            }
+        }
+        var[c] = (sq / m as f64) as f32;
+    }
+    (mean, var)
+}
+
+/// Apply normalization with externally supplied per-channel statistics.
+pub fn bn_apply<S: Scalar>(
+    x: &Tensor<S>,
+    gamma: &[S],
+    beta: &[S],
+    mean: &[S],
+    var: &[S],
+    eps: S,
+) -> Tensor<S> {
+    let s = x.shape();
+    assert_eq!(gamma.len(), s.c, "gamma length");
+    assert_eq!(beta.len(), s.c, "beta length");
+    assert_eq!(mean.len(), s.c, "mean length");
+    assert_eq!(var.len(), s.c, "var length");
+    let mut out = Tensor::<S>::zeros(s);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let inv = S::ONE.div(var[c].add(eps).sqrt());
+            let (g, b, mu) = (gamma[c], beta[c], mean[c]);
+            let xp = x.plane(n, c);
+            for (o, &v) in out.plane_mut(n, c).iter_mut().zip(xp) {
+                *o = g.mul(v.sub(mu).mul(inv)).add(b);
+            }
+        }
+    }
+    out
+}
+
+/// The PL mode: statistics computed from each (sample, channel) plane.
+///
+/// With `S = Q20` this reproduces the hardware datapath bit-for-bit:
+/// wide-accumulated sums, one truncating division for the mean, one for
+/// the variance, one for the reciprocal of the non-restoring square root.
+pub fn bn_onthefly<S: Scalar>(x: &Tensor<S>, gamma: &[S], beta: &[S], eps: S) -> Tensor<S> {
+    let s = x.shape();
+    assert_eq!(gamma.len(), s.c, "gamma length");
+    assert_eq!(beta.len(), s.c, "beta length");
+    let mut out = Tensor::<S>::zeros(s);
+    let m = S::from_f32(s.plane() as f32);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let xp = x.plane(n, c);
+            // Mean: wide-accumulated sum, one division.
+            let mut acc = S::acc_zero();
+            for &v in xp {
+                acc = S::acc_add(acc, v);
+            }
+            let mean = S::acc_finish(acc).div(m);
+            // Variance: wide-accumulated sum of squared deviations.
+            let mut acc = S::acc_zero();
+            for &v in xp {
+                let d = v.sub(mean);
+                acc = S::mac(acc, d, d);
+            }
+            let var = S::acc_finish(acc).div(m);
+            let inv = S::ONE.div(var.add(eps).sqrt());
+            let (g, b) = (gamma[c], beta[c]);
+            for (o, &v) in out.plane_mut(n, c).iter_mut().zip(xp) {
+                *o = g.mul(v.sub(mean).mul(inv)).add(b);
+            }
+        }
+    }
+    out
+}
+
+/// Cache produced by the training forward pass, consumed by
+/// [`bn_backward`].
+#[derive(Clone, Debug)]
+pub struct BnCache {
+    /// Normalized activations x̂.
+    pub xhat: Tensor<f32>,
+    /// Per-channel 1/σ.
+    pub invstd: Vec<f32>,
+    /// Per-channel batch mean.
+    pub mean: Vec<f32>,
+    /// Per-channel biased batch variance.
+    pub var: Vec<f32>,
+}
+
+/// Training-mode forward: batch statistics, returns output and cache.
+pub fn bn_train_forward(
+    x: &Tensor<f32>,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> (Tensor<f32>, BnCache) {
+    let s = x.shape();
+    let (mean, var) = batch_stats(x);
+    let invstd: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+    let mut xhat = Tensor::<f32>::zeros(s);
+    let mut out = Tensor::<f32>::zeros(s);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let xp = x.plane(n, c);
+            let (mu, is, g, b) = (mean[c], invstd[c], gamma[c], beta[c]);
+            let xh = xhat.plane_mut(n, c);
+            for (j, &v) in xp.iter().enumerate() {
+                xh[j] = (v - mu) * is;
+            }
+            let op = out.plane_mut(n, c);
+            for (j, &v) in xh.iter().enumerate() {
+                op[j] = g * v + b;
+            }
+        }
+    }
+    (out, BnCache { xhat, invstd, mean, var })
+}
+
+/// Gradients of the batch-statistics forward pass.
+///
+/// Returns `(grad_x, grad_gamma, grad_beta)` using the standard closed
+/// form: with M elements per channel,
+/// `dx = γ·invstd/M · (M·dy − Σdy − x̂·Σ(dy·x̂))`.
+pub fn bn_backward(
+    gout: &Tensor<f32>,
+    cache: &BnCache,
+    gamma: &[f32],
+) -> (Tensor<f32>, Vec<f32>, Vec<f32>) {
+    let s = gout.shape();
+    assert_eq!(s, cache.xhat.shape(), "cache shape mismatch");
+    let m = (s.n * s.plane()) as f32;
+    let mut dgamma = vec![0.0f32; s.c];
+    let mut dbeta = vec![0.0f32; s.c];
+    for c in 0..s.c {
+        let mut dg = 0.0f64;
+        let mut db = 0.0f64;
+        for n in 0..s.n {
+            let gp = gout.plane(n, c);
+            let xp = cache.xhat.plane(n, c);
+            for (g, xh) in gp.iter().zip(xp) {
+                dg += (*g * *xh) as f64;
+                db += *g as f64;
+            }
+        }
+        dgamma[c] = dg as f32;
+        dbeta[c] = db as f32;
+    }
+    let mut gx = Tensor::<f32>::zeros(s);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let gp = gout.plane(n, c);
+            let xp = cache.xhat.plane(n, c);
+            let coeff = gamma[c] * cache.invstd[c] / m;
+            let gxp = gx.plane_mut(n, c);
+            for j in 0..gp.len() {
+                gxp[j] = coeff * (m * gp[j] - dbeta[c] - xp[j] * dgamma[c]);
+            }
+        }
+    }
+    (gx, dgamma, dbeta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape4;
+    use qfixed::Q20;
+
+    fn probe(shape: Shape4, seed: f32) -> Tensor<f32> {
+        let mut k = seed;
+        Tensor::from_fn(shape, |_, _, _, _| {
+            k = (k * 16807.0) % 31.0 + 0.123;
+            k / 7.0 - 2.0
+        })
+    }
+
+    #[test]
+    fn batch_stats_constant_input() {
+        let x = Tensor::<f32>::full(Shape4::new(2, 3, 4, 4), 5.0);
+        let (m, v) = batch_stats(&x);
+        assert_eq!(m, vec![5.0; 3]);
+        assert_eq!(v, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn batch_stats_known_values() {
+        // Channel 0 holds 0..8 over a 2-batch of 2x2 planes: mean 3.5.
+        let x = Tensor::<f32>::from_fn(Shape4::new(2, 1, 2, 2), |n, _, h, w| {
+            (n * 4 + h * 2 + w) as f32
+        });
+        let (m, v) = batch_stats(&x);
+        assert_eq!(m[0], 3.5);
+        assert!((v[0] - 5.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn train_forward_normalizes() {
+        let s = Shape4::new(4, 3, 5, 5);
+        let x = probe(s, 3.0);
+        let gamma = vec![1.0f32; 3];
+        let beta = vec![0.0f32; 3];
+        let (y, _) = bn_train_forward(&x, &gamma, &beta, DEFAULT_EPS);
+        let (m, v) = batch_stats(&y);
+        for c in 0..3 {
+            assert!(m[c].abs() < 1e-4, "mean[{c}] = {}", m[c]);
+            assert!((v[c] - 1.0).abs() < 1e-3, "var[{c}] = {}", v[c]);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_scale_shift() {
+        let s = Shape4::new(2, 2, 3, 3);
+        let x = probe(s, 5.0);
+        let (y0, _) = bn_train_forward(&x, &[1.0, 1.0], &[0.0, 0.0], DEFAULT_EPS);
+        let (y1, _) = bn_train_forward(&x, &[2.0, 3.0], &[1.0, -1.0], DEFAULT_EPS);
+        for n in 0..2 {
+            for (j, (&a, &b)) in y0.plane(n, 0).iter().zip(y1.plane(n, 0)).enumerate() {
+                assert!((b - (2.0 * a + 1.0)).abs() < 1e-5, "n={n} j={j}");
+            }
+            for (&a, &b) in y0.plane(n, 1).iter().zip(y1.plane(n, 1)) {
+                assert!((b - (3.0 * a - 1.0)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn onthefly_single_sample_matches_batch_of_one() {
+        let s = Shape4::new(1, 2, 4, 4);
+        let x = probe(s, 7.0);
+        let gamma = [1.5f32, 0.5];
+        let beta = [0.25f32, -0.25];
+        let (batch, _) = bn_train_forward(&x, &gamma, &beta, DEFAULT_EPS);
+        let fly = bn_onthefly(&x, &gamma, &beta, DEFAULT_EPS);
+        assert!(batch.max_abs_diff(&fly) < 1e-4);
+    }
+
+    #[test]
+    fn onthefly_q20_close_to_f32() {
+        let s = Shape4::new(1, 4, 8, 8);
+        let x = probe(s, 11.0);
+        let gamma = vec![1.0f32; 4];
+        let beta = vec![0.0f32; 4];
+        let yf = bn_onthefly(&x, &gamma, &beta, DEFAULT_EPS);
+        let xq: Tensor<Q20> = Tensor::from_f32_tensor(&x);
+        let gq: Vec<Q20> = gamma.iter().map(|&g| Q20::from_f32(g)).collect();
+        let bq: Vec<Q20> = beta.iter().map(|&b| Q20::from_f32(b)).collect();
+        let yq = bn_onthefly(&xq, &gq, &bq, Q20::from_f32(DEFAULT_EPS));
+        // Divider + sqrt truncation noise stays in the 1e-3 band for
+        // activations of O(1).
+        assert!(yf.max_abs_diff(&yq.to_f32()) < 5e-3);
+    }
+
+    #[test]
+    fn apply_with_frozen_stats() {
+        let s = Shape4::new(2, 1, 2, 2);
+        let x = Tensor::<f32>::from_fn(s, |n, _, h, w| (n * 4 + h * 2 + w) as f32);
+        let y = bn_apply(&x, &[2.0], &[1.0], &[3.5], &[5.25], 0.0);
+        // (0 - 3.5)/sqrt(5.25) * 2 + 1
+        let expect = (0.0f32 - 3.5) / 5.25f32.sqrt() * 2.0 + 1.0;
+        assert!((y.get(0, 0, 0, 0) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let s = Shape4::new(2, 2, 3, 3);
+        let x = probe(s, 13.0);
+        let gamma = [1.3f32, 0.7];
+        let beta = [0.1f32, -0.2];
+        let r = probe(s, 17.0); // loss = sum(y * r)
+        let loss = |x: &Tensor<f32>, gamma: &[f32], beta: &[f32]| -> f32 {
+            let (y, _) = bn_train_forward(x, gamma, beta, DEFAULT_EPS);
+            y.as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        let (_, cache) = bn_train_forward(&x, &gamma, &beta, DEFAULT_EPS);
+        let (gx, dgamma, dbeta) = bn_backward(&r, &cache, &gamma);
+        let eps = 1e-3f32;
+        for probe_i in [0usize, 5, 17, s.len() - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe_i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe_i] -= eps;
+            let num = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!(
+                (num - gx.as_slice()[probe_i]).abs() < 2e-2,
+                "gx[{probe_i}]: analytic {} numeric {num}",
+                gx.as_slice()[probe_i]
+            );
+        }
+        for c in 0..2 {
+            let mut gp = gamma;
+            gp[c] += eps;
+            let mut gm = gamma;
+            gm[c] -= eps;
+            let num = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * eps);
+            assert!((num - dgamma[c]).abs() < 2e-2, "dgamma[{c}]");
+            let mut bp = beta;
+            bp[c] += eps;
+            let mut bm = beta;
+            bm[c] -= eps;
+            let num = (loss(&x, &gamma, &bp) - loss(&x, &gamma, &bm)) / (2.0 * eps);
+            assert!((num - dbeta[c]).abs() < 2e-2, "dbeta[{c}]");
+        }
+    }
+
+    #[test]
+    fn zero_variance_plane_is_finite() {
+        // A constant plane must not produce NaN/inf thanks to ε.
+        let x = Tensor::<f32>::full(Shape4::new(1, 1, 4, 4), 2.0);
+        let y = bn_onthefly(&x, &[1.0], &[0.5], DEFAULT_EPS);
+        for &v in y.as_slice() {
+            assert!(v.is_finite());
+            assert!((v - 0.5).abs() < 1e-4, "normalized constant = beta");
+        }
+    }
+}

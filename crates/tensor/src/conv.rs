@@ -1,0 +1,412 @@
+//! 2-D convolution: the workhorse of the ODEBlock.
+//!
+//! The paper's blocks only ever use 3×3 kernels with stride 1 (pad 1) or
+//! stride 2 (pad 1, the downsample blocks); the kernels here accept any
+//! odd kernel size but are tuned for that case.
+//!
+//! The forward pass is generic over [`Scalar`]: with `f32` it is the PS
+//! software path, with [`qfixed::Q20`] it computes exactly what the PL
+//! multiply–add array computes (double-width accumulation, one truncation
+//! per output element — see [`crate::scalar`]).
+//!
+//! Layout: input `(N, I, H, W)`, weights `(O, I, K, K)`, output
+//! `(N, O, OH, OW)` with `OH = (H + 2·pad − K)/stride + 1`. Convolutions
+//! are bias-free, as in the paper (batch norm immediately follows every
+//! convolution, so a bias would be redundant).
+
+use crate::{par, Scalar, Shape4, Tensor};
+
+/// Stride / padding configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Spatial stride (1 in ODE blocks, 2 in the downsample blocks).
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub pad: usize,
+}
+
+impl Conv2dParams {
+    /// 3×3, stride 1, pad 1 — shape preserving.
+    pub const fn same_3x3() -> Self {
+        Conv2dParams { stride: 1, pad: 1 }
+    }
+
+    /// 3×3, stride 2, pad 1 — halves the feature map.
+    pub const fn down_3x3() -> Self {
+        Conv2dParams { stride: 2, pad: 1 }
+    }
+
+    /// Output spatial extent for an input extent and kernel size.
+    pub fn out_extent(&self, extent: usize, k: usize) -> usize {
+        assert!(extent + 2 * self.pad >= k, "kernel larger than padded input");
+        (extent + 2 * self.pad - k) / self.stride + 1
+    }
+}
+
+/// Output shape of a convolution.
+pub fn conv2d_out_shape(x: Shape4, w: Shape4, p: Conv2dParams) -> Shape4 {
+    assert_eq!(x.c, w.c, "input channels {} != weight input channels {}", x.c, w.c);
+    assert_eq!(w.h, w.w, "only square kernels are supported");
+    Shape4::new(x.n, w.n, p.out_extent(x.h, w.h), p.out_extent(x.w, w.w))
+}
+
+/// Forward convolution, generic over the scalar type.
+pub fn conv2d<S: Scalar>(x: &Tensor<S>, w: &Tensor<S>, p: Conv2dParams) -> Tensor<S> {
+    let xs = x.shape();
+    let ws = w.shape();
+    let os = conv2d_out_shape(xs, ws, p);
+    let mut out = Tensor::<S>::zeros(os);
+    let k = ws.h;
+    let plane = os.plane();
+    let wsl = w.as_slice();
+
+    // One chunk = one (n, o) output plane; disjoint, so freely parallel.
+    par_chunks_mut(&mut out, plane, xs.c * k * k, |chunk_idx, oplane| {
+        let n = chunk_idx / os.c;
+        let o = chunk_idx % os.c;
+        for oy in 0..os.h {
+            for ox in 0..os.w {
+                let mut acc = S::acc_zero();
+                for i in 0..xs.c {
+                    let xplane = x.plane(n, i);
+                    let wbase = ((o * ws.c + i) * k) * k;
+                    let wk = &wsl[wbase..wbase + k * k];
+                    for ky in 0..k {
+                        let y = (oy * p.stride + ky) as isize - p.pad as isize;
+                        if y < 0 || y >= xs.h as isize {
+                            continue;
+                        }
+                        let xrow = &xplane[(y as usize) * xs.w..(y as usize + 1) * xs.w];
+                        let wrow = &wk[ky * k..(ky + 1) * k];
+                        for (kx, &wv) in wrow.iter().enumerate() {
+                            let xcol = (ox * p.stride + kx) as isize - p.pad as isize;
+                            if xcol < 0 || xcol >= xs.w as isize {
+                                continue;
+                            }
+                            acc = S::mac(acc, wv, xrow[xcol as usize]);
+                        }
+                    }
+                }
+                oplane[oy * os.w + ox] = S::acc_finish(acc);
+            }
+        }
+    });
+    out
+}
+
+fn par_chunks_mut<S: Scalar>(
+    t: &mut Tensor<S>,
+    chunk: usize,
+    cost: usize,
+    f: impl Fn(usize, &mut [S]) + Sync,
+) {
+    par::par_chunks_mut(t.as_mut_slice(), chunk, cost, f);
+}
+
+/// Gradient of the loss w.r.t. the convolution **input**.
+///
+/// `gout` has the output shape; the result has shape `x_shape`.
+pub fn conv2d_backward_input(
+    gout: &Tensor<f32>,
+    w: &Tensor<f32>,
+    x_shape: Shape4,
+    p: Conv2dParams,
+) -> Tensor<f32> {
+    let os = gout.shape();
+    let ws = w.shape();
+    assert_eq!(os.c, ws.n, "gout channels must match weight output channels");
+    assert_eq!(x_shape.c, ws.c, "x channels must match weight input channels");
+    let k = ws.h;
+    let mut gx = Tensor::<f32>::zeros(x_shape);
+    let plane = x_shape.plane();
+    let wsl = w.as_slice();
+
+    // One chunk = one (n, i) input-gradient plane.
+    par_chunks_mut(&mut gx, plane, os.c * k * k, |chunk_idx, gplane| {
+        let n = chunk_idx / x_shape.c;
+        let i = chunk_idx % x_shape.c;
+        for o in 0..os.c {
+            let gout_plane = gout.plane(n, o);
+            let wbase = ((o * ws.c + i) * k) * k;
+            let wk = &wsl[wbase..wbase + k * k];
+            for oy in 0..os.h {
+                for ox in 0..os.w {
+                    let g = gout_plane[oy * os.w + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ky in 0..k {
+                        let y = (oy * p.stride + ky) as isize - p.pad as isize;
+                        if y < 0 || y >= x_shape.h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let xcol = (ox * p.stride + kx) as isize - p.pad as isize;
+                            if xcol < 0 || xcol >= x_shape.w as isize {
+                                continue;
+                            }
+                            gplane[(y as usize) * x_shape.w + xcol as usize] += wk[ky * k + kx] * g;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    gx
+}
+
+/// Gradient of the loss w.r.t. the convolution **weights**.
+pub fn conv2d_backward_weights(
+    gout: &Tensor<f32>,
+    x: &Tensor<f32>,
+    w_shape: Shape4,
+    p: Conv2dParams,
+) -> Tensor<f32> {
+    let os = gout.shape();
+    let xs = x.shape();
+    assert_eq!(os.c, w_shape.n);
+    assert_eq!(xs.c, w_shape.c);
+    let k = w_shape.h;
+    let mut gw = Tensor::<f32>::zeros(w_shape);
+    let per_o = w_shape.c * k * k;
+
+    // One chunk = all weights of one output channel.
+    par_chunks_mut(&mut gw, per_o, os.n * os.plane(), |o, gw_o| {
+        for n in 0..os.n {
+            let gout_plane = gout.plane(n, o);
+            for (i, gw_oi) in gw_o.chunks_mut(k * k).enumerate() {
+                let xplane = x.plane(n, i);
+                for oy in 0..os.h {
+                    for ox in 0..os.w {
+                        let g = gout_plane[oy * os.w + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ky in 0..k {
+                            let y = (oy * p.stride + ky) as isize - p.pad as isize;
+                            if y < 0 || y >= xs.h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let xcol = (ox * p.stride + kx) as isize - p.pad as isize;
+                                if xcol < 0 || xcol >= xs.w as isize {
+                                    continue;
+                                }
+                                gw_oi[ky * k + kx] +=
+                                    xplane[(y as usize) * xs.w + xcol as usize] * g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    gw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfixed::Q20;
+
+    fn seq_tensor(shape: Shape4, scale: f32) -> Tensor<f32> {
+        let mut k = 0.0f32;
+        Tensor::from_fn(shape, |_, _, _, _| {
+            k += 1.0;
+            (k % 7.0 - 3.0) * scale
+        })
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let x = seq_tensor(Shape4::new(1, 1, 5, 5), 0.5);
+        let mut w = Tensor::<f32>::zeros(Shape4::new(1, 1, 3, 3));
+        w.set(0, 0, 1, 1, 1.0); // centre tap
+        let y = conv2d(&x, &w, Conv2dParams::same_3x3());
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_small_case() {
+        // 1x1x3x3 input, all-ones 3x3 kernel, pad 1: centre output = sum of
+        // all inputs, corner output = sum of its 2x2 neighbourhood.
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, 1, 3, 3), |_, _, h, w| (h * 3 + w) as f32);
+        let w = Tensor::<f32>::full(Shape4::new(1, 1, 3, 3), 1.0);
+        let y = conv2d(&x, &w, Conv2dParams::same_3x3());
+        assert_eq!(y.get(0, 0, 1, 1), 36.0);
+        assert_eq!(y.get(0, 0, 0, 0), 0.0 + 1.0 + 3.0 + 4.0);
+        assert_eq!(y.get(0, 0, 2, 2), 4.0 + 5.0 + 7.0 + 8.0);
+    }
+
+    #[test]
+    fn multi_channel_sums_inputs() {
+        let x = Tensor::<f32>::full(Shape4::new(1, 4, 4, 4), 1.0);
+        let mut w = Tensor::<f32>::zeros(Shape4::new(2, 4, 3, 3));
+        for i in 0..4 {
+            w.set(0, i, 1, 1, 1.0);
+            w.set(1, i, 1, 1, 2.0);
+        }
+        let y = conv2d(&x, &w, Conv2dParams::same_3x3());
+        assert_eq!(y.get(0, 0, 2, 2), 4.0);
+        assert_eq!(y.get(0, 1, 2, 2), 8.0);
+    }
+
+    #[test]
+    fn stride2_shapes_and_values() {
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, 1, 6, 6), |_, _, h, w| (h * 6 + w) as f32);
+        let mut w = Tensor::<f32>::zeros(Shape4::new(1, 1, 3, 3));
+        w.set(0, 0, 1, 1, 1.0);
+        let y = conv2d(&x, &w, Conv2dParams::down_3x3());
+        assert_eq!(y.shape(), Shape4::new(1, 1, 3, 3));
+        // Centre taps at stride 2 pick x[0,0], x[0,2], ...
+        assert_eq!(y.get(0, 0, 0, 0), 0.0);
+        assert_eq!(y.get(0, 0, 0, 1), 2.0);
+        assert_eq!(y.get(0, 0, 1, 0), 12.0);
+    }
+
+    #[test]
+    fn conv_is_linear() {
+        let p = Conv2dParams::same_3x3();
+        let x1 = seq_tensor(Shape4::new(1, 2, 6, 6), 0.3);
+        let x2 = seq_tensor(Shape4::new(1, 2, 6, 6), -0.7);
+        let w = seq_tensor(Shape4::new(3, 2, 3, 3), 0.1);
+        let sum = x1.zip_map(&x2, |a, b| a + b);
+        let y_sum = conv2d(&sum, &w, p);
+        let y1 = conv2d(&x1, &w, p);
+        let y2 = conv2d(&x2, &w, p);
+        let y12 = y1.zip_map(&y2, |a, b| a + b);
+        assert!(y_sum.max_abs_diff(&y12) < 1e-4);
+    }
+
+    #[test]
+    fn q20_matches_f32_on_dyadic_values() {
+        // Weights and inputs representable exactly in Q20; products and sums
+        // stay exact, so both paths must agree to the last bit.
+        let xs = Shape4::new(1, 3, 5, 5);
+        let ws = Shape4::new(4, 3, 3, 3);
+        let xf = Tensor::<f32>::from_fn(xs, |_, c, h, w| ((c + h + w) % 5) as f32 * 0.25 - 0.5);
+        let wf = Tensor::<f32>::from_fn(ws, |o, i, kh, kw| {
+            ((o + 2 * i + kh + kw) % 7) as f32 * 0.125 - 0.375
+        });
+        let yf = conv2d(&xf, &wf, Conv2dParams::same_3x3());
+        let xq: Tensor<Q20> = Tensor::from_f32_tensor(&xf);
+        let wq: Tensor<Q20> = Tensor::from_f32_tensor(&wf);
+        let yq = conv2d(&xq, &wq, Conv2dParams::same_3x3());
+        assert_eq!(yq.to_f32().as_slice(), yf.as_slice());
+    }
+
+    /// Central-difference gradient check for both backward kernels.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let p = Conv2dParams::same_3x3();
+        let xs = Shape4::new(2, 2, 4, 4);
+        let ws = Shape4::new(3, 2, 3, 3);
+        let x = seq_tensor(xs, 0.17);
+        let w = seq_tensor(ws, 0.09);
+        // Loss = sum(conv(x, w) * r) for a fixed random-ish r.
+        let os = conv2d_out_shape(xs, ws, p);
+        let r = seq_tensor(os, 0.23);
+        let loss = |x: &Tensor<f32>, w: &Tensor<f32>| -> f32 {
+            conv2d(x, w, p)
+                .as_slice()
+                .iter()
+                .zip(r.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let gx = conv2d_backward_input(&r, &w, xs, p);
+        let gw = conv2d_backward_weights(&r, &x, ws, p);
+        let eps = 1e-2f32;
+        for probe in [0usize, 7, 23, xs.len() - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!(
+                (num - gx.as_slice()[probe]).abs() < 1e-2,
+                "gx[{probe}] analytic {} vs numeric {num}",
+                gx.as_slice()[probe]
+            );
+        }
+        for probe in [0usize, 11, ws.len() - 1] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[probe] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[probe] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!(
+                (num - gw.as_slice()[probe]).abs() < 1e-1,
+                "gw[{probe}] analytic {} vs numeric {num}",
+                gw.as_slice()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_input_transposes_stride2() {
+        // Shape sanity for the downsample case.
+        let p = Conv2dParams::down_3x3();
+        let xs = Shape4::new(1, 2, 8, 8);
+        let ws = Shape4::new(4, 2, 3, 3);
+        let os = conv2d_out_shape(xs, ws, p);
+        assert_eq!(os, Shape4::new(1, 4, 4, 4));
+        let gout = Tensor::<f32>::full(os, 1.0);
+        let w = Tensor::<f32>::full(ws, 0.5);
+        let gx = conv2d_backward_input(&gout, &w, xs, p);
+        assert_eq!(gx.shape(), xs);
+        // Every input pixel receives at least one contribution.
+        assert!(gx.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn one_by_one_kernels_are_channel_mixing() {
+        // 1×1 convolution with pad 0 = per-pixel channel mix.
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, 2, 3, 3), |_, c, h, w| {
+            (c * 9 + h * 3 + w) as f32
+        });
+        let mut w = Tensor::<f32>::zeros(Shape4::new(1, 2, 1, 1));
+        w.set(0, 0, 0, 0, 1.0);
+        w.set(0, 1, 0, 0, 10.0);
+        let y = conv2d(&x, &w, Conv2dParams { stride: 1, pad: 0 });
+        assert_eq!(y.shape(), Shape4::new(1, 1, 3, 3));
+        assert_eq!(y.get(0, 0, 1, 1), 4.0 + 10.0 * 13.0);
+    }
+
+    #[test]
+    fn five_by_five_kernels_supported() {
+        let x = Tensor::<f32>::full(Shape4::new(1, 1, 7, 7), 1.0);
+        let w = Tensor::<f32>::full(Shape4::new(1, 1, 5, 5), 1.0);
+        let y = conv2d(&x, &w, Conv2dParams { stride: 1, pad: 2 });
+        assert_eq!(y.shape(), Shape4::new(1, 1, 7, 7));
+        // Centre sees the full 25-tap window; corner sees 3×3 of it.
+        assert_eq!(y.get(0, 0, 3, 3), 25.0);
+        assert_eq!(y.get(0, 0, 0, 0), 9.0);
+    }
+
+    #[test]
+    fn batch_dimension_independent() {
+        let p = Conv2dParams::same_3x3();
+        let a = seq_tensor(Shape4::new(1, 2, 4, 4), 0.2);
+        let b = seq_tensor(Shape4::new(1, 2, 4, 4), -0.4);
+        let w = seq_tensor(Shape4::new(2, 2, 3, 3), 0.1);
+        // Concatenate a and b into one batch; outputs must match the
+        // separate runs exactly.
+        let mut joint = Tensor::<f32>::zeros(Shape4::new(2, 2, 4, 4));
+        joint.item_mut(0).copy_from_slice(a.as_slice());
+        joint.item_mut(1).copy_from_slice(b.as_slice());
+        let yj = conv2d(&joint, &w, p);
+        let ya = conv2d(&a, &w, p);
+        let yb = conv2d(&b, &w, p);
+        assert_eq!(yj.item(0), ya.as_slice());
+        assert_eq!(yj.item(1), yb.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn channel_mismatch_panics() {
+        let x = Tensor::<f32>::zeros(Shape4::new(1, 3, 4, 4));
+        let w = Tensor::<f32>::zeros(Shape4::new(2, 4, 3, 3));
+        let _ = conv2d(&x, &w, Conv2dParams::same_3x3());
+    }
+}

@@ -1,0 +1,142 @@
+//! The fully-connected classification head (`fc` in Table 2).
+//!
+//! Runs on the PS in `f32`; the paper never offloads it. Input is the
+//! pooled feature vector `(N, C, 1, 1)`, weights are `(out, in)` row
+//! major, bias is per output. Table 2's 26.00 kB comes from
+//! 64·100 weights + 100 biases at 4 bytes.
+
+use crate::{Shape4, Tensor};
+
+/// `y = W·x + b` for every batch item.
+pub fn fc_forward(x: &Tensor<f32>, w: &[f32], b: &[f32], out_features: usize) -> Tensor<f32> {
+    let s = x.shape();
+    let in_features = s.item();
+    assert_eq!(
+        w.len(),
+        out_features * in_features,
+        "weight matrix must be out×in = {out_features}×{in_features}"
+    );
+    assert_eq!(b.len(), out_features, "bias length");
+    let mut out = Tensor::<f32>::zeros(Shape4::new(s.n, out_features, 1, 1));
+    for n in 0..s.n {
+        let xv = x.item(n);
+        let ov = out.item_mut(n);
+        for (o, ov_o) in ov.iter_mut().enumerate() {
+            let row = &w[o * in_features..(o + 1) * in_features];
+            let mut acc = 0.0f32;
+            for (wv, xvv) in row.iter().zip(xv) {
+                acc += wv * xvv;
+            }
+            *ov_o = acc + b[o];
+        }
+    }
+    out
+}
+
+/// Backward pass: returns `(grad_x, grad_w, grad_b)`.
+pub fn fc_backward(
+    gout: &Tensor<f32>,
+    x: &Tensor<f32>,
+    w: &[f32],
+) -> (Tensor<f32>, Vec<f32>, Vec<f32>) {
+    let s = x.shape();
+    let os = gout.shape();
+    let in_features = s.item();
+    let out_features = os.item();
+    assert_eq!(w.len(), out_features * in_features);
+    let mut gx = Tensor::<f32>::zeros(s);
+    let mut gw = vec![0.0f32; w.len()];
+    let mut gb = vec![0.0f32; out_features];
+    for n in 0..s.n {
+        let xv = x.item(n);
+        let gv = gout.item(n);
+        let gxv = gx.item_mut(n);
+        for (o, &g) in gv.iter().enumerate() {
+            gb[o] += g;
+            let row = &w[o * in_features..(o + 1) * in_features];
+            let grow = &mut gw[o * in_features..(o + 1) * in_features];
+            for i in 0..in_features {
+                gxv[i] += row[i] * g;
+                grow[i] += xv[i] * g;
+            }
+        }
+    }
+    (gx, gw, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let x = Tensor::from_vec(Shape4::new(1, 2, 1, 1), vec![1.0, 2.0]);
+        // W = [[1, 2], [3, 4], [0, -1]], b = [0.5, -0.5, 0]
+        let w = vec![1.0, 2.0, 3.0, 4.0, 0.0, -1.0];
+        let b = vec![0.5, -0.5, 0.0];
+        let y = fc_forward(&x, &w, &b, 3);
+        assert_eq!(y.item(0), &[5.5, 10.5, -2.0]);
+    }
+
+    #[test]
+    fn forward_batched() {
+        let x = Tensor::from_vec(Shape4::new(2, 2, 1, 1), vec![1.0, 0.0, 0.0, 1.0]);
+        let w = vec![2.0, 3.0];
+        let b = vec![1.0];
+        let y = fc_forward(&x, &w, &b, 1);
+        assert_eq!(y.item(0), &[3.0]);
+        assert_eq!(y.item(1), &[4.0]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let x = Tensor::from_vec(Shape4::new(2, 3, 1, 1), vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]);
+        let w: Vec<f32> = (0..12).map(|i| (i as f32 - 6.0) * 0.1).collect();
+        let b = vec![0.05, -0.05, 0.1, 0.0];
+        let r = Tensor::from_vec(
+            Shape4::new(2, 4, 1, 1),
+            (0..8).map(|i| ((i * 7) % 5) as f32 * 0.2 - 0.4).collect(),
+        );
+        let loss = |x: &Tensor<f32>, w: &[f32], b: &[f32]| -> f32 {
+            fc_forward(x, w, b, 4)
+                .as_slice()
+                .iter()
+                .zip(r.as_slice())
+                .map(|(a, c)| a * c)
+                .sum()
+        };
+        let (gx, gw, gb) = fc_backward(&r, &x, &w);
+        let eps = 1e-3;
+        for probe in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let num = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            assert!((num - gx.as_slice()[probe]).abs() < 1e-3, "gx[{probe}]");
+        }
+        for probe in 0..w.len() {
+            let mut wp = w.clone();
+            wp[probe] += eps;
+            let mut wm = w.clone();
+            wm[probe] -= eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            assert!((num - gw[probe]).abs() < 1e-3, "gw[{probe}]");
+        }
+        for probe in 0..b.len() {
+            let mut bp = b.clone();
+            bp[probe] += eps;
+            let mut bm = b.clone();
+            bm[probe] -= eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
+            assert!((num - gb[probe]).abs() < 1e-3, "gb[{probe}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight matrix")]
+    fn shape_mismatch_panics() {
+        let x = Tensor::from_vec(Shape4::new(1, 2, 1, 1), vec![1.0, 2.0]);
+        let _ = fc_forward(&x, &[1.0; 5], &[0.0; 2], 2);
+    }
+}

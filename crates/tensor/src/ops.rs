@@ -1,0 +1,157 @@
+//! Element-wise and structural operations: ReLU, residual/Euler updates,
+//! and the time-channel concatenation of the ODE block.
+
+use crate::{Scalar, Tensor};
+#[cfg(test)]
+use crate::Shape4;
+
+/// ReLU forward (generic; on the PL this is a sign-bit multiplexer).
+pub fn relu<S: Scalar>(x: &Tensor<S>) -> Tensor<S> {
+    x.map(|v| v.relu())
+}
+
+/// ReLU backward: passes `gout` where the **forward input** was positive.
+pub fn relu_backward(gout: &Tensor<f32>, x: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(gout.shape(), x.shape(), "relu_backward shape mismatch");
+    gout.zip_map(x, |g, v| if v > 0.0 { g } else { 0.0 })
+}
+
+/// Residual add: `z + f` (the ResNet shortcut, Euler step with h = 1).
+pub fn residual_add<S: Scalar>(z: &Tensor<S>, f: &Tensor<S>) -> Tensor<S> {
+    z.zip_map(f, |a, b| a.add(b))
+}
+
+/// Euler update: `z + h·f` — one step of the paper's ODE solver.
+pub fn euler_step<S: Scalar>(z: &Tensor<S>, f: &Tensor<S>, h: S) -> Tensor<S> {
+    z.zip_map(f, |a, b| a.add(h.mul(b)))
+}
+
+/// `a + s·b` for arbitrary scalar `s` (used by the RK solvers).
+pub fn axpy<S: Scalar>(a: &Tensor<S>, s: S, b: &Tensor<S>) -> Tensor<S> {
+    a.zip_map(b, |x, y| x.add(s.mul(y)))
+}
+
+/// Scale in place: `x *= s`.
+pub fn scale_inplace<S: Scalar>(x: &mut Tensor<S>, s: S) {
+    x.map_inplace(|v| v.mul(s));
+}
+
+/// Prepend a constant plane holding the solver time `t` to every batch
+/// item: `(N, C, H, W) → (N, C+1, H, W)` with channel 0 equal to `t`.
+///
+/// This is the `ConcatConv2d` trick of the reference Neural-ODE
+/// implementation; it is what makes the ODE-block convolutions have
+/// `C+1` input channels and is the reading under which the paper's
+/// Table 2 parameter sizes are exact (see DESIGN.md §4).
+pub fn concat_time_channel<S: Scalar>(x: &Tensor<S>, t: S) -> Tensor<S> {
+    let s = x.shape();
+    let os = s.with_channels(s.c + 1);
+    let mut out = Tensor::<S>::zeros(os);
+    for n in 0..s.n {
+        out.plane_mut(n, 0).fill(t);
+        for c in 0..s.c {
+            out.plane_mut(n, c + 1).copy_from_slice(x.plane(n, c));
+        }
+    }
+    out
+}
+
+/// Inverse of [`concat_time_channel`] for the backward pass: drops the
+/// gradient of the constant t plane and returns the data-channel gradient.
+pub fn split_time_channel_grad(g: &Tensor<f32>) -> Tensor<f32> {
+    let s = g.shape();
+    assert!(s.c >= 2, "gradient must include the time channel");
+    let os = s.with_channels(s.c - 1);
+    let mut out = Tensor::<f32>::zeros(os);
+    for n in 0..s.n {
+        for c in 0..os.c {
+            out.plane_mut(n, c).copy_from_slice(g.plane(n, c + 1));
+        }
+    }
+    out
+}
+
+/// Sum of squares of all elements (L2 regularization helper).
+pub fn sum_squares(x: &Tensor<f32>) -> f64 {
+    x.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum()
+}
+
+/// Mean of all elements.
+pub fn mean(x: &Tensor<f32>) -> f32 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    (x.as_slice().iter().map(|&v| v as f64).sum::<f64>() / x.len() as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfixed::Q20;
+
+    fn t(values: &[f32]) -> Tensor<f32> {
+        Tensor::from_vec(Shape4::new(1, 1, 1, values.len()), values.to_vec())
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let y = relu(&t(&[-1.0, 0.0, 2.5]));
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let g = relu_backward(&t(&[1.0, 1.0, 1.0]), &t(&[-1.0, 0.0, 2.0]));
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn euler_step_matches_formula() {
+        let z = t(&[1.0, 2.0]);
+        let f = t(&[0.5, -0.5]);
+        let y = euler_step(&z, &f, 0.5);
+        assert_eq!(y.as_slice(), &[1.25, 1.75]);
+        let r = residual_add(&z, &f);
+        assert_eq!(r.as_slice(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn euler_step_q20_exact_on_dyadics() {
+        let z: Tensor<Q20> = Tensor::from_f32_tensor(&t(&[1.0, -0.25]));
+        let f: Tensor<Q20> = Tensor::from_f32_tensor(&t(&[0.5, 0.125]));
+        let y = euler_step(&z, &f, Q20::from_f32(0.25));
+        assert_eq!(y.to_f32().as_slice(), &[1.125, -0.21875]);
+    }
+
+    #[test]
+    fn concat_prepends_t_plane() {
+        let x = Tensor::<f32>::from_fn(Shape4::new(2, 2, 2, 2), |n, c, _, _| (n * 2 + c) as f32);
+        let y = concat_time_channel(&x, 9.0);
+        assert_eq!(y.shape(), Shape4::new(2, 3, 2, 2));
+        assert_eq!(y.plane(0, 0), &[9.0; 4]);
+        assert_eq!(y.plane(1, 0), &[9.0; 4]);
+        assert_eq!(y.plane(0, 1), x.plane(0, 0));
+        assert_eq!(y.plane(1, 2), x.plane(1, 1));
+    }
+
+    #[test]
+    fn split_undoes_concat() {
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, 3, 2, 2), |_, c, h, w| {
+            (c * 4 + h * 2 + w) as f32
+        });
+        let cat = concat_time_channel(&x, 0.5);
+        let back = split_time_channel_grad(&cat);
+        assert_eq!(back.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(sum_squares(&t(&[3.0, 4.0])), 25.0);
+        assert_eq!(mean(&t(&[1.0, 2.0, 3.0])), 2.0);
+        let mut v = t(&[2.0, -4.0]);
+        scale_inplace(&mut v, 0.5);
+        assert_eq!(v.as_slice(), &[1.0, -2.0]);
+        let a = axpy(&t(&[1.0]), 2.0, &t(&[3.0]));
+        assert_eq!(a.as_slice(), &[7.0]);
+    }
+}

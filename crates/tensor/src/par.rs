@@ -1,0 +1,198 @@
+//! Minimal deterministic data parallelism on `crossbeam::thread::scope`.
+//!
+//! The hpc guides recommend rayon-style *data* parallelism — disjoint
+//! chunks, no shared mutable state, results independent of thread count.
+//! The kernels here only ever need two shapes of it:
+//!
+//! * [`par_for`] — run `f(i)` for every index in `0..n`, statically
+//!   partitioned into contiguous blocks;
+//! * [`par_chunks_mut`] — split a mutable slice into fixed-size chunks and
+//!   hand each `(chunk_index, chunk)` to `f`, again statically partitioned.
+//!
+//! Static partitioning (rather than work stealing) keeps the scheduling
+//! deterministic and the implementation dependency-light; conv workloads
+//! are uniform enough that stealing buys nothing here.
+//!
+//! The pool size defaults to the machine's available parallelism, can be
+//! pinned with [`set_threads`], and can be initialised from the
+//! `ODENET_THREADS` environment variable.
+
+use parking_lot::RwLock;
+use std::sync::OnceLock;
+
+static THREADS: OnceLock<RwLock<usize>> = OnceLock::new();
+
+fn threads_lock() -> &'static RwLock<usize> {
+    THREADS.get_or_init(|| {
+        let default = std::env::var("ODENET_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        RwLock::new(default)
+    })
+}
+
+/// Number of worker threads the parallel helpers will use.
+pub fn threads() -> usize {
+    *threads_lock().read()
+}
+
+/// Pin the worker thread count (1 = fully sequential). Affects subsequent
+/// calls process-wide; useful for making benchmarks comparable.
+pub fn set_threads(n: usize) {
+    assert!(n >= 1, "thread count must be at least 1");
+    *threads_lock().write() = n;
+}
+
+/// Execute `f(i)` for all `i in 0..n`.
+///
+/// Work is split into at most [`threads`] contiguous blocks, but only when
+/// `n * cost_hint` is large enough to amortize thread spawning; `cost_hint`
+/// is a rough per-item cost in arbitrary units (use 1 for cheap items).
+pub fn par_for<F>(n: usize, cost_hint: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let t = threads().min(n.max(1));
+    // Spawning threads costs ~10µs each; only parallelize meaty loops.
+    if t <= 1 || n.saturating_mul(cost_hint.max(1)) < 4096 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let per = n.div_ceil(t);
+    crossbeam::thread::scope(|s| {
+        for b in 0..t {
+            let lo = b * per;
+            let hi = ((b + 1) * per).min(n);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            s.spawn(move |_| {
+                for i in lo..hi {
+                    f(i);
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Split `data` into chunks of `chunk_len` elements (the last may be short)
+/// and run `f(chunk_index, chunk)` over all of them in parallel.
+///
+/// Chunks are disjoint `&mut` borrows, so the borrow checker guarantees
+/// data-race freedom; output is identical for any thread count.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, cost_hint: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let t = threads().min(n_chunks.max(1));
+    if t <= 1 || data.len().saturating_mul(cost_hint.max(1)) < 4096 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let per = n_chunks.div_ceil(t);
+    crossbeam::thread::scope(|s| {
+        // Hand each worker a contiguous run of chunks.
+        let mut rest = data;
+        let mut chunk_base = 0usize;
+        for _ in 0..t {
+            if rest.is_empty() {
+                break;
+            }
+            let take = (per * chunk_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = chunk_base;
+            chunk_base += per;
+            let f = &f;
+            s.spawn(move |_| {
+                for (i, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                    f(base + i, chunk);
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        par_for(1000, 100, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_small_runs_sequentially() {
+        let count = AtomicUsize::new(0);
+        par_for(3, 1, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_chunks() {
+        let mut data = vec![0u32; 1037];
+        par_chunks_mut(&mut data, 100, 100, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        for (j, &v) in data.iter().enumerate() {
+            assert_eq!(v, (j / 100) as u32 + 1, "element {j}");
+        }
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let run = |t: usize| {
+            set_threads(t);
+            let mut data = vec![0f32; 4096];
+            par_chunks_mut(&mut data, 64, 100, |i, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (i * 64 + j) as f32 * 0.5;
+                }
+            });
+            set_threads(default());
+            data
+        };
+        fn default() -> usize {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn threads_settable() {
+        let orig = threads();
+        set_threads(2);
+        assert_eq!(threads(), 2);
+        set_threads(orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_rejected() {
+        set_threads(0);
+    }
+}

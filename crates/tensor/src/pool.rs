@@ -1,0 +1,178 @@
+//! Pooling and the ResNet option-A shortcut.
+//!
+//! The post-processing `fc` layer starts with **global average pooling**;
+//! the stride-2 building blocks (layer2_1, layer3_1) use the
+//! parameter-free **option-A shortcut**: spatially subsample the input by
+//! 2 and zero-pad the channel dimension. Table 2 contains no projection
+//! weights, so option A is the reading consistent with the paper.
+
+use crate::{Scalar, Shape4, Tensor};
+
+/// Global average pooling: `(N, C, H, W) → (N, C, 1, 1)`.
+pub fn global_avg_pool<S: Scalar>(x: &Tensor<S>) -> Tensor<S> {
+    let s = x.shape();
+    let m = S::from_f32(s.plane() as f32);
+    let mut out = Tensor::<S>::zeros(Shape4::new(s.n, s.c, 1, 1));
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let mut acc = S::acc_zero();
+            for &v in x.plane(n, c) {
+                acc = S::acc_add(acc, v);
+            }
+            out.set(n, c, 0, 0, S::acc_finish(acc).div(m));
+        }
+    }
+    out
+}
+
+/// Backward of global average pooling: spreads each gradient uniformly.
+pub fn global_avg_pool_backward(gout: &Tensor<f32>, x_shape: Shape4) -> Tensor<f32> {
+    let os = gout.shape();
+    assert_eq!(os.c, x_shape.c);
+    assert_eq!(os.n, x_shape.n);
+    let m = x_shape.plane() as f32;
+    let mut gx = Tensor::<f32>::zeros(x_shape);
+    for n in 0..os.n {
+        for c in 0..os.c {
+            let g = gout.get(n, c, 0, 0) / m;
+            gx.plane_mut(n, c).fill(g);
+        }
+    }
+    gx
+}
+
+/// Option-A shortcut: subsample by `stride` and zero-pad channels to
+/// `out_channels`. Parameter-free, as in the original ResNet option A.
+pub fn shortcut_a<S: Scalar>(x: &Tensor<S>, out_channels: usize, stride: usize) -> Tensor<S> {
+    let s = x.shape();
+    assert!(out_channels >= s.c, "option-A shortcut only widens channels");
+    let oh = s.h.div_ceil(stride);
+    let ow = s.w.div_ceil(stride);
+    let mut out = Tensor::<S>::zeros(Shape4::new(s.n, out_channels, oh, ow));
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let xp = x.plane(n, c);
+            let op = out.plane_mut(n, c);
+            for y in 0..oh {
+                for xcol in 0..ow {
+                    op[y * ow + xcol] = xp[y * stride * s.w + xcol * stride];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`shortcut_a`]: scatter gradients back to the sampled
+/// positions; padded channels contribute nothing.
+pub fn shortcut_a_backward(gout: &Tensor<f32>, x_shape: Shape4, stride: usize) -> Tensor<f32> {
+    let os = gout.shape();
+    let mut gx = Tensor::<f32>::zeros(x_shape);
+    for n in 0..x_shape.n {
+        for c in 0..x_shape.c {
+            let gp = gout.plane(n, c);
+            let gxp = gx.plane_mut(n, c);
+            for y in 0..os.h {
+                for xcol in 0..os.w {
+                    gxp[y * stride * x_shape.w + xcol * stride] = gp[y * os.w + xcol];
+                }
+            }
+        }
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfixed::Q20;
+
+    #[test]
+    fn avg_pool_means() {
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| {
+            (c * 10 + h * 2 + w) as f32
+        });
+        let y = global_avg_pool(&x);
+        assert_eq!(y.shape(), Shape4::new(1, 2, 1, 1));
+        assert_eq!(y.get(0, 0, 0, 0), 1.5);
+        assert_eq!(y.get(0, 1, 0, 0), 11.5);
+    }
+
+    #[test]
+    fn avg_pool_q20_matches_f32_on_exact() {
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, 1, 4, 4), |_, _, h, w| {
+            (h * 4 + w) as f32 * 0.25
+        });
+        let xq: Tensor<Q20> = Tensor::from_f32_tensor(&x);
+        assert_eq!(global_avg_pool(&xq).to_f32().as_slice(), global_avg_pool(&x).as_slice());
+    }
+
+    #[test]
+    fn avg_pool_backward_uniform() {
+        let g = Tensor::<f32>::full(Shape4::new(1, 1, 1, 1), 8.0);
+        let gx = global_avg_pool_backward(&g, Shape4::new(1, 1, 2, 4));
+        assert_eq!(gx.as_slice(), &[1.0; 8]);
+    }
+
+    #[test]
+    fn shortcut_subsamples_and_pads() {
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, 2, 4, 4), |_, c, h, w| {
+            (c * 100 + h * 10 + w) as f32
+        });
+        let y = shortcut_a(&x, 4, 2);
+        assert_eq!(y.shape(), Shape4::new(1, 4, 2, 2));
+        assert_eq!(y.plane(0, 0), &[0.0, 2.0, 20.0, 22.0]);
+        assert_eq!(y.plane(0, 1), &[100.0, 102.0, 120.0, 122.0]);
+        assert_eq!(y.plane(0, 2), &[0.0; 4], "padded channel is zero");
+        assert_eq!(y.plane(0, 3), &[0.0; 4]);
+    }
+
+    #[test]
+    fn shortcut_identity_when_stride1_same_channels() {
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, 3, 3, 3), |_, c, h, w| {
+            (c + h + w) as f32
+        });
+        let y = shortcut_a(&x, 3, 1);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn shortcut_backward_scatters() {
+        let x_shape = Shape4::new(1, 1, 4, 4);
+        let g = Tensor::<f32>::full(Shape4::new(1, 2, 2, 2), 1.0);
+        let gx = shortcut_a_backward(&g, x_shape, 2);
+        let mut expect = [0.0f32; 16];
+        for (y, xcol) in [(0, 0), (0, 2), (2, 0), (2, 2)] {
+            expect[y * 4 + xcol] = 1.0;
+        }
+        assert_eq!(gx.as_slice(), &expect[..]);
+    }
+
+    #[test]
+    fn shortcut_gradcheck() {
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, 2, 4, 4), |_, c, h, w| {
+            ((c * 31 + h * 7 + w * 3) % 11) as f32 * 0.1
+        });
+        let r = Tensor::<f32>::from_fn(Shape4::new(1, 3, 2, 2), |_, c, h, w| {
+            ((c * 5 + h * 3 + w) % 7) as f32 * 0.2 - 0.4
+        });
+        let loss = |x: &Tensor<f32>| -> f32 {
+            shortcut_a(x, 3, 2)
+                .as_slice()
+                .iter()
+                .zip(r.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let gx = shortcut_a_backward(&r, x.shape(), 2);
+        let eps = 1e-2;
+        for probe in [0usize, 5, 10, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!((num - gx.as_slice()[probe]).abs() < 1e-3, "probe {probe}");
+        }
+    }
+}

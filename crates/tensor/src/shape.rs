@@ -1,0 +1,112 @@
+//! The 4-dimensional NCHW shape descriptor.
+
+use core::fmt;
+
+/// Shape of an NCHW tensor: batch `n`, channels `c`, height `h`, width `w`.
+///
+/// Weight tensors reuse the same struct with the reading (O, I, Kh, Kw).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Shape4 {
+    /// Batch size (or output channels for weights).
+    pub n: usize,
+    /// Channels (or input channels for weights).
+    pub c: usize,
+    /// Height (or kernel height).
+    pub h: usize,
+    /// Width (or kernel width).
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Construct a shape.
+    #[inline]
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape4 { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// True when any extent is zero.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Elements in one (n, c) plane.
+    #[inline]
+    pub const fn plane(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Elements in one batch item (all channels).
+    #[inline]
+    pub const fn item(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Linear offset of `(n, c, h, w)`.
+    #[inline]
+    pub const fn idx(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Same spatial extents and batch, different channel count.
+    #[inline]
+    pub const fn with_channels(&self, c: usize) -> Self {
+        Shape4 { n: self.n, c, h: self.h, w: self.w }
+    }
+
+    /// Same layout, different batch size.
+    #[inline]
+    pub const fn with_batch(&self, n: usize) -> Self {
+        Shape4 { n, c: self.c, h: self.h, w: self.w }
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}×{}×{}×{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.plane(), 20);
+        assert_eq!(s.item(), 60);
+        assert!(!s.is_empty());
+        assert!(Shape4::new(0, 3, 4, 5).is_empty());
+    }
+
+    #[test]
+    fn idx_is_row_major_nchw() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.idx(0, 0, 0, 0), 0);
+        assert_eq!(s.idx(0, 0, 0, 1), 1);
+        assert_eq!(s.idx(0, 0, 1, 0), 5);
+        assert_eq!(s.idx(0, 1, 0, 0), 20);
+        assert_eq!(s.idx(1, 0, 0, 0), 60);
+        assert_eq!(s.idx(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn derived_shapes() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.with_channels(7), Shape4::new(2, 7, 4, 5));
+        assert_eq!(s.with_batch(1), Shape4::new(1, 3, 4, 5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape4::new(1, 16, 32, 32).to_string(), "1×16×32×32");
+    }
+}

@@ -1,0 +1,161 @@
+//! Softmax and cross-entropy (the classification head's activation and
+//! the training loss). PS-side, `f32` only.
+
+use crate::Tensor;
+#[cfg(test)]
+use crate::Shape4;
+
+/// Numerically-stable softmax over the channel dimension of `(N, K, 1, 1)`.
+pub fn softmax(logits: &Tensor<f32>) -> Tensor<f32> {
+    let s = logits.shape();
+    assert_eq!(s.plane(), 1, "softmax expects (N, K, 1, 1) logits");
+    let mut out = Tensor::<f32>::zeros(s);
+    for n in 0..s.n {
+        let lv = logits.item(n);
+        let ov = out.item_mut(n);
+        let max = lv.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (o, &l) in ov.iter_mut().zip(lv) {
+            *o = (l - max).exp();
+            sum += *o;
+        }
+        for o in ov.iter_mut() {
+            *o /= sum;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of `logits` against integer `labels`, together with
+/// the gradient w.r.t. the logits (`(softmax − onehot)/N`).
+pub fn cross_entropy(logits: &Tensor<f32>, labels: &[usize]) -> (f32, Tensor<f32>) {
+    let s = logits.shape();
+    assert_eq!(labels.len(), s.n, "one label per batch item");
+    let probs = softmax(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f64;
+    let k = s.item();
+    for (n, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let p = probs.item(n)[label].max(1e-30);
+        loss -= (p as f64).ln();
+        let gv = grad.item_mut(n);
+        gv[label] -= 1.0;
+        for g in gv.iter_mut() {
+            *g /= s.n as f32;
+        }
+    }
+    ((loss / s.n as f64) as f32, grad)
+}
+
+/// Index of the maximum logit for every batch item.
+pub fn argmax(logits: &Tensor<f32>) -> Vec<usize> {
+    let s = logits.shape();
+    (0..s.n)
+        .map(|n| {
+            logits
+                .item(n)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Fraction of items whose argmax equals the label.
+pub fn accuracy(logits: &Tensor<f32>, labels: &[usize]) -> f32 {
+    let preds = argmax(logits);
+    let hits = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    hits as f32 / labels.len().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits(values: &[f32]) -> Tensor<f32> {
+        Tensor::from_vec(Shape4::new(1, values.len(), 1, 1), values.to_vec())
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&logits(&[1.0, 2.0, 3.0]));
+        let sum: f32 = p.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p.get(0, 2, 0, 0) > p.get(0, 1, 0, 0));
+    }
+
+    #[test]
+    fn softmax_shift_invariant() {
+        let a = softmax(&logits(&[1.0, 2.0, 3.0]));
+        let b = softmax(&logits(&[101.0, 102.0, 103.0]));
+        assert!(a.max_abs_diff(&b) < 1e-6);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let p = softmax(&logits(&[1000.0, -1000.0]));
+        assert!(p.get(0, 0, 0, 0) > 0.999);
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let (loss, _) = cross_entropy(&logits(&[0.0, 0.0, 0.0, 0.0]), &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let (loss, _) = cross_entropy(&logits(&[10.0, -10.0]), &[0]);
+        assert!(loss < 1e-3);
+        let (loss_wrong, _) = cross_entropy(&logits(&[10.0, -10.0]), &[1]);
+        assert!(loss_wrong > 10.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let l = Tensor::from_vec(
+            Shape4::new(2, 3, 1, 1),
+            vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0],
+        );
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&l, &labels);
+        let eps = 1e-3;
+        for probe in 0..l.len() {
+            let mut lp = l.clone();
+            lp.as_mut_slice()[probe] += eps;
+            let mut lm = l.clone();
+            lm.as_mut_slice()[probe] -= eps;
+            let (fp, _) = cross_entropy(&lp, &labels);
+            let (fm, _) = cross_entropy(&lm, &labels);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - grad.as_slice()[probe]).abs() < 1e-3,
+                "grad[{probe}]: analytic {} vs numeric {num}",
+                grad.as_slice()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_item() {
+        let l = logits(&[0.3, -0.7, 1.1]);
+        let (_, grad) = cross_entropy(&l, &[1]);
+        let sum: f32 = grad.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-6, "softmax-CE gradient rows sum to zero");
+    }
+
+    #[test]
+    fn argmax_and_accuracy() {
+        let l = Tensor::from_vec(
+            Shape4::new(2, 3, 1, 1),
+            vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1],
+        );
+        assert_eq!(argmax(&l), vec![1, 0]);
+        assert_eq!(accuracy(&l, &[1, 0]), 1.0);
+        assert_eq!(accuracy(&l, &[1, 2]), 0.5);
+    }
+}

@@ -1,0 +1,263 @@
+//! The owning NCHW tensor.
+
+use crate::{Scalar, Shape4};
+use core::fmt;
+
+/// A dense, row-major NCHW tensor over a [`Scalar`] element type.
+///
+/// This is deliberately a small, concrete container — no views, no
+/// broadcasting, no autograd. The kernels in this crate read and write
+/// whole planes (`&[T]` slices), which both keeps bounds checks out of hot
+/// loops and maps one-to-one onto the per-channel BRAM banks of the PL
+/// implementation.
+#[derive(Clone, PartialEq)]
+pub struct Tensor<T> {
+    shape: Shape4,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor<T> {
+    /// A zero-filled tensor.
+    pub fn zeros(shape: Shape4) -> Self {
+        Tensor { shape, data: vec![T::ZERO; shape.len()] }
+    }
+
+    /// A tensor filled with `v`.
+    pub fn full(shape: Shape4, v: T) -> Self {
+        Tensor { shape, data: vec![v; shape.len()] }
+    }
+
+    /// Wrap an existing buffer; `data.len()` must equal `shape.len()`.
+    pub fn from_vec(shape: Shape4, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Build element-wise from a function of the NCHW index.
+    pub fn from_fn(shape: Shape4, mut f: impl FnMut(usize, usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for h in 0..shape.h {
+                    for w in 0..shape.w {
+                        data.push(f(n, c, h, w));
+                    }
+                }
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> T {
+        self.data[self.shape.idx(n, c, h, w)]
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: T) {
+        let i = self.shape.idx(n, c, h, w);
+        self.data[i] = v;
+    }
+
+    /// The whole buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The whole buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// One (n, c) spatial plane as a slice of length `h·w`.
+    #[inline]
+    pub fn plane(&self, n: usize, c: usize) -> &[T] {
+        let p = self.shape.plane();
+        let start = (n * self.shape.c + c) * p;
+        &self.data[start..start + p]
+    }
+
+    /// One (n, c) spatial plane, mutably.
+    #[inline]
+    pub fn plane_mut(&mut self, n: usize, c: usize) -> &mut [T] {
+        let p = self.shape.plane();
+        let start = (n * self.shape.c + c) * p;
+        &mut self.data[start..start + p]
+    }
+
+    /// All channels of batch item `n` as one contiguous slice.
+    #[inline]
+    pub fn item(&self, n: usize) -> &[T] {
+        let sz = self.shape.item();
+        &self.data[n * sz..(n + 1) * sz]
+    }
+
+    /// All channels of batch item `n`, mutably.
+    #[inline]
+    pub fn item_mut(&mut self, n: usize) -> &mut [T] {
+        let sz = self.shape.item();
+        &mut self.data[n * sz..(n + 1) * sz]
+    }
+
+    /// Copy batch item `n` into a new single-item tensor.
+    pub fn item_tensor(&self, n: usize) -> Tensor<T> {
+        Tensor::from_vec(self.shape.with_batch(1), self.item(n).to_vec())
+    }
+
+    /// Element-wise map into a possibly different scalar type.
+    pub fn map<U: Scalar>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
+        Tensor { shape: self.shape, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Element-wise in-place update.
+    pub fn map_inplace(&mut self, f: impl Fn(T) -> T) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise combination of two same-shaped tensors.
+    pub fn zip_map(&self, rhs: &Tensor<T>, f: impl Fn(T, T) -> T) -> Tensor<T> {
+        assert_eq!(self.shape, rhs.shape, "shape mismatch in zip_map");
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += rhs` element-wise.
+    pub fn add_assign(&mut self, rhs: &Tensor<T>) {
+        assert_eq!(self.shape, rhs.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a = a.add(*b);
+        }
+    }
+
+    /// Convert every element to `f32`.
+    pub fn to_f32(&self) -> Tensor<f32> {
+        self.map(|v| v.to_f32())
+    }
+
+    /// Quantize an `f32` tensor into this scalar type (identity for `f32`).
+    pub fn from_f32_tensor(src: &Tensor<f32>) -> Tensor<T> {
+        src.map(|v| T::from_f32(v))
+    }
+
+    /// Largest absolute difference against another tensor, in f32.
+    pub fn max_abs_diff(&self, rhs: &Tensor<T>) -> f32 {
+        assert_eq!(self.shape, rhs.shape, "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a.to_f32() - b.to_f32()).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}; {} elems]", self.shape, self.data.len())?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfixed::Q20;
+
+    #[test]
+    fn zeros_and_full() {
+        let t = Tensor::<f32>::zeros(Shape4::new(1, 2, 3, 3));
+        assert_eq!(t.len(), 18);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        let u = Tensor::<f32>::full(Shape4::new(1, 1, 2, 2), 7.0);
+        assert!(u.as_slice().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::<f32>::zeros(Shape4::new(2, 3, 4, 5));
+        t.set(1, 2, 3, 4, 42.0);
+        assert_eq!(t.get(1, 2, 3, 4), 42.0);
+        assert_eq!(t.get(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let t = Tensor::<f32>::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| {
+            (c * 100 + h * 10 + w) as f32
+        });
+        assert_eq!(t.as_slice(), &[0., 1., 10., 11., 100., 101., 110., 111.]);
+    }
+
+    #[test]
+    fn planes_are_disjoint_views() {
+        let t = Tensor::<f32>::from_fn(Shape4::new(2, 2, 2, 2), |n, c, _, _| (n * 2 + c) as f32);
+        assert_eq!(t.plane(0, 1), &[1.0; 4]);
+        assert_eq!(t.plane(1, 0), &[2.0; 4]);
+        assert_eq!(t.item(1), &[2.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn quantize_roundtrip() {
+        let t = Tensor::<f32>::from_fn(Shape4::new(1, 1, 2, 2), |_, _, h, w| {
+            (h as f32) * 0.5 - (w as f32) * 0.25
+        });
+        let q: Tensor<Q20> = Tensor::from_f32_tensor(&t);
+        let back = q.to_f32();
+        assert_eq!(back.as_slice(), t.as_slice(), "exact dyadic values round-trip");
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Tensor::<f32>::full(Shape4::new(1, 1, 1, 3), 1.0);
+        let mut b = a.clone();
+        b.set(0, 0, 0, 2, 1.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_checks_len() {
+        let _ = Tensor::<f32>::from_vec(Shape4::new(1, 1, 2, 2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn add_assign_elementwise() {
+        let mut a = Tensor::<f32>::full(Shape4::new(1, 1, 1, 2), 1.0);
+        let b = Tensor::<f32>::full(Shape4::new(1, 1, 1, 2), 2.5);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[3.5, 3.5]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests for the tensor kernels: linear-algebra identities that
+//! must hold regardless of shapes, plus fixed/float agreement bounds.
+
+use proptest::prelude::*;
+use qfixed::Q20;
+use tensor::conv::{conv2d, conv2d_backward_input, conv2d_backward_weights, Conv2dParams};
+use tensor::ops::{concat_time_channel, euler_step, relu, relu_backward, split_time_channel_grad};
+use tensor::pool::{global_avg_pool, shortcut_a};
+use tensor::softmax::{cross_entropy, softmax};
+use tensor::{Shape4, Tensor};
+
+fn small_tensor(max_c: usize, max_hw: usize) -> impl Strategy<Value = Tensor<f32>> {
+    (1usize..=2, 1usize..=max_c, 2usize..=max_hw, 2usize..=max_hw).prop_flat_map(
+        |(n, c, h, w)| {
+            let len = n * c * h * w;
+            prop::collection::vec(-2.0f32..2.0, len)
+                .prop_map(move |data| Tensor::from_vec(Shape4::new(n, c, h, w), data))
+        },
+    )
+}
+
+fn weights_for(c: usize) -> impl Strategy<Value = Tensor<f32>> {
+    (1usize..=4).prop_flat_map(move |o| {
+        prop::collection::vec(-0.5f32..0.5, o * c * 9)
+            .prop_map(move |data| Tensor::from_vec(Shape4::new(o, c, 3, 3), data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conv_zero_input_gives_zero(x in small_tensor(3, 6)) {
+        let w = Tensor::<f32>::full(Shape4::new(2, x.shape().c, 3, 3), 0.3);
+        let zero = Tensor::<f32>::zeros(x.shape());
+        let y = conv2d(&zero, &w, Conv2dParams::same_3x3());
+        prop_assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn conv_scales_linearly((x, s) in (small_tensor(3, 6), -2.0f32..2.0)) {
+        let c = x.shape().c;
+        let w = Tensor::<f32>::from_fn(Shape4::new(2, c, 3, 3), |o, i, kh, kw| {
+            ((o + i + kh + kw) % 3) as f32 * 0.25 - 0.25
+        });
+        let p = Conv2dParams::same_3x3();
+        let y1 = conv2d(&x, &w, p);
+        let xs = x.map(|v| v * s);
+        let y2 = conv2d(&xs, &w, p);
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((a * s - b).abs() < 1e-3, "{a} * {s} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_q20_tracks_f32(x in small_tensor(2, 5)) {
+        let c = x.shape().c;
+        let w = Tensor::<f32>::from_fn(Shape4::new(2, c, 3, 3), |o, i, kh, kw| {
+            ((o * 7 + i * 3 + kh + kw) % 5) as f32 * 0.125 - 0.25
+        });
+        // Quantize inputs first so both paths see the same values.
+        let xq: Tensor<Q20> = Tensor::from_f32_tensor(&x);
+        let wq: Tensor<Q20> = Tensor::from_f32_tensor(&w);
+        let yf = conv2d(&xq.to_f32(), &wq.to_f32(), Conv2dParams::same_3x3());
+        let yq = conv2d(&xq, &wq, Conv2dParams::same_3x3());
+        // Each output truncates once; inputs/weights are identical, so the
+        // divergence is bounded by ~1 LSB plus f32 rounding noise.
+        prop_assert!(yf.max_abs_diff(&yq.to_f32()) < 1e-4);
+    }
+
+    #[test]
+    fn conv_grad_input_is_adjoint(x in small_tensor(2, 5)) {
+        // <conv(x), r> == <x, conv_backward_input(r)> — the backward op is
+        // the linear adjoint of the forward op.
+        let c = x.shape().c;
+        let w = Tensor::<f32>::from_fn(Shape4::new(3, c, 3, 3), |o, i, kh, kw| {
+            ((o + i * 2 + kh * 3 + kw) % 7) as f32 * 0.1 - 0.3
+        });
+        let p = Conv2dParams::same_3x3();
+        let y = conv2d(&x, &w, p);
+        let r = Tensor::<f32>::from_fn(y.shape(), |n, cc, h, ww| {
+            ((n + cc * 3 + h + ww * 2) % 5) as f32 * 0.2 - 0.4
+        });
+        let lhs: f64 = y.as_slice().iter().zip(r.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let gx = conv2d_backward_input(&r, &w, x.shape(), p);
+        let rhs: f64 = x.as_slice().iter().zip(gx.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_grad_weights_is_adjoint((x, w) in small_tensor(2, 5).prop_flat_map(|x| {
+        let c = x.shape().c;
+        (Just(x), weights_for(c))
+    })) {
+        let p = Conv2dParams::same_3x3();
+        let y = conv2d(&x, &w, p);
+        let r = Tensor::<f32>::from_fn(y.shape(), |n, c, h, ww| {
+            ((n * 2 + c + h * 5 + ww) % 9) as f32 * 0.1 - 0.4
+        });
+        let lhs: f64 = y.as_slice().iter().zip(r.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let gw = conv2d_backward_weights(&r, &x, w.shape(), p);
+        let rhs: f64 = w.as_slice().iter().zip(gw.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn relu_backward_zero_where_inactive(x in small_tensor(3, 6)) {
+        let g = Tensor::<f32>::full(x.shape(), 1.0);
+        let gx = relu_backward(&g, &x);
+        for (gv, xv) in gx.as_slice().iter().zip(x.as_slice()) {
+            prop_assert_eq!(*gv != 0.0, *xv > 0.0);
+        }
+    }
+
+    #[test]
+    fn relu_forward_is_max_zero(x in small_tensor(3, 6)) {
+        let y = relu(&x);
+        for (a, b) in y.as_slice().iter().zip(x.as_slice()) {
+            prop_assert_eq!(*a, b.max(0.0));
+        }
+    }
+
+    #[test]
+    fn euler_h_zero_is_identity(x in small_tensor(3, 6)) {
+        let f = Tensor::<f32>::full(x.shape(), 3.21);
+        let y = euler_step(&x, &f, 0.0);
+        prop_assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn concat_then_split_roundtrips(x in small_tensor(3, 6), t in -1.0f32..1.0) {
+        let cat = concat_time_channel(&x, t);
+        prop_assert_eq!(cat.shape().c, x.shape().c + 1);
+        let back = split_time_channel_grad(&cat);
+        prop_assert_eq!(back.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn avg_pool_of_constant_is_constant(v in -3.0f32..3.0) {
+        let x = Tensor::<f32>::full(Shape4::new(2, 3, 5, 5), v);
+        let y = global_avg_pool(&x);
+        for &o in y.as_slice() {
+            prop_assert!((o - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shortcut_preserves_subsampled_values(x in small_tensor(2, 6)) {
+        let s = x.shape();
+        let y = shortcut_a(&x, s.c + 2, 2);
+        for n in 0..s.n {
+            for c in 0..s.c {
+                prop_assert_eq!(y.get(n, c, 0, 0), x.get(n, c, 0, 0));
+            }
+            for c in s.c..s.c + 2 {
+                prop_assert!(y.plane(n, c).iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_is_distribution(logits in prop::collection::vec(-5.0f32..5.0, 2..12)) {
+        let k = logits.len();
+        let t = Tensor::from_vec(Shape4::new(1, k, 1, 1), logits);
+        let p = softmax(&t);
+        let sum: f32 = p.as_slice().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+        prop_assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative(
+        logits in prop::collection::vec(-5.0f32..5.0, 3..9),
+        label_seed in 0usize..100
+    ) {
+        let k = logits.len();
+        let t = Tensor::from_vec(Shape4::new(1, k, 1, 1), logits);
+        let (loss, grad) = cross_entropy(&t, &[label_seed % k]);
+        prop_assert!(loss >= 0.0);
+        let gsum: f32 = grad.as_slice().iter().sum();
+        prop_assert!(gsum.abs() < 1e-5);
+    }
+}

@@ -1,0 +1,99 @@
+//! The target device — Table 1 of the paper.
+
+/// A Zynq-style SoC board: a processing system (PS) of ARM cores plus a
+/// programmable-logic (PL) fabric with on-chip BRAM, DSP slices and LUTs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Board {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Operating system reported by the vendor image.
+    pub os: &'static str,
+    /// PS core description.
+    pub cpu: &'static str,
+    /// Number of PS cores.
+    pub ps_cores: usize,
+    /// PS clock in Hz (650 MHz on PYNQ-Z2).
+    pub ps_clock_hz: u64,
+    /// DRAM bytes (512 MB DDR3).
+    pub dram_bytes: u64,
+    /// FPGA part name.
+    pub fpga: &'static str,
+    /// PL clock in Hz for the ODEBlock circuits (100 MHz).
+    pub pl_clock_hz: u64,
+    /// 36-kbit block RAMs.
+    pub bram36: u32,
+    /// DSP48E1 slices.
+    pub dsp: u32,
+    /// Look-up tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+}
+
+/// The TUL PYNQ-Z2 (Table 1) with its Zynq XC7Z020-1CLG400C fabric.
+pub const PYNQ_Z2: Board = Board {
+    name: "TUL PYNQ-Z2",
+    os: "PYNQ Linux (Ubuntu 18.04)",
+    cpu: "ARM Cortex-A9 @ 650MHz",
+    ps_cores: 2,
+    ps_clock_hz: 650_000_000,
+    dram_bytes: 512 * 1024 * 1024,
+    fpga: "Xilinx Zynq XC7Z020-1CLG400C",
+    pl_clock_hz: 100_000_000,
+    bram36: 140,
+    dsp: 220,
+    lut: 53_200,
+    ff: 106_400,
+};
+
+impl Board {
+    /// Bytes of a single BRAM36 (36 kbit = 4 608 bytes).
+    pub const BRAM36_BYTES: usize = 4608;
+    /// Bytes of a BRAM18 half-block.
+    pub const BRAM18_BYTES: usize = 2304;
+
+    /// Total PL on-chip memory in bytes.
+    pub fn bram_bytes(&self) -> usize {
+        self.bram36 as usize * Self::BRAM36_BYTES
+    }
+
+    /// Seconds for `cycles` PL cycles.
+    pub fn pl_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.pl_clock_hz as f64
+    }
+
+    /// Seconds for `cycles` PS cycles.
+    pub fn ps_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.ps_clock_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_spec() {
+        assert_eq!(PYNQ_Z2.ps_cores, 2);
+        assert_eq!(PYNQ_Z2.ps_clock_hz, 650_000_000);
+        assert_eq!(PYNQ_Z2.pl_clock_hz, 100_000_000);
+        assert_eq!(PYNQ_Z2.dram_bytes, 512 << 20);
+        assert!(PYNQ_Z2.fpga.contains("XC7Z020"));
+    }
+
+    #[test]
+    fn xc7z020_fabric() {
+        assert_eq!(PYNQ_Z2.bram36, 140);
+        assert_eq!(PYNQ_Z2.dsp, 220);
+        assert_eq!(PYNQ_Z2.lut, 53_200);
+        assert_eq!(PYNQ_Z2.ff, 106_400);
+        // 140 × 36kbit = 630 KB of on-chip RAM.
+        assert_eq!(PYNQ_Z2.bram_bytes(), 645_120);
+    }
+
+    #[test]
+    fn clock_conversions() {
+        assert_eq!(PYNQ_Z2.pl_seconds(100_000_000), 1.0);
+        assert_eq!(PYNQ_Z2.ps_seconds(650_000_000), 1.0);
+    }
+}

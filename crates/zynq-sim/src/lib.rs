@@ -1,0 +1,52 @@
+//! # zynq-sim — a PYNQ-Z2 / Zynq XC7Z020 substrate simulator
+//!
+//! The paper runs its ODEBlocks on the programmable logic (PL) of a TUL
+//! PYNQ-Z2 board. This crate replaces the board with a simulator that
+//! models each ingredient the evaluation depends on:
+//!
+//! * [`board`] — the Table 1 device (2× Cortex-A9 @ 650 MHz, Zynq
+//!   XC7Z020: 140 BRAM36, 220 DSP48E1, 53 200 LUT, 106 400 FF, PL clock
+//!   100 MHz);
+//! * [`resources`] — BRAM/DSP/LUT/FF utilization of the conv_x·n ODEBlock
+//!   circuits (Table 3). The BRAM and DSP models are *structural and
+//!   exact* on all 24 published cells; LUT/FF come from a synthesis
+//!   characterization table plus a linear model for unseen configurations;
+//! * [`datapath`] — the cycle-accurate ODEBlock datapath model (§3.1:
+//!   23.78M/6.07M/3.12M/1.64M/0.90M cycles for layer3_2 at 1–32
+//!   multiply-add units) and the bit-exact Q20 execution built on
+//!   [`rodenet::QuantBlock`];
+//! * [`timing`] — the end-to-end prediction-latency model of Table 5:
+//!   a calibrated Cortex-A9 software-cost model for the PS side, the
+//!   cycle model at 100 MHz for the PL side, and the paper's optimistic
+//!   1-cycle-per-word AXI DMA assumption;
+//! * [`planner`] — the §3.2 offload feasibility analysis (which layers
+//!   fit in BRAM, which combinations are legal, what conv_x·n passes
+//!   timing).
+//!
+//! ```
+//! use zynq_sim::resources::{ode_block_resources};
+//! use rodenet::LayerName;
+//!
+//! let r = ode_block_resources(LayerName::Layer3_2, 16);
+//! assert_eq!(r.bram36_used(), 140.0); // 100% — Table 3's headline row
+//! assert_eq!(r.dsp, 68);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod datapath;
+pub mod planner;
+pub mod power;
+pub mod resources;
+pub mod system;
+pub mod timing;
+
+pub use board::{Board, PYNQ_Z2};
+pub use datapath::{block_exec_cycles, conv_cycles, OdeBlockAccel};
+pub use planner::{plan_offload, OffloadTarget};
+pub use power::{EnergyReport, PowerModel};
+pub use resources::{ode_block_resources, ResourceReport};
+pub use system::{run_hybrid, run_hybrid_with, HybridRun};
+pub use timing::{table5_row, PlModel, PsModel, Table5Row};

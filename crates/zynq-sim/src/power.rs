@@ -1,0 +1,138 @@
+//! Energy model — an **extension**, not a paper artifact.
+//!
+//! The paper motivates FPGAs as "an energy-efficient solution" but never
+//! quantifies power. This module adds a transparent first-order model so
+//! the energy story can be explored:
+//!
+//! * PS: a constant active power while computing (dual Cortex-A9 plus
+//!   DDR on 28 nm Zynq boards draws ≈ 1.3 W under load; idle ≈ 0.35 W);
+//! * PL: static fabric power plus dynamic power proportional to resource
+//!   utilization and clock (α·(DSP + LUT activity) at 100 MHz) — the
+//!   standard linear utilization model of vendor power estimators.
+//!
+//! The constants are **illustrative, documented defaults** in the range
+//! vendor tools report for the XC7Z020; conclusions should only be drawn
+//! from *ratios* under the same constants, not absolute joules.
+
+use crate::board::Board;
+use crate::resources::ResourceReport;
+use crate::timing::Table5Row;
+
+/// First-order power parameters (watts).
+#[derive(Clone, Copy, Debug)]
+pub struct PowerModel {
+    /// PS power while executing software.
+    pub ps_active_w: f64,
+    /// PS power while waiting on the PL.
+    pub ps_idle_w: f64,
+    /// PL static power when a bitstream is loaded.
+    pub pl_static_w: f64,
+    /// Dynamic watts per DSP slice at 100 MHz.
+    pub w_per_dsp: f64,
+    /// Dynamic watts per kLUT at 100 MHz.
+    pub w_per_klut: f64,
+    /// Dynamic watts per BRAM36 at 100 MHz.
+    pub w_per_bram: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            ps_active_w: 1.30,
+            ps_idle_w: 0.35,
+            pl_static_w: 0.12,
+            w_per_dsp: 0.0018,
+            w_per_klut: 0.010,
+            w_per_bram: 0.0022,
+        }
+    }
+}
+
+/// Energy accounting for one inference.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyReport {
+    /// PS energy in joules.
+    pub ps_joules: f64,
+    /// PL energy in joules (0 without offload).
+    pub pl_joules: f64,
+    /// Total joules per inference.
+    pub total_joules: f64,
+    /// PL power while active (for reference).
+    pub pl_active_w: f64,
+}
+
+impl PowerModel {
+    /// PL power while the given circuit is active.
+    pub fn pl_active_w(&self, resources: &ResourceReport) -> f64 {
+        self.pl_static_w
+            + self.w_per_dsp * resources.dsp as f64
+            + self.w_per_klut * resources.lut as f64 / 1000.0
+            + self.w_per_bram * resources.bram36_used()
+    }
+
+    /// Energy of one inference described by a Table 5 row, with the PL
+    /// circuit(s) given in `resources` (empty for software-only rows).
+    pub fn energy(&self, row: &Table5Row, resources: &[ResourceReport], _board: &Board) -> EnergyReport {
+        let pl_time: f64 = row.targets_w_pl.iter().sum();
+        let ps_time = row.total_w_pl - pl_time;
+        let pl_active: f64 = resources.iter().map(|r| self.pl_active_w(r)).sum::<f64>();
+        // While the PL crunches, the PS waits at idle power; the PL is
+        // loaded (static) for the whole inference when present.
+        let ps_joules = self.ps_active_w * ps_time + self.ps_idle_w * pl_time;
+        let pl_joules = if resources.is_empty() {
+            0.0
+        } else {
+            pl_active * pl_time + self.pl_static_w * ps_time
+        };
+        EnergyReport {
+            ps_joules,
+            pl_joules,
+            total_joules: ps_joules + pl_joules,
+            pl_active_w: pl_active,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::PYNQ_Z2;
+    use crate::resources::ode_block_resources;
+    use crate::timing::paper_row;
+    use rodenet::{LayerName, Variant};
+
+    #[test]
+    fn offload_saves_energy_not_just_time() {
+        let pm = PowerModel::default();
+        let sw = paper_row(Variant::ResNet, 56);
+        let e_sw = pm.energy(&sw, &[], &PYNQ_Z2);
+        let hw = paper_row(Variant::ROdeNet3, 56);
+        let r = ode_block_resources(LayerName::Layer3_2, 16);
+        let e_hw = pm.energy(&hw, &[r], &PYNQ_Z2);
+        assert!(
+            e_hw.total_joules < e_sw.total_joules,
+            "offloaded {} J vs software {} J",
+            e_hw.total_joules,
+            e_sw.total_joules
+        );
+        // The PL draw is well under a watt for this circuit.
+        assert!(e_hw.pl_active_w < 1.0, "{}", e_hw.pl_active_w);
+    }
+
+    #[test]
+    fn software_rows_have_no_pl_energy() {
+        let pm = PowerModel::default();
+        let sw = paper_row(Variant::ResNet, 20);
+        let e = pm.energy(&sw, &[], &PYNQ_Z2);
+        assert_eq!(e.pl_joules, 0.0);
+        assert!((e.ps_joules - pm.ps_active_w * sw.total_wo_pl).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_circuits_draw_more() {
+        let pm = PowerModel::default();
+        let small = pm.pl_active_w(&ode_block_resources(LayerName::Layer3_2, 1));
+        let big = pm.pl_active_w(&ode_block_resources(LayerName::Layer3_2, 16));
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,195 @@
+//! The full system: PS software + PL accelerator executing one network
+//! together (Figure 3).
+//!
+//! [`run_hybrid`] walks a trained [`rodenet::Network`] layer by layer.
+//! Stages claimed by the [`OffloadTarget`] are quantized to Q20, shipped
+//! over the modelled AXI DMA, executed bit-exactly on the simulated
+//! ODEBlock circuit, and converted back to `f32`; every other stage runs
+//! as f32 software. The returned [`HybridRun`] carries the logits *and*
+//! the modelled wall-clock decomposition, so functional and timing
+//! results come from one execution.
+
+use crate::board::Board;
+use crate::datapath::OdeBlockAccel;
+use crate::planner::OffloadTarget;
+use crate::timing::{PlModel, PsModel};
+use qfixed::Q20;
+use rodenet::{BnMode, LayerName, Network};
+use tensor::Tensor;
+
+/// Result of one hybrid (PS + PL) inference.
+#[derive(Clone, Debug)]
+pub struct HybridRun {
+    /// Classifier logits (batch × classes).
+    pub logits: Tensor<f32>,
+    /// Modelled PS seconds (software stages + fixed overhead), per image.
+    pub ps_seconds: f64,
+    /// Modelled PL seconds (offloaded stages incl. DMA), per image.
+    pub pl_seconds: f64,
+    /// 32-bit words crossed the AXI bus, per image.
+    pub dma_words: u64,
+    /// Layers that ran on the PL.
+    pub offloaded: Vec<LayerName>,
+}
+
+impl HybridRun {
+    /// Total modelled latency per image.
+    pub fn total_seconds(&self) -> f64 {
+        self.ps_seconds + self.pl_seconds
+    }
+}
+
+/// Execute `net` on `x` with `target` layers on the simulated PL, using
+/// on-the-fly batch norm for the PS-side stages (matching the PL's
+/// statistics mode end to end).
+pub fn run_hybrid(
+    net: &Network,
+    x: &Tensor<f32>,
+    target: OffloadTarget,
+    ps: &PsModel,
+    pl: &PlModel,
+    board: &Board,
+) -> HybridRun {
+    run_hybrid_with(net, x, target, BnMode::OnTheFly, ps, pl, board)
+}
+
+/// Execute `net` on `x` with `target` layers on the simulated PL.
+///
+/// Functional semantics: PS stages use `ps_bn` batch-norm statistics in
+/// f32; PL stages always run the bit-exact Q20 datapath with on-the-fly
+/// statistics (that is what the circuit computes). Timing: the
+/// calibrated PS model plus the cycle-model PL time, both per image
+/// (batch inputs are timed as `batch ×` single-image latency — the board
+/// processes one image at a time).
+///
+/// Note the deployment hazard this exposes: a network trained with batch
+/// statistics and evaluated with `BnMode::Running` on the PS can lose
+/// accuracy when its hot block moves to the PL, because the circuit
+/// recomputes statistics per feature map. The gap shrinks as feature
+/// maps grow; see EXPERIMENTS.md ("BN statistics at deployment").
+pub fn run_hybrid_with(
+    net: &Network,
+    x: &Tensor<f32>,
+    target: OffloadTarget,
+    ps_bn: BnMode,
+    ps: &PsModel,
+    pl: &PlModel,
+    board: &Board,
+) -> HybridRun {
+    let offloaded: Vec<LayerName> = target.layers().to_vec();
+    let mut ps_cycles: u64 =
+        ps.block_exec_cycles(LayerName::Conv1, false) + ps.block_exec_cycles(LayerName::Fc, false);
+    ps_cycles += ps.runtime_overhead_cycles();
+    let mut pl_seconds = 0.0f64;
+    let mut dma_words = 0u64;
+
+    let mut z = net.pre_forward(x);
+    for stage in &net.stages {
+        if stage.blocks.is_empty() {
+            continue;
+        }
+        let on_pl = offloaded.contains(&stage.name);
+        for block in &stage.blocks {
+            if on_pl {
+                assert_eq!(stage.blocks.len(), 1, "only single-instance stages offload");
+                let accel = OdeBlockAccel::new(block, pl.parallelism, board);
+                let zq: Tensor<Q20> = Tensor::from_f32_tensor(&z);
+                let execs = if stage.plan.is_ode { stage.plan.execs } else { 1 };
+                let run = accel.run_stage(&zq, execs);
+                dma_words += crate::datapath::dma_words(stage.name);
+                pl_seconds += run.seconds;
+                z = run.output.to_f32();
+            } else {
+                z = if stage.plan.is_ode {
+                    block.ode_forward(&z, stage.plan.execs, ps_bn)
+                } else {
+                    block.residual_forward(&z, ps_bn)
+                };
+                ps_cycles +=
+                    stage.plan.execs as u64 * ps.block_exec_cycles(stage.name, stage.plan.is_ode);
+            }
+        }
+    }
+    let logits = net.fc_forward(&z);
+    HybridRun {
+        logits,
+        ps_seconds: board.ps_seconds(ps_cycles),
+        pl_seconds,
+        dma_words,
+        offloaded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::PYNQ_Z2;
+    use rodenet::{NetSpec, Variant};
+    use tensor::Shape4;
+
+    fn image(seed: u64) -> Tensor<f32> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(Shape4::new(1, 3, 32, 32), |_, _, _, _| rng.random::<f32>() - 0.5)
+    }
+
+    #[test]
+    fn hybrid_matches_software_closely() {
+        let net = Network::new(NetSpec::new(Variant::ROdeNet3, 20).with_classes(10), 21);
+        let x = image(5);
+        let sw = net.forward(&x, BnMode::OnTheFly);
+        let run = run_hybrid(
+            &net,
+            &x,
+            OffloadTarget::Layer32,
+            &PsModel::Calibrated,
+            &PlModel::default(),
+            &PYNQ_Z2,
+        );
+        // Q20 vs f32 divergence stays small at logit level.
+        let diff = sw.max_abs_diff(&run.logits);
+        assert!(diff < 0.05, "logit divergence {diff}");
+        assert_eq!(run.offloaded, vec![LayerName::Layer3_2]);
+    }
+
+    #[test]
+    fn hybrid_timing_matches_table5_model() {
+        let net = Network::new(NetSpec::new(Variant::ROdeNet3, 56).with_classes(10), 22);
+        let x = image(6);
+        let run = run_hybrid(
+            &net,
+            &x,
+            OffloadTarget::Layer32,
+            &PsModel::Calibrated,
+            &PlModel::default(),
+            &PYNQ_Z2,
+        );
+        let row = crate::timing::paper_row(Variant::ROdeNet3, 56);
+        assert!(
+            (run.total_seconds() - row.total_w_pl).abs() < 1e-9,
+            "execution-derived timing {} equals the Table 5 model {}",
+            run.total_seconds(),
+            row.total_w_pl
+        );
+        assert_eq!(run.dma_words, 2 * 64 * 64);
+    }
+
+    #[test]
+    fn no_offload_is_pure_software_time() {
+        let net = Network::new(NetSpec::new(Variant::ResNet, 20).with_classes(10), 23);
+        let x = image(7);
+        let run = run_hybrid(
+            &net,
+            &x,
+            OffloadTarget::None,
+            &PsModel::Calibrated,
+            &PlModel::default(),
+            &PYNQ_Z2,
+        );
+        assert_eq!(run.pl_seconds, 0.0);
+        assert_eq!(run.dma_words, 0);
+        let expect = PsModel::Calibrated.spec_seconds(&net.spec, &PYNQ_Z2);
+        assert!((run.ps_seconds - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,69 @@
+//! Checkpoint & deploy: the production flow split across two "machines".
+//!
+//! Phase 1 (the training workstation): train a network, save a `.rodn`
+//! checkpoint. Phase 2 (the board): load the checkpoint fresh, verify
+//! bit-identical behaviour, then serve predictions through the hybrid
+//! PS+PL executor with the planner's placement.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_deploy
+//! ```
+
+use odenet_suite::prelude::*;
+use rodenet::io;
+
+fn main() {
+    let dir = std::env::temp_dir().join("odenet_checkpoint_demo");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("rodenet3-20.rodn");
+
+    // ---- Phase 1: train and checkpoint --------------------------------
+    let cfg = SynthConfig { classes: 4, per_class: 20, hw: 16, noise: 0.2, jitter: 1, seed: 77 };
+    let (train, test) = generate_split(&cfg, 8);
+    let spec = NetSpec::new(Variant::ROdeNet3, 20).with_classes(4);
+    let mut net = Network::new(spec, 7);
+    println!("phase 1: training {} ({} params)…", spec.display_name(), net.param_count());
+    let hist = train_epochs(
+        &mut net,
+        &train.images,
+        &train.labels,
+        Some(&test.images),
+        Some(&test.labels),
+        TrainConfig::quick(4, 16),
+    );
+    let final_acc = hist.last().unwrap().test_acc;
+    println!("phase 1: final test accuracy {final_acc:.3}");
+    io::save_file(&mut net, &path).expect("save checkpoint");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("phase 1: wrote {} ({bytes} bytes)", path.display());
+
+    // ---- Phase 2: load on the "board" and serve ------------------------
+    let deployed = io::load_file(&path).expect("load checkpoint");
+    println!("\nphase 2: loaded {}", deployed.spec.display_name());
+    let x = test.images.item_tensor(0);
+    let before = net.forward(&x, BnMode::OnTheFly);
+    let after = deployed.forward(&x, BnMode::OnTheFly);
+    assert_eq!(before.as_slice(), after.as_slice(), "reload must be bit-identical");
+    println!("phase 2: reload is bit-identical ✓");
+
+    let ps = PsModel::Calibrated;
+    let pl = PlModel::default();
+    let target = plan_offload(&deployed.spec, &PYNQ_Z2, 16, &ps, &pl);
+    println!("phase 2: planner placed {target:?} on the PL");
+    let mut hits = 0usize;
+    let mut total_time = 0.0f64;
+    for i in 0..test.len() {
+        let xi = test.images.item_tensor(i);
+        let run = run_hybrid(&deployed, &xi, target, &ps, &pl, &PYNQ_Z2);
+        let pred = tensor::softmax::argmax(&run.logits)[0];
+        hits += usize::from(pred == test.labels[i]);
+        total_time += run.total_seconds();
+    }
+    println!(
+        "phase 2: served {} images — accuracy {:.3}, mean modelled latency {:.3}s",
+        test.len(),
+        hits as f32 / test.len() as f32,
+        total_time / test.len() as f64
+    );
+    let _ = std::fs::remove_file(&path);
+}

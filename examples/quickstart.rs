@@ -1,0 +1,62 @@
+//! Quickstart: build the paper's recommended architecture (rODENet-3),
+//! run one image through the hybrid PS+PL system, and print what the
+//! paper's Table 5 row would say about it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use odenet_suite::prelude::*;
+
+fn main() {
+    // 1. The architecture: rODENet-3-20 — layer3_2 as a single ODE block
+    //    executed (N-8)/2 = 6 times, layer2_2 removed, layer1 plain.
+    let spec = NetSpec::new(Variant::ROdeNet3, 20).with_classes(100);
+    let net = Network::new(spec, 42);
+    println!("architecture : {}", spec.display_name());
+    println!("parameters   : {} ({:.1} kB)", net.param_count(), net.param_count() as f64 * 4.0 / 1000.0);
+
+    // 2. A CIFAR-shaped input (synthetic here; swap in cifar_data::cifar
+    //    when you have the real binaries).
+    let ds = generate(&SynthConfig { classes: 100, per_class: 1, hw: 32, ..Default::default() });
+    let image = ds.images.item_tensor(0);
+
+    // 3. Pure-software inference on the PS.
+    let logits_sw = net.forward(&image, BnMode::OnTheFly);
+    let sw_secs = PsModel::Calibrated.spec_seconds(&spec, &PYNQ_Z2);
+    println!("\nPS-only      : argmax={:?}  modelled latency {:.3}s", tensor::softmax::argmax(&logits_sw), sw_secs);
+
+    // 4. Hybrid inference: layer3_2 on the simulated PL (bit-exact Q20).
+    let run = run_hybrid(
+        &net,
+        &image,
+        OffloadTarget::Layer32,
+        &PsModel::Calibrated,
+        &PlModel::default(),
+        &PYNQ_Z2,
+    );
+    println!(
+        "PS + PL      : argmax={:?}  modelled latency {:.3}s (PS {:.3}s + PL {:.3}s, {} DMA words)",
+        tensor::softmax::argmax(&run.logits),
+        run.total_seconds(),
+        run.ps_seconds,
+        run.pl_seconds,
+        run.dma_words,
+    );
+    println!("speedup      : {:.2}×", sw_secs / run.total_seconds());
+    println!(
+        "logit drift  : {:.2e} (f32 vs Q20 datapath)",
+        logits_sw.max_abs_diff(&run.logits)
+    );
+
+    // 5. What the planner would pick, given the fabric.
+    let plan = plan_offload(&spec, &PYNQ_Z2, 16, &PsModel::Calibrated, &PlModel::default());
+    println!("planner      : {plan:?}");
+
+    // 6. The Table 5 row this corresponds to at N = 56 (the headline).
+    let row = paper_row(Variant::ROdeNet3, 56);
+    println!(
+        "\nTable 5 row  : rODENet-3-56  total w/o PL {:.2}s → w/ PL {:.2}s  ({:.2}×; paper: 1.57 → 0.59, 2.66×)",
+        row.total_wo_pl, row.total_w_pl, row.speedup
+    );
+}

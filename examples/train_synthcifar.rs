@@ -1,0 +1,63 @@
+//! Train rODENet-3 on SynthCIFAR end to end, then deploy it to the
+//! simulated FPGA and compare float-software vs Q20-hybrid accuracy —
+//! the full life cycle the paper implies (train offline in float,
+//! predict on the board in fixed point).
+//!
+//! ```text
+//! cargo run --release --example train_synthcifar [epochs]
+//! ```
+
+use odenet_suite::prelude::*;
+
+fn main() {
+    let epochs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let cfg = SynthConfig { classes: 5, per_class: 30, hw: 16, noise: 0.3, jitter: 2, seed: 9 };
+    let (train, test) = generate_split(&cfg, 10);
+    println!(
+        "SynthCIFAR: {} train / {} test images, {} classes, 16×16",
+        train.len(),
+        test.len(),
+        cfg.classes
+    );
+
+    let spec = NetSpec::new(Variant::ROdeNet3, 20).with_classes(cfg.classes);
+    let mut net = Network::new(spec, 1234);
+    let mut tc = TrainConfig::quick(epochs, 15);
+    tc.grad_mode = GradMode::Unrolled;
+    println!("training {} ({} params) for {epochs} epochs…", spec.display_name(), net.param_count());
+    let history = train_epochs(
+        &mut net,
+        &train.images,
+        &train.labels,
+        Some(&test.images),
+        Some(&test.labels),
+        tc,
+    );
+    for h in &history {
+        println!(
+            "  epoch {:>2}  lr {:<7.4} loss {:<7.4} train acc {:<6.3} test acc {:.3}",
+            h.epoch, h.lr, h.train_loss, h.train_acc, h.test_acc
+        );
+    }
+
+    // Deployment: PS float vs PS+PL hybrid (Q20 layer3_2).
+    let ps = PsModel::Calibrated;
+    let pl = PlModel::default();
+    let mut agree = 0usize;
+    let mut hybrid_hits = 0usize;
+    let mut float_hits = 0usize;
+    for i in 0..test.len() {
+        let x = test.images.item_tensor(i);
+        let sw = net.predict(&x, BnMode::OnTheFly)[0];
+        let run = run_hybrid(&net, &x, OffloadTarget::Layer32, &ps, &pl, &PYNQ_Z2);
+        let hy = tensor::softmax::argmax(&run.logits)[0];
+        agree += usize::from(sw == hy);
+        float_hits += usize::from(sw == test.labels[i]);
+        hybrid_hits += usize::from(hy == test.labels[i]);
+    }
+    let n = test.len() as f32;
+    println!("\ndeployment on the simulated PYNQ-Z2 (layer3_2 → PL, Q20):");
+    println!("  float accuracy   {:.3}", float_hits as f32 / n);
+    println!("  hybrid accuracy  {:.3}", hybrid_hits as f32 / n);
+    println!("  prediction agreement float↔hybrid: {:.3}", agree as f32 / n);
+}

@@ -1,0 +1,55 @@
+//! # odenet-suite — reproducing "Accelerating ODE-Based Neural Networks on Low-Cost FPGAs"
+//!
+//! This umbrella crate re-exports the whole stack and hosts the runnable
+//! examples and cross-crate integration tests. The pieces:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`qfixed`] | Q·m.n fixed-point arithmetic (the PL's 32-bit Q20 format) |
+//! | [`tensor`] | NCHW tensors; conv/BN/ReLU/pool/FC kernels, f32 + Q20 |
+//! | [`odesolve`] | Euler/RK2/RK4/RKF45 solvers, adjoint + unrolled gradients |
+//! | [`rodenet`] | the paper's architectures, training, parameter accounting |
+//! | [`zynq_sim`] | PYNQ-Z2 substrate simulator: resources, cycles, hybrid runs |
+//! | [`cifar_data`] | CIFAR-100 loader + SynthCIFAR procedural stand-in |
+//!
+//! Quick taste (also see `examples/quickstart.rs`):
+//!
+//! ```
+//! use odenet_suite::prelude::*;
+//!
+//! let spec = NetSpec::new(Variant::ROdeNet3, 20).with_classes(10);
+//! let net = Network::new(spec, 7);
+//! let image = Tensor::<f32>::zeros(Shape4::new(1, 3, 32, 32));
+//! let run = run_hybrid(
+//!     &net, &image, OffloadTarget::Layer32,
+//!     &PsModel::Calibrated, &PlModel::default(), &PYNQ_Z2,
+//! );
+//! assert_eq!(run.logits.shape().c, 10);
+//! assert!(run.total_seconds() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cifar_data;
+pub use odesolve;
+pub use qfixed;
+pub use rodenet;
+pub use tensor;
+pub use zynq_sim;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use cifar_data::synth::{generate, generate_split, SynthConfig};
+    pub use cifar_data::Dataset;
+    pub use odesolve::{ode_solve, ClosureField, Method, SolveOpts};
+    pub use qfixed::{Q20, QFormat};
+    pub use rodenet::train::{evaluate, train_epochs, TrainConfig};
+    pub use rodenet::{
+        BnMode, GradMode, LayerName, NetSpec, Network, Variant, PAPER_DEPTHS,
+    };
+    pub use tensor::{Shape4, Tensor};
+    pub use zynq_sim::planner::{plan_offload, OffloadTarget};
+    pub use zynq_sim::timing::{paper_row, PlModel, PsModel};
+    pub use zynq_sim::{ode_block_resources, run_hybrid, run_hybrid_with, HybridRun, OdeBlockAccel, PYNQ_Z2};
+}
