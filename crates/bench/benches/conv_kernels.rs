@@ -4,16 +4,28 @@
 use bench::random_tensor;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qfixed::Q20;
-use tensor::conv::{conv2d, Conv2dParams};
 use std::time::Duration;
+use tensor::conv::{conv2d, Conv2dParams};
 use tensor::{par, Shape4, Tensor};
 
 fn layer_shapes() -> Vec<(&'static str, Shape4, Shape4)> {
     vec![
         // (name, input, weights) — data channels + 1 time channel.
-        ("layer1", Shape4::new(1, 17, 32, 32), Shape4::new(16, 17, 3, 3)),
-        ("layer2_2", Shape4::new(1, 33, 16, 16), Shape4::new(32, 33, 3, 3)),
-        ("layer3_2", Shape4::new(1, 65, 8, 8), Shape4::new(64, 65, 3, 3)),
+        (
+            "layer1",
+            Shape4::new(1, 17, 32, 32),
+            Shape4::new(16, 17, 3, 3),
+        ),
+        (
+            "layer2_2",
+            Shape4::new(1, 33, 16, 16),
+            Shape4::new(32, 33, 3, 3),
+        ),
+        (
+            "layer3_2",
+            Shape4::new(1, 65, 8, 8),
+            Shape4::new(64, 65, 3, 3),
+        ),
     ]
 }
 
@@ -50,7 +62,11 @@ fn bench_thread_scaling(c: &mut Criterion) {
             b.iter(|| black_box(conv2d(&x, &w, Conv2dParams::same_3x3())));
         });
     }
-    par::set_threads(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    par::set_threads(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
     g.finish();
 }
 

@@ -6,9 +6,12 @@ use qfixed::{Mac, MacPolicy, Q20};
 use std::time::Duration;
 
 fn bench_ops(c: &mut Criterion) {
-    let xs: Vec<Q20> = (0..4096).map(|i| Q20::from_f64((i as f64 * 0.37).sin() * 3.0)).collect();
-    let ys: Vec<Q20> =
-        (0..4096).map(|i| Q20::from_f64((i as f64 * 0.11).cos() * 2.0 + 0.01)).collect();
+    let xs: Vec<Q20> = (0..4096)
+        .map(|i| Q20::from_f64((i as f64 * 0.37).sin() * 3.0))
+        .collect();
+    let ys: Vec<Q20> = (0..4096)
+        .map(|i| Q20::from_f64((i as f64 * 0.11).cos() * 2.0 + 0.01))
+        .collect();
 
     let mut g = c.benchmark_group("q20");
     g.measurement_time(Duration::from_secs(3));

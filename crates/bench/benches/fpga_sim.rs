@@ -7,8 +7,8 @@ use qfixed::Q20;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rodenet::{LayerName, ResBlock};
-use tensor::{Shape4, Tensor};
 use std::time::Duration;
+use tensor::{Shape4, Tensor};
 use zynq_sim::{OdeBlockAccel, PYNQ_Z2};
 
 fn bench_accel(c: &mut Criterion) {
@@ -44,7 +44,9 @@ fn bench_full_stage(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(4));
     g.warm_up_time(Duration::from_secs(1));
-    g.bench_function("layer3_2_x6", |b| b.iter(|| black_box(accel.run_stage(&xq, 6))));
+    g.bench_function("layer3_2_x6", |b| {
+        b.iter(|| black_box(accel.run_stage(&xq, 6)))
+    });
     g.finish();
 }
 

@@ -17,11 +17,13 @@ fn bench_fixed_step(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     g.warm_up_time(Duration::from_secs(1));
     for method in [Method::Euler, Method::Midpoint, Method::Rk4] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{method:?}")), &(), |b, _| {
-            b.iter(|| {
-                black_box(ode_solve(&field, &z0, SolveOpts::new(0.0, 1.0, 8, method)))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method:?}")),
+            &(),
+            |b, _| {
+                b.iter(|| black_box(ode_solve(&field, &z0, SolveOpts::new(0.0, 1.0, 8, method))))
+            },
+        );
     }
     g.finish();
 }

@@ -6,9 +6,9 @@ use bench::random_tensor;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rodenet::train::{Sgd, SgdConfig};
 use rodenet::{GradMode, NetSpec, Network, Variant};
+use std::time::Duration;
 use tensor::softmax::cross_entropy;
 use tensor::Shape4;
-use std::time::Duration;
 
 fn bench_step(c: &mut Criterion) {
     let x = random_tensor(Shape4::new(2, 3, 16, 16), 7);
@@ -18,18 +18,22 @@ fn bench_step(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(4));
     g.warm_up_time(Duration::from_secs(1));
     for mode in [GradMode::Unrolled, GradMode::Adjoint] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{mode:?}")), &mode, |b, &m| {
-            let mut net = Network::new(NetSpec::new(Variant::OdeNet, 20).with_classes(4), 8);
-            let mut opt = Sgd::new(SgdConfig::default());
-            b.iter(|| {
-                let (logits, cache) = net.forward_train(&x, m);
-                let (loss, glogits) = cross_entropy(&logits, &labels);
-                net.zero_grads();
-                net.backward(&glogits, &cache);
-                opt.step(&mut net);
-                black_box(loss)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &m| {
+                let mut net = Network::new(NetSpec::new(Variant::OdeNet, 20).with_classes(4), 8);
+                let mut opt = Sgd::new(SgdConfig::default());
+                b.iter(|| {
+                    let (logits, cache) = net.forward_train(&x, m);
+                    let (loss, glogits) = cross_entropy(&logits, &labels);
+                    net.zero_grads();
+                    net.backward(&glogits, &cache);
+                    opt.step(&mut net);
+                    black_box(loss)
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -20,6 +20,8 @@
 //!   solver        Extension: Euler vs RK2/RK4 + adjoint-gap ablation
 //!   planner       Extension: latency-optimal offload plans vs paper
 //!   energy        Extension: first-order energy-per-inference model
+//!   engine        Extension: Engine deployment API — setup amortization
+//!                 (one-shot vs reused) and batch serving throughput
 //!   all           Everything except the slow fig6 full sweep
 //!
 //! Flags
@@ -49,7 +51,12 @@ struct Flags {
 }
 
 fn parse_flags(args: &[String]) -> Flags {
-    let mut f = Flags { n: 56, epochs: None, full: false, seed: 42 };
+    let mut f = Flags {
+        n: 56,
+        epochs: None,
+        full: false,
+        seed: 42,
+    };
     for a in args {
         if let Some(v) = a.strip_prefix("--n=") {
             f.n = v.parse().expect("--n=<depth>");
@@ -87,6 +94,7 @@ fn main() {
         "solver" => solver_cmd(&flags),
         "planner" => planner_cmd(),
         "energy" => energy_cmd(),
+        "engine" => engine_cmd(flags.seed),
         "all" => {
             table1();
             table2_cmd(flags.n);
@@ -101,6 +109,7 @@ fn main() {
             macpolicy_cmd();
             planner_cmd();
             energy_cmd();
+            engine_cmd(flags.seed);
             println!("\n(run `repro fig6`, `repro quantization`, `repro solver` separately — they train networks)");
         }
         _ => {
@@ -111,19 +120,33 @@ fn main() {
 
 fn table1() {
     let b = PYNQ_Z2;
-    let mut t = Table::new("Table 1: Specification of PYNQ-Z2 board", &["Item", "Value"]);
+    let mut t = Table::new(
+        "Table 1: Specification of PYNQ-Z2 board",
+        &["Item", "Value"],
+    );
     t.row(vec!["OS".into(), b.os.into()]);
     t.row(vec!["CPU".into(), format!("{} × {}", b.cpu, b.ps_cores)]);
-    t.row(vec!["DRAM".into(), format!("{}MB (DDR3)", b.dram_bytes >> 20)]);
+    t.row(vec![
+        "DRAM".into(),
+        format!("{}MB (DDR3)", b.dram_bytes >> 20),
+    ]);
     t.row(vec!["FPGA".into(), b.fpga.into()]);
-    t.row(vec!["PL clock".into(), format!("{}MHz", b.pl_clock_hz / 1_000_000)]);
+    t.row(vec![
+        "PL clock".into(),
+        format!("{}MHz", b.pl_clock_hz / 1_000_000),
+    ]);
     t.emit("table1");
 }
 
 fn table2_cmd(n: usize) {
     let mut t = Table::new(
         &format!("Table 2: Network structure of ODENet (N = {n})"),
-        &["Layer", "Output size", "Parameter size [kB]", "# executions per block"],
+        &[
+            "Layer",
+            "Output size",
+            "Parameter size [kB]",
+            "# executions per block",
+        ],
     );
     for row in table2(n) {
         let (c, hw) = row.out;
@@ -168,7 +191,16 @@ fn table3_cmd() {
 fn table4_cmd(n: usize) {
     let mut t = Table::new(
         &format!("Table 4: # stacked blocks / # executions per block (N = {n})"),
-        &["Layer", "ResNet", "ODENet", "rODENet-1", "rODENet-2", "rODENet-1+2", "rODENet-3", "Hybrid-3"],
+        &[
+            "Layer",
+            "ResNet",
+            "ODENet",
+            "rODENet-1",
+            "rODENet-2",
+            "rODENet-1+2",
+            "rODENet-3",
+            "Hybrid-3",
+        ],
     );
     let specs: Vec<NetSpec> = Variant::ALL.iter().map(|&v| NetSpec::new(v, n)).collect();
     for layer in LayerName::ALL {
@@ -220,20 +252,35 @@ fn table5_cmd() {
                 if vals.is_empty() {
                     "–".to_string()
                 } else {
-                    vals.iter().map(|x| pct2(*x)).collect::<Vec<_>>().join(" / ")
+                    vals.iter()
+                        .map(|x| pct2(*x))
+                        .collect::<Vec<_>>()
+                        .join(" / ")
                 }
             };
-            let name = if v == Variant::OdeNet { "ODENet-3".to_string() } else { v.name().to_string() };
+            let name = if v == Variant::OdeNet {
+                "ODENet-3".to_string()
+            } else {
+                v.name().to_string()
+            };
             t.row(vec![
                 name,
                 n.to_string(),
-                r.offload.iter().map(|l| l.name()).collect::<Vec<_>>().join(" / "),
+                r.offload
+                    .iter()
+                    .map(|l| l.name())
+                    .collect::<Vec<_>>()
+                    .join(" / "),
                 s2(r.total_wo_pl),
                 join(&r.targets_wo_pl),
                 joinp(&r.ratio_pct),
                 join(&r.targets_w_pl),
                 s2(r.total_w_pl),
-                if r.offload.is_empty() { "–".into() } else { format!("{:.2}", r.speedup) },
+                if r.offload.is_empty() {
+                    "–".into()
+                } else {
+                    format!("{:.2}", r.speedup)
+                },
             ]);
         }
     }
@@ -249,7 +296,16 @@ fn table5_cmd() {
 fn fig5_cmd() {
     let mut t = Table::new(
         "Figure 5: Parameter size [kB] of ResNet, ODENet and rODENet variants",
-        &["N", "ResNet", "ODENet", "rODENet-1", "rODENet-2", "rODENet-1+2", "rODENet-3", "Hybrid-3"],
+        &[
+            "N",
+            "ResNet",
+            "ODENet",
+            "rODENet-1",
+            "rODENet-2",
+            "rODENet-1+2",
+            "rODENet-3",
+            "Hybrid-3",
+        ],
     );
     for n in PAPER_DEPTHS {
         let mut cells = vec![n.to_string()];
@@ -267,7 +323,11 @@ fn fig6_cmd(flags: &Flags) {
     // is reproduced structurally (SGD, L2 1e-4, step LR) at reduced
     // scale; absolute accuracies are not comparable to the paper,
     // orderings and stability are.
-    let depths: Vec<usize> = if flags.full { PAPER_DEPTHS.to_vec() } else { vec![20] };
+    let depths: Vec<usize> = if flags.full {
+        PAPER_DEPTHS.to_vec()
+    } else {
+        vec![20]
+    };
     let hw = if flags.full { 32 } else { 16 };
     let per_class = if flags.full { 100 } else { 40 };
     let epochs = flags.epochs.unwrap_or(if flags.full { 30 } else { 8 });
@@ -371,9 +431,22 @@ fn amdahl_cmd(n: usize) {
     // offloaded fraction; rODENets widen that fraction by design.
     let mut t = Table::new(
         &format!("§4.4: Amdahl view at N = {n} (conv_x16)"),
-        &["Model", "Offloaded fraction [%]", "Stage speedup", "Overall speedup", "Amdahl bound"],
+        &[
+            "Model",
+            "Offloaded fraction [%]",
+            "Stage speedup",
+            "Overall speedup",
+            "Amdahl bound",
+        ],
     );
-    for v in [Variant::ROdeNet1, Variant::ROdeNet2, Variant::ROdeNet12, Variant::ROdeNet3, Variant::OdeNet, Variant::Hybrid3] {
+    for v in [
+        Variant::ROdeNet1,
+        Variant::ROdeNet2,
+        Variant::ROdeNet12,
+        Variant::ROdeNet3,
+        Variant::OdeNet,
+        Variant::Hybrid3,
+    ] {
         let r = paper_row(v, n);
         let frac: f64 = r.ratio_pct.iter().sum::<f64>() / 100.0;
         let stage_speedup =
@@ -396,7 +469,13 @@ fn bitexact_cmd(seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Table::new(
         "PL simulation vs Q20 software reference (bit-exactness)",
-        &["Layer", "Steps", "Elements", "Max |PL - Q20 ref|", "Bit-exact"],
+        &[
+            "Layer",
+            "Steps",
+            "Elements",
+            "Max |PL - Q20 ref|",
+            "Bit-exact",
+        ],
     );
     for (layer, steps) in [
         (LayerName::Layer1, 4usize),
@@ -429,7 +508,14 @@ fn quantization_cmd(flags: &Flags) {
     // Extension (paper footnote 2): reduced bit widths would let more
     // layers fit in BRAM. Train a small network, then quantize the ODE
     // block to several formats and measure output divergence + accuracy.
-    let cfg = SynthConfig { classes: 4, per_class: 24, hw: 16, noise: 0.25, jitter: 2, seed: flags.seed };
+    let cfg = SynthConfig {
+        classes: 4,
+        per_class: 24,
+        hw: 16,
+        noise: 0.25,
+        jitter: 2,
+        seed: flags.seed,
+    };
     let (train, test) = generate_split(&cfg, 8);
     let spec = NetSpec::new(Variant::ROdeNet3, 20).with_classes(4);
     let mut net = Network::new(spec, flags.seed);
@@ -439,9 +525,17 @@ fn quantization_cmd(flags: &Flags) {
     let base_acc = evaluate(&net, &test.images, &test.labels, 16, BnMode::OnTheFly);
     let mut t = Table::new(
         "Extension: fixed-point width ablation (rODENet-3-20 on SynthCIFAR)",
-        &["Format", "Weight bytes", "layer3_2 params fit in", "Weight quantization SQNR [dB]"],
+        &[
+            "Format",
+            "Weight bytes",
+            "layer3_2 params fit in",
+            "Weight quantization SQNR [dB]",
+        ],
     );
-    let block = &net.stage(LayerName::Layer3_2).expect("layer3_2 present").blocks[0];
+    let block = &net
+        .stage(LayerName::Layer3_2)
+        .expect("layer3_2 present")
+        .blocks[0];
     let weights: Vec<f64> = block.conv1.w.as_slice().iter().map(|&v| v as f64).collect();
     for (name, fmt) in [
         ("Q11.20 (paper)", QFormat::new(32, 20)),
@@ -529,7 +623,14 @@ fn solver_cmd(flags: &Flags) {
 
     // Adjoint-vs-unrolled gradient agreement: the gap shrinks with N
     // (more solver steps), matching the paper's small-N instability.
-    let cfg = SynthConfig { classes: 3, per_class: 4, hw: 16, noise: 0.25, jitter: 1, seed: flags.seed };
+    let cfg = SynthConfig {
+        classes: 3,
+        per_class: 4,
+        hw: 16,
+        noise: 0.25,
+        jitter: 1,
+        seed: flags.seed,
+    };
     let data = cifar_data::synth::generate(&cfg);
     let mut t2 = Table::new(
         "Extension: adjoint vs unrolled gradient cosine similarity (ODENet-N)",
@@ -549,10 +650,17 @@ fn solver_cmd(flags: &Flags) {
         };
         let gu = grads(GradMode::Unrolled);
         let ga = grads(GradMode::Adjoint);
-        let dot: f64 = gu.iter().zip(&ga).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let dot: f64 = gu
+            .iter()
+            .zip(&ga)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         let nu: f64 = gu.iter().map(|a| (*a as f64).powi(2)).sum::<f64>().sqrt();
         let na: f64 = ga.iter().map(|a| (*a as f64).powi(2)).sum::<f64>().sqrt();
-        t2.row(vec![n.to_string(), format!("{:.5}", dot / (nu * na).max(1e-30))]);
+        t2.row(vec![
+            n.to_string(),
+            format!("{:.5}", dot / (nu * na).max(1e-30)),
+        ]);
     }
     t2.emit("solver_adjoint_gap");
 }
@@ -562,7 +670,14 @@ fn planner_cmd() {
     let pl = PlModel::default();
     let mut t = Table::new(
         "Extension: latency-optimal offload plans vs the paper's placement (N = 56)",
-        &["Model", "Paper target", "Planned (ODE-only)", "Planned (extended)", "Paper total [s]", "Planned total [s]"],
+        &[
+            "Model",
+            "Paper target",
+            "Planned (ODE-only)",
+            "Planned (extended)",
+            "Paper total [s]",
+            "Planned total [s]",
+        ],
     );
     for v in [
         Variant::ROdeNet1,
@@ -588,7 +703,107 @@ fn planner_cmd() {
         ]);
     }
     t.emit("planner");
-    let _ = (spec_params(&NetSpec::new(Variant::ResNet, 20)), block_kb(LayerName::Fc, false, 100));
+    let _ = (
+        spec_params(&NetSpec::new(Variant::ResNet, 20)),
+        block_kb(LayerName::Fc, false, 100),
+    );
+}
+
+fn engine_cmd(seed: u64) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Instant;
+    use zynq_sim::engine::{BatchSummary, Engine, Offload};
+    // Extension: the Engine deployment API. Two things to show:
+    // (1) host-side setup amortization — the legacy free function
+    //     re-plans and re-quantizes per call, the engine once;
+    // (2) batch serving — accumulated modelled PS/PL/DMA timing.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = Network::new(NetSpec::new(Variant::ROdeNet3, 20).with_classes(10), seed);
+    // Thumbnail extent keeps each Q20 inference short enough that the
+    // fixed per-call setup (planning + quantization) is visible over
+    // measurement noise; the modelled board timing is extent-independent.
+    let images: Vec<Tensor<f32>> = (0..8)
+        .map(|_| {
+            Tensor::from_fn(Shape4::new(1, 3, 8, 8), |_, _, _, _| {
+                rng.random::<f32>() - 0.5
+            })
+        })
+        .collect();
+
+    let engine = Engine::builder(&net)
+        .offload(Offload::Target(OffloadTarget::Layer32))
+        .build()
+        .expect("layer3_2 fits the fabric");
+    println!("\n## Engine deployment API\n");
+    println!("configuration: {}", engine.describe());
+
+    // (1) one-shot legacy path vs reused engine, host wall-clock.
+    let reps = 10usize;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for x in &images {
+            #[allow(deprecated)]
+            let run = zynq_sim::run_hybrid(
+                &net,
+                x,
+                OffloadTarget::Layer32,
+                &PsModel::Calibrated,
+                &PlModel::default(),
+                &PYNQ_Z2,
+            );
+            std::hint::black_box(run);
+        }
+    }
+    let one_shot = t0.elapsed().as_secs_f64() / (reps * images.len()) as f64;
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        for x in &images {
+            std::hint::black_box(engine.infer(x).expect("CIFAR-shaped input"));
+        }
+    }
+    let reused = t1.elapsed().as_secs_f64() / (reps * images.len()) as f64;
+    let mut t = Table::new(
+        "Engine setup amortization (host wall-clock per image, rODENet-3-20)",
+        &["Path", "ms/image", "vs one-shot"],
+    );
+    t.row(vec![
+        "one-shot run_hybrid".into(),
+        format!("{:.2}", one_shot * 1e3),
+        "1.00x".into(),
+    ]);
+    t.row(vec![
+        "reused Engine::infer".into(),
+        format!("{:.2}", reused * 1e3),
+        format!("{:.2}x", one_shot / reused.max(f64::MIN_POSITIVE)),
+    ]);
+    t.emit("engine_amortization");
+
+    // (2) batch serving with accumulated modelled timing.
+    let mut t2 = Table::new(
+        "Batch serving (modelled board time, accumulated)",
+        &[
+            "Batch",
+            "Total [s]",
+            "PS [s]",
+            "PL [s]",
+            "DMA words",
+            "img/s (modelled)",
+        ],
+    );
+    for batch in [1usize, 4, 8] {
+        let runs = engine.infer_batch(&images[..batch]).expect("batch");
+        let s = BatchSummary::from_runs(&runs);
+        t2.row(vec![
+            batch.to_string(),
+            format!("{:.3}", s.total_seconds()),
+            format!("{:.3}", s.ps_seconds),
+            format!("{:.3}", s.pl_seconds),
+            s.dma_words.to_string(),
+            format!("{:.2}", s.throughput()),
+        ]);
+    }
+    t2.emit("engine_batch");
 }
 
 fn energy_cmd() {
@@ -598,7 +813,15 @@ fn energy_cmd() {
     let pm = PowerModel::default();
     let mut t = Table::new(
         "Extension: energy per inference at N = 56 (illustrative power model)",
-        &["Model", "Offload", "Time [s]", "PS [J]", "PL [J]", "Total [J]", "vs ResNet sw"],
+        &[
+            "Model",
+            "Offload",
+            "Time [s]",
+            "PS [J]",
+            "PL [J]",
+            "Total [J]",
+            "vs ResNet sw",
+        ],
     );
     let base = {
         let row = paper_row(Variant::ResNet, 56);
@@ -623,7 +846,11 @@ fn energy_cmd() {
             if row.offload.is_empty() {
                 "–".into()
             } else {
-                row.offload.iter().map(|l| l.name()).collect::<Vec<_>>().join("+")
+                row.offload
+                    .iter()
+                    .map(|l| l.name())
+                    .collect::<Vec<_>>()
+                    .join("+")
             },
             s2(row.total_w_pl),
             format!("{:.3}", e.ps_joules),

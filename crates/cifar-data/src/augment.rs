@@ -3,9 +3,9 @@
 //! flip. Deterministic given the RNG.
 
 use rand::Rng;
-use tensor::Tensor;
 #[cfg(test)]
 use tensor::Shape4;
+use tensor::Tensor;
 
 /// Augmentation configuration.
 #[derive(Clone, Copy, Debug)]
@@ -18,7 +18,10 @@ pub struct AugmentConfig {
 
 impl Default for AugmentConfig {
     fn default() -> Self {
-        AugmentConfig { pad: 4, flip_prob: 0.5 }
+        AugmentConfig {
+            pad: 4,
+            flip_prob: 0.5,
+        }
     }
 }
 
@@ -59,13 +62,18 @@ mod tests {
     use rand::SeedableRng;
 
     fn probe() -> Tensor<f32> {
-        Tensor::from_fn(Shape4::new(1, 1, 8, 8), |_, _, h, w| (h * 8 + w) as f32 + 1.0)
+        Tensor::from_fn(Shape4::new(1, 1, 8, 8), |_, _, h, w| {
+            (h * 8 + w) as f32 + 1.0
+        })
     }
 
     #[test]
     fn zero_pad_zero_flip_is_identity() {
         let x = probe();
-        let cfg = AugmentConfig { pad: 0, flip_prob: 0.0 };
+        let cfg = AugmentConfig {
+            pad: 0,
+            flip_prob: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let y = augment_batch(&x, &cfg, &mut rng);
         assert_eq!(y.as_slice(), x.as_slice());
@@ -74,7 +82,10 @@ mod tests {
     #[test]
     fn always_flip_mirrors() {
         let x = probe();
-        let cfg = AugmentConfig { pad: 0, flip_prob: 1.0 };
+        let cfg = AugmentConfig {
+            pad: 0,
+            flip_prob: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let y = augment_batch(&x, &cfg, &mut rng);
         assert_eq!(y.get(0, 0, 0, 0), x.get(0, 0, 0, 7));
@@ -84,7 +95,10 @@ mod tests {
     #[test]
     fn crop_shifts_content() {
         let x = probe();
-        let cfg = AugmentConfig { pad: 2, flip_prob: 0.0 };
+        let cfg = AugmentConfig {
+            pad: 2,
+            flip_prob: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let y = augment_batch(&x, &cfg, &mut rng);
         assert_eq!(y.shape(), x.shape());
@@ -113,7 +127,10 @@ mod tests {
                 x.item_mut(n)[i] = i as f32;
             }
         }
-        let cfg = AugmentConfig { pad: 3, flip_prob: 0.5 };
+        let cfg = AugmentConfig {
+            pad: 3,
+            flip_prob: 0.5,
+        };
         let mut rng = StdRng::seed_from_u64(11);
         let y = augment_batch(&x, &cfg, &mut rng);
         assert_ne!(y.item(0), y.item(1));

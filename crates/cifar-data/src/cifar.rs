@@ -49,7 +49,11 @@ pub fn parse_records(bytes: &[u8], max_records: usize) -> Dataset {
         bytes.len()
     );
     let total = bytes.len() / RECORD_BYTES;
-    let n = if max_records == 0 { total } else { total.min(max_records) };
+    let n = if max_records == 0 {
+        total
+    } else {
+        total.min(max_records)
+    };
     let mut images = Tensor::<f32>::zeros(Shape4::new(n, 3, 32, 32));
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {

@@ -47,7 +47,11 @@ impl Dataset {
     pub fn new(images: Tensor<f32>, labels: Vec<usize>, classes: usize) -> Self {
         assert_eq!(images.shape().n, labels.len(), "one label per image");
         assert!(labels.iter().all(|&l| l < classes), "labels within range");
-        Dataset { images, labels, classes }
+        Dataset {
+            images,
+            labels,
+            classes,
+        }
     }
 
     /// Number of images.

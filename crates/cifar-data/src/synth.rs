@@ -37,7 +37,14 @@ pub struct SynthConfig {
 
 impl Default for SynthConfig {
     fn default() -> Self {
-        SynthConfig { classes: 10, per_class: 100, hw: 32, noise: 0.25, jitter: 3, seed: 0 }
+        SynthConfig {
+            classes: 10,
+            per_class: 100,
+            hw: 32,
+            noise: 0.25,
+            jitter: 3,
+            seed: 0,
+        }
     }
 }
 
@@ -137,7 +144,17 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
         let dx = (rng.random::<f32>() - 0.5) * 2.0 * cfg.jitter as f32;
         let dy = (rng.random::<f32>() - 0.5) * 2.0 * cfg.jitter as f32;
         let phase_jit = (rng.random::<f32>() - 0.5) * 0.6;
-        render(&mut images, i, &p, cfg.hw, dx, dy, phase_jit, cfg.noise, &mut rng);
+        render(
+            &mut images,
+            i,
+            &p,
+            cfg.hw,
+            dx,
+            dy,
+            phase_jit,
+            cfg.noise,
+            &mut rng,
+        );
     }
     Dataset::new(images, labels, cfg.classes)
 }
@@ -172,7 +189,17 @@ fn generate_with_noise_seed(cfg: &SynthConfig, noise_seed: u64) -> Dataset {
         let dx = (rng.random::<f32>() - 0.5) * 2.0 * cfg.jitter as f32;
         let dy = (rng.random::<f32>() - 0.5) * 2.0 * cfg.jitter as f32;
         let phase_jit = (rng.random::<f32>() - 0.5) * 0.6;
-        render(&mut images, i, &p, cfg.hw, dx, dy, phase_jit, cfg.noise, &mut rng);
+        render(
+            &mut images,
+            i,
+            &p,
+            cfg.hw,
+            dx,
+            dy,
+            phase_jit,
+            cfg.noise,
+            &mut rng,
+        );
     }
     Dataset::new(images, labels, cfg.classes)
 }
@@ -183,7 +210,12 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = SynthConfig { classes: 4, per_class: 3, hw: 16, ..Default::default() };
+        let cfg = SynthConfig {
+            classes: 4,
+            per_class: 3,
+            hw: 16,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.images.as_slice(), b.images.as_slice());
@@ -192,7 +224,12 @@ mod tests {
 
     #[test]
     fn seeds_differ() {
-        let cfg = SynthConfig { classes: 4, per_class: 3, hw: 16, ..Default::default() };
+        let cfg = SynthConfig {
+            classes: 4,
+            per_class: 3,
+            hw: 16,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&SynthConfig { seed: 1, ..cfg });
         assert_ne!(a.images.as_slice(), b.images.as_slice());
@@ -200,7 +237,12 @@ mod tests {
 
     #[test]
     fn balanced_and_interleaved() {
-        let cfg = SynthConfig { classes: 5, per_class: 4, hw: 8, ..Default::default() };
+        let cfg = SynthConfig {
+            classes: 5,
+            per_class: 4,
+            hw: 8,
+            ..Default::default()
+        };
         let ds = generate(&cfg);
         assert_eq!(ds.class_histogram(), vec![4; 5]);
         assert_eq!(&ds.labels[..5], &[0, 1, 2, 3, 4], "interleaved labels");
@@ -245,7 +287,11 @@ mod tests {
             ..Default::default()
         };
         let templates = generate(&clean);
-        let noisy = SynthConfig { noise: 0.2, jitter: 1, ..clean };
+        let noisy = SynthConfig {
+            noise: 0.2,
+            jitter: 1,
+            ..clean
+        };
         let probes = generate_with_noise_seed(&noisy, 999);
         let mut hits = 0;
         for i in 0..probes.len() {
@@ -270,7 +316,12 @@ mod tests {
 
     #[test]
     fn split_has_same_classes_fresh_noise() {
-        let cfg = SynthConfig { classes: 3, per_class: 5, hw: 8, ..Default::default() };
+        let cfg = SynthConfig {
+            classes: 3,
+            per_class: 5,
+            hw: 8,
+            ..Default::default()
+        };
         let (train, test) = generate_split(&cfg, 2);
         assert_eq!(train.classes, test.classes);
         assert_eq!(test.len(), 6);
@@ -279,7 +330,12 @@ mod tests {
 
     #[test]
     fn values_bounded() {
-        let ds = generate(&SynthConfig { classes: 3, per_class: 2, hw: 8, ..Default::default() });
+        let ds = generate(&SynthConfig {
+            classes: 3,
+            per_class: 2,
+            hw: 8,
+            ..Default::default()
+        });
         for &v in ds.images.as_slice() {
             assert!(v.is_finite() && v.abs() < 3.0, "pixel {v}");
         }

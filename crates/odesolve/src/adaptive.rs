@@ -36,7 +36,12 @@ pub struct AdaptiveOpts {
 
 impl Default for AdaptiveOpts {
     fn default() -> Self {
-        AdaptiveOpts { atol: 1e-6, rtol: 1e-5, h0: 0.1, max_steps: 100_000 }
+        AdaptiveOpts {
+            atol: 1e-6,
+            rtol: 1e-5,
+            h0: 0.1,
+            max_steps: 100_000,
+        }
     }
 }
 
@@ -46,12 +51,31 @@ const A: [[f32; 5]; 5] = [
     [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
     [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
     [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-    [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+    [
+        -8.0 / 27.0,
+        2.0,
+        -3544.0 / 2565.0,
+        1859.0 / 4104.0,
+        -11.0 / 40.0,
+    ],
 ];
 const C: [f32; 6] = [0.0, 1.0 / 4.0, 3.0 / 8.0, 12.0 / 13.0, 1.0, 1.0 / 2.0];
-const B4: [f32; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
-const B5: [f32; 6] =
-    [16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0, -9.0 / 50.0, 2.0 / 55.0];
+const B4: [f32; 6] = [
+    25.0 / 216.0,
+    0.0,
+    1408.0 / 2565.0,
+    2197.0 / 4104.0,
+    -1.0 / 5.0,
+    0.0,
+];
+const B5: [f32; 6] = [
+    16.0 / 135.0,
+    0.0,
+    6656.0 / 12825.0,
+    28561.0 / 56430.0,
+    -9.0 / 50.0,
+    2.0 / 55.0,
+];
 
 /// Integrate `f` from `t0` to `t1` with adaptive step control.
 pub fn rkf45<F: OdeField<f32> + ?Sized>(
@@ -119,7 +143,12 @@ pub fn rkf45<F: OdeField<f32> + ?Sized>(
         };
         h = (h * factor).max(1e-9);
     }
-    AdaptiveResult { z, accepted, rejected, evals }
+    AdaptiveResult {
+        z,
+        accepted,
+        rejected,
+        evals,
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +176,12 @@ mod tests {
         let stiff = ClosureField::new(|z: &Tensor<f32>, _t| z.map(|v| -50.0 * v));
         let rg = rkf45(&gentle, &state(1.0), 0.0, 1.0, AdaptiveOpts::default());
         let rs = rkf45(&stiff, &state(1.0), 0.0, 1.0, AdaptiveOpts::default());
-        assert!(rs.accepted > rg.accepted, "{} vs {}", rs.accepted, rg.accepted);
+        assert!(
+            rs.accepted > rg.accepted,
+            "{} vs {}",
+            rs.accepted,
+            rg.accepted
+        );
         assert!((rs.z.get(0, 0, 0, 0) - (-50.0f32).exp()).abs() < 1e-4);
     }
 
@@ -160,7 +194,13 @@ mod tests {
             Tensor::from_vec(z.shape(), vec![v, -x])
         });
         let z0 = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![1.0, 0.0]);
-        let r = rkf45(&f, &z0, 0.0, core::f32::consts::TAU, AdaptiveOpts::default());
+        let r = rkf45(
+            &f,
+            &z0,
+            0.0,
+            core::f32::consts::TAU,
+            AdaptiveOpts::default(),
+        );
         let (x, v) = (r.z.get(0, 0, 0, 0), r.z.get(0, 0, 0, 1));
         assert!((x * x + v * v - 1.0).abs() < 1e-3, "energy drift");
         assert!((x - 1.0).abs() < 1e-2 && v.abs() < 1e-2, "period TAU");
@@ -169,7 +209,10 @@ mod tests {
     #[test]
     fn respects_max_steps() {
         let f = ClosureField::new(|z: &Tensor<f32>, _t| z.map(|v| -1000.0 * v));
-        let opts = AdaptiveOpts { max_steps: 10, ..Default::default() };
+        let opts = AdaptiveOpts {
+            max_steps: 10,
+            ..Default::default()
+        };
         let r = rkf45(&f, &state(1.0), 0.0, 1.0, opts);
         assert!(r.accepted + r.rejected <= 10);
     }
@@ -177,8 +220,28 @@ mod tests {
     #[test]
     fn tighter_tolerance_more_steps() {
         let f = ClosureField::new(|z: &Tensor<f32>, t: f32| z.map(|v| (t * 3.0).sin() - 0.5 * v));
-        let loose = rkf45(&f, &state(1.0), 0.0, 4.0, AdaptiveOpts { rtol: 1e-3, atol: 1e-4, ..Default::default() });
-        let tight = rkf45(&f, &state(1.0), 0.0, 4.0, AdaptiveOpts { rtol: 1e-8, atol: 1e-9, ..Default::default() });
+        let loose = rkf45(
+            &f,
+            &state(1.0),
+            0.0,
+            4.0,
+            AdaptiveOpts {
+                rtol: 1e-3,
+                atol: 1e-4,
+                ..Default::default()
+            },
+        );
+        let tight = rkf45(
+            &f,
+            &state(1.0),
+            0.0,
+            4.0,
+            AdaptiveOpts {
+                rtol: 1e-8,
+                atol: 1e-9,
+                ..Default::default()
+            },
+        );
         assert!(tight.accepted >= loose.accepted);
         assert!((tight.z.get(0, 0, 0, 0) - loose.z.get(0, 0, 0, 0)).abs() < 1e-2);
     }

@@ -73,7 +73,11 @@ pub fn unrolled_backward<F: OdeVjp + ?Sized>(
         crate::Method::Euler,
         "unrolled backward currently covers the Euler recurrence"
     );
-    assert_eq!(trajectory.len(), opts.steps + 1, "trajectory must hold steps+1 states");
+    assert_eq!(
+        trajectory.len(),
+        opts.steps + 1,
+        "trajectory must hold steps+1 states"
+    );
     let h = opts.h();
     let mut a = a1.clone();
     // z_{i+1} = z_i + h f(z_i, t_i)  =>  a_i = a_{i+1} + h ∂f/∂zᵀ a_{i+1},
@@ -109,7 +113,12 @@ mod tests {
     impl OdeVjp for LinearField {
         fn vjp(&mut self, z: &Tensor<f32>, _t: f32, a: &Tensor<f32>, weight: f32) -> Tensor<f32> {
             // aᵀ ∂f/∂θ = aᵀ z; aᵀ ∂f/∂z = θ a.
-            let dot: f32 = a.as_slice().iter().zip(z.as_slice()).map(|(x, y)| x * y).sum();
+            let dot: f32 = a
+                .as_slice()
+                .iter()
+                .zip(z.as_slice())
+                .map(|(x, y)| x * y)
+                .sum();
             self.dtheta += weight * dot;
             a.map(|v| self.theta * v)
         }
@@ -140,11 +149,29 @@ mod tests {
         // finite differences instead of deriving the formula.
         let num = {
             let eps = 1e-3;
-            let zp = ode_solve(&LinearField { theta: theta + eps, dtheta: 0.0 }, &state(1.3), opts);
-            let zm = ode_solve(&LinearField { theta: theta - eps, dtheta: 0.0 }, &state(1.3), opts);
+            let zp = ode_solve(
+                &LinearField {
+                    theta: theta + eps,
+                    dtheta: 0.0,
+                },
+                &state(1.3),
+                opts,
+            );
+            let zm = ode_solve(
+                &LinearField {
+                    theta: theta - eps,
+                    dtheta: 0.0,
+                },
+                &state(1.3),
+                opts,
+            );
             (zp.get(0, 0, 0, 0) - zm.get(0, 0, 0, 0)) / (2.0 * eps)
         };
-        assert!((f.dtheta - num).abs() < 1e-3, "dθ {} vs numeric {num}", f.dtheta);
+        assert!(
+            (f.dtheta - num).abs() < 1e-3,
+            "dθ {} vs numeric {num}",
+            f.dtheta
+        );
     }
 
     #[test]
@@ -155,7 +182,10 @@ mod tests {
         let mut f = LinearField { theta, dtheta: 0.0 };
         let z1 = ode_solve(&f, &state(1.3), opts);
         let (z0_rec, a0) = adjoint_backward(&mut f, &z1, &state(1.0), opts);
-        assert!((z0_rec.get(0, 0, 0, 0) - 1.3).abs() < 1e-2, "z recomputation drifts O(h)");
+        assert!(
+            (z0_rec.get(0, 0, 0, 0) - 1.3).abs() < 1e-2,
+            "z recomputation drifts O(h)"
+        );
         let exact = theta.exp();
         assert!(
             (a0.get(0, 0, 0, 0) - exact).abs() < 2e-2,
@@ -182,8 +212,12 @@ mod tests {
 
     impl OdeVjp for QuadraticField {
         fn vjp(&mut self, z: &Tensor<f32>, _t: f32, a: &Tensor<f32>, weight: f32) -> Tensor<f32> {
-            let dot: f32 =
-                a.as_slice().iter().zip(z.as_slice()).map(|(x, y)| x * y * y).sum();
+            let dot: f32 = a
+                .as_slice()
+                .iter()
+                .zip(z.as_slice())
+                .map(|(x, y)| x * y * y)
+                .sum();
             self.dtheta += weight * dot;
             a.zip_map(z, |av, zv| 2.0 * self.theta * zv * av)
         }
@@ -209,25 +243,37 @@ mod tests {
         let fine = gap(64);
         assert!(coarse > fine * 4.0, "gap must shrink: {coarse} -> {fine}");
         assert!(fine < 0.02, "fine gap {fine}");
-        assert!(coarse > 0.005, "coarse steps show the adjoint mismatch: {coarse}");
+        assert!(
+            coarse > 0.005,
+            "coarse steps show the adjoint mismatch: {coarse}"
+        );
     }
 
     #[test]
     fn adjoint_param_grads_accumulate_across_calls() {
         let opts = SolveOpts::new(0.0, 1.0, 8, Method::Euler);
-        let mut f = LinearField { theta: 0.3, dtheta: 0.0 };
+        let mut f = LinearField {
+            theta: 0.3,
+            dtheta: 0.0,
+        };
         let z1 = ode_solve(&f, &state(1.0), opts);
         let _ = adjoint_backward(&mut f, &z1, &state(1.0), opts);
         let first = f.dtheta;
         let _ = adjoint_backward(&mut f, &z1, &state(1.0), opts);
-        assert!((f.dtheta - 2.0 * first).abs() < 1e-6, "vjp accumulates, caller resets");
+        assert!(
+            (f.dtheta - 2.0 * first).abs() < 1e-6,
+            "vjp accumulates, caller resets"
+        );
     }
 
     #[test]
     #[should_panic(expected = "steps+1")]
     fn unrolled_checks_trajectory_length() {
         let opts = SolveOpts::new(0.0, 1.0, 4, Method::Euler);
-        let mut f = LinearField { theta: 0.1, dtheta: 0.0 };
+        let mut f = LinearField {
+            theta: 0.1,
+            dtheta: 0.0,
+        };
         let _ = unrolled_backward(&mut f, &[state(1.0)], &state(1.0), opts);
     }
 }

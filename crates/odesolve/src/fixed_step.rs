@@ -55,7 +55,12 @@ impl SolveOpts {
     /// Construct options.
     pub fn new(t0: f32, t1: f32, steps: usize, method: Method) -> Self {
         assert!(steps > 0, "at least one step");
-        SolveOpts { t0, t1, steps, method }
+        SolveOpts {
+            t0,
+            t1,
+            steps,
+            method,
+        }
     }
 
     /// The paper's default: Euler over `[0, 1]` in `steps` executions.
@@ -167,14 +172,21 @@ mod tests {
         let fine = ode_solve(&decay(), &scalar_state(1.0), SolveOpts::euler_unit(1000));
         let e_coarse = (coarse.get(0, 0, 0, 0) - exact).abs();
         let e_fine = (fine.get(0, 0, 0, 0) - exact).abs();
-        assert!(e_fine < e_coarse / 50.0, "Euler is first order: {e_coarse} -> {e_fine}");
+        assert!(
+            e_fine < e_coarse / 50.0,
+            "Euler is first order: {e_coarse} -> {e_fine}"
+        );
     }
 
     #[test]
     fn convergence_orders() {
         // Halving h should cut the error by ~2^order.
         let exact = (-1.0f32).exp();
-        for (method, order) in [(Method::Euler, 1.0f32), (Method::Midpoint, 2.0), (Method::Rk4, 4.0)] {
+        for (method, order) in [
+            (Method::Euler, 1.0f32),
+            (Method::Midpoint, 2.0),
+            (Method::Rk4, 4.0),
+        ] {
             let err = |steps: usize| -> f32 {
                 let z = ode_solve(
                     &decay(),
@@ -201,14 +213,22 @@ mod tests {
     fn time_dependent_field() {
         // dz/dt = t  =>  z(1) = z0 + 0.5.
         let f = ClosureField::new(|z: &Tensor<f32>, t: f32| z.map(|_| t));
-        let z1 = ode_solve(&f, &scalar_state(2.0), SolveOpts::new(0.0, 1.0, 512, Method::Midpoint));
+        let z1 = ode_solve(
+            &f,
+            &scalar_state(2.0),
+            SolveOpts::new(0.0, 1.0, 512, Method::Midpoint),
+        );
         assert!((z1.get(0, 0, 0, 0) - 2.5).abs() < 1e-4);
     }
 
     #[test]
     fn reverse_time_solve_inverts_forward() {
         // Integrate forward then backward with RK4: should come home.
-        let fwd = ode_solve(&decay(), &scalar_state(1.0), SolveOpts::new(0.0, 1.0, 64, Method::Rk4));
+        let fwd = ode_solve(
+            &decay(),
+            &scalar_state(1.0),
+            SolveOpts::new(0.0, 1.0, 64, Method::Rk4),
+        );
         let back = ode_solve(&decay(), &fwd, SolveOpts::new(1.0, 0.0, 64, Method::Rk4));
         assert!((back.get(0, 0, 0, 0) - 1.0).abs() < 1e-5);
     }
@@ -227,7 +247,11 @@ mod tests {
     fn euler_step_matches_resnet_block_semantics() {
         // One Euler step with h=1 is exactly z + f(z): Equation 1 == Equation 5.
         let f = ClosureField::new(|z: &Tensor<f32>, _t| z.map(|v| 0.5 * v + 1.0));
-        let z1 = ode_solve(&f, &scalar_state(2.0), SolveOpts::new(0.0, 1.0, 1, Method::Euler));
+        let z1 = ode_solve(
+            &f,
+            &scalar_state(2.0),
+            SolveOpts::new(0.0, 1.0, 1, Method::Euler),
+        );
         assert_eq!(z1.get(0, 0, 0, 0), 2.0 + (0.5 * 2.0 + 1.0));
     }
 

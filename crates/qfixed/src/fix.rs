@@ -473,7 +473,16 @@ mod tests {
 
     #[test]
     fn roundtrip_exact_values() {
-        for v in [0.0, 1.0, -1.0, 0.5, -0.5, 1023.75, -1024.25, 0.0000019073486328125] {
+        for v in [
+            0.0,
+            1.0,
+            -1.0,
+            0.5,
+            -0.5,
+            1023.75,
+            -1024.25,
+            0.0000019073486328125,
+        ] {
             assert_eq!(Q20::from_f64(v).to_f64(), v, "round-trip of {v}");
         }
     }

@@ -18,15 +18,30 @@ pub struct QFormat {
 
 impl QFormat {
     /// The paper's PL format: 32-bit Q20.
-    pub const Q20_32: QFormat = QFormat { total_bits: 32, frac_bits: 20 };
+    pub const Q20_32: QFormat = QFormat {
+        total_bits: 32,
+        frac_bits: 20,
+    };
     /// A 16-bit Q8 format (future-work reduced width).
-    pub const Q8_16: QFormat = QFormat { total_bits: 16, frac_bits: 8 };
+    pub const Q8_16: QFormat = QFormat {
+        total_bits: 16,
+        frac_bits: 8,
+    };
 
     /// Construct, panicking on degenerate parameters.
     pub fn new(total_bits: u32, frac_bits: u32) -> Self {
-        assert!((2..=64).contains(&total_bits), "total_bits {total_bits} out of range");
-        assert!(frac_bits < total_bits, "frac_bits {frac_bits} >= total_bits {total_bits}");
-        QFormat { total_bits, frac_bits }
+        assert!(
+            (2..=64).contains(&total_bits),
+            "total_bits {total_bits} out of range"
+        );
+        assert!(
+            frac_bits < total_bits,
+            "frac_bits {frac_bits} >= total_bits {total_bits}"
+        );
+        QFormat {
+            total_bits,
+            frac_bits,
+        }
     }
 
     /// Integer (non-sign) bits.
@@ -94,7 +109,13 @@ impl QFormat {
 
 impl fmt::Display for QFormat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Q{}.{} ({}-bit)", self.int_bits(), self.frac_bits, self.total_bits)
+        write!(
+            f,
+            "Q{}.{} ({}-bit)",
+            self.int_bits(),
+            self.frac_bits,
+            self.total_bits
+        )
     }
 }
 

@@ -12,7 +12,11 @@ pub fn isqrt_u64(n: u64) -> u64 {
     let mut rem = n;
     let mut res: u64 = 0;
     // Highest power-of-four at or below n.
-    let mut bit: u64 = if n == 0 { 0 } else { 1 << ((63 - n.leading_zeros()) & !1) };
+    let mut bit: u64 = if n == 0 {
+        0
+    } else {
+        1 << ((63 - n.leading_zeros()) & !1)
+    };
     while bit != 0 {
         if rem >= res + bit {
             rem -= res + bit;
@@ -30,7 +34,11 @@ pub fn isqrt_u64(n: u64) -> u64 {
 pub fn isqrt_u32(n: u32) -> u32 {
     let mut rem = n;
     let mut res: u32 = 0;
-    let mut bit: u32 = if n == 0 { 0 } else { 1 << ((31 - n.leading_zeros()) & !1) };
+    let mut bit: u32 = if n == 0 {
+        0
+    } else {
+        1 << ((31 - n.leading_zeros()) & !1)
+    };
     while bit != 0 {
         if rem >= res + bit {
             rem -= res + bit;
@@ -77,7 +85,10 @@ mod tests {
         for n in (0u32..100_000).step_by(37) {
             let f = (n as f64).sqrt() as u32;
             let i = isqrt_u32(n);
-            assert!(i == f || i + 1 == f || f + 1 == i, "isqrt_u32({n}) = {i}, float {f}");
+            assert!(
+                i == f || i + 1 == f || f + 1 == i,
+                "isqrt_u32({n}) = {i}, float {f}"
+            );
             assert!((i as u64) * (i as u64) <= n as u64);
             assert!(((i as u64) + 1) * ((i as u64) + 1) > n as u64);
         }

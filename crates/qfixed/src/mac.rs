@@ -48,7 +48,12 @@ impl<const F: u32> Mac<F> {
     /// A fresh, zeroed accumulator with the given policy.
     #[inline]
     pub fn new(policy: MacPolicy) -> Self {
-        Self { policy, wide: 0, narrow: Fix::ZERO, ops: 0 }
+        Self {
+            policy,
+            wide: 0,
+            narrow: Fix::ZERO,
+            ops: 0,
+        }
     }
 
     /// Reset the accumulator, keeping the policy and op counter.
@@ -133,7 +138,10 @@ mod tests {
         let exact: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
         let wide_err = (dot(MacPolicy::WideAccumulate, &w, &x) - exact).abs();
         let narrow_err = (dot(MacPolicy::TruncateEach, &w, &x) - exact).abs();
-        assert!(wide_err <= narrow_err, "wide {wide_err} vs narrow {narrow_err}");
+        assert!(
+            wide_err <= narrow_err,
+            "wide {wide_err} vs narrow {narrow_err}"
+        );
         assert!(wide_err < 1e-4);
     }
 

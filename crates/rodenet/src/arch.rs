@@ -138,15 +138,27 @@ pub struct LayerPlan {
 
 impl LayerPlan {
     const fn absent() -> Self {
-        LayerPlan { stacked: 0, execs: 0, is_ode: false }
+        LayerPlan {
+            stacked: 0,
+            execs: 0,
+            is_ode: false,
+        }
     }
 
     const fn plain(stacked: usize) -> Self {
-        LayerPlan { stacked, execs: 1, is_ode: false }
+        LayerPlan {
+            stacked,
+            execs: 1,
+            is_ode: false,
+        }
     }
 
     const fn ode(execs: usize) -> Self {
-        LayerPlan { stacked: 1, execs, is_ode: true }
+        LayerPlan {
+            stacked: 1,
+            execs,
+            is_ode: true,
+        }
     }
 
     /// Total building-block executions this layer contributes.
@@ -199,13 +211,17 @@ impl NetSpec {
         let s1 = div(n - 2, 6, "(N-2)/6");
         let s2 = div(n - 8, 6, "(N-8)/6");
         let (layer1, layer2_2, layer3_2) = match variant {
-            Variant::ResNet => {
-                (LayerPlan::plain(s1), LayerPlan::plain(s2), LayerPlan::plain(s2))
-            }
+            Variant::ResNet => (
+                LayerPlan::plain(s1),
+                LayerPlan::plain(s2),
+                LayerPlan::plain(s2),
+            ),
             Variant::OdeNet => (LayerPlan::ode(s1), LayerPlan::ode(s2), LayerPlan::ode(s2)),
-            Variant::ROdeNet1 => {
-                (LayerPlan::ode(div(n - 6, 2, "(N-6)/2")), LayerPlan::absent(), LayerPlan::absent())
-            }
+            Variant::ROdeNet1 => (
+                LayerPlan::ode(div(n - 6, 2, "(N-6)/2")),
+                LayerPlan::absent(),
+                LayerPlan::absent(),
+            ),
             Variant::ROdeNet2 => (
                 LayerPlan::plain(1),
                 LayerPlan::ode(div(n - 8, 2, "(N-8)/2")),
@@ -221,9 +237,11 @@ impl NetSpec {
                 LayerPlan::absent(),
                 LayerPlan::ode(div(n - 8, 2, "(N-8)/2")),
             ),
-            Variant::Hybrid3 => {
-                (LayerPlan::plain(s1), LayerPlan::plain(s2), LayerPlan::ode(s2))
-            }
+            Variant::Hybrid3 => (
+                LayerPlan::plain(s1),
+                LayerPlan::plain(s2),
+                LayerPlan::ode(s2),
+            ),
         };
         NetSpec {
             variant,
@@ -290,10 +308,30 @@ mod tests {
         // Paper Table 4, N = 20.
         let cases = [
             (Variant::OdeNet, (1, 3, true), (1, 2, true), (1, 2, true)),
-            (Variant::ROdeNet1, (1, 7, true), (0, 0, false), (0, 0, false)),
-            (Variant::ROdeNet2, (1, 1, false), (1, 6, true), (0, 0, false)),
-            (Variant::ROdeNet12, (1, 4, true), (1, 3, true), (0, 0, false)),
-            (Variant::ROdeNet3, (1, 1, false), (0, 0, false), (1, 6, true)),
+            (
+                Variant::ROdeNet1,
+                (1, 7, true),
+                (0, 0, false),
+                (0, 0, false),
+            ),
+            (
+                Variant::ROdeNet2,
+                (1, 1, false),
+                (1, 6, true),
+                (0, 0, false),
+            ),
+            (
+                Variant::ROdeNet12,
+                (1, 4, true),
+                (1, 3, true),
+                (0, 0, false),
+            ),
+            (
+                Variant::ROdeNet3,
+                (1, 1, false),
+                (0, 0, false),
+                (1, 6, true),
+            ),
             (Variant::Hybrid3, (3, 1, false), (2, 1, false), (1, 2, true)),
         ];
         for (variant, l1, l22, l32) in cases {
@@ -377,7 +415,10 @@ mod tests {
 
     #[test]
     fn names_match_paper() {
-        assert_eq!(NetSpec::new(Variant::ROdeNet3, 56).display_name(), "rODENet-3-56");
+        assert_eq!(
+            NetSpec::new(Variant::ROdeNet3, 56).display_name(),
+            "rODENet-3-56"
+        );
         assert_eq!(Variant::ROdeNet12.name(), "rODENet-1+2");
     }
 

@@ -47,7 +47,11 @@ pub struct ConvParam {
 
 impl ConvParam {
     fn new(rng: &mut impl Rng, shape: Shape4, cfg: Conv2dParams) -> Self {
-        ConvParam { w: he_conv(rng, shape), g: Tensor::zeros(shape), cfg }
+        ConvParam {
+            w: he_conv(rng, shape),
+            g: Tensor::zeros(shape),
+            cfg,
+        }
     }
 }
 
@@ -186,11 +190,19 @@ impl ResBlock {
 
     /// The residual function `f(z, t)` — inference, no state mutation.
     pub fn f_eval(&self, z: &Tensor<f32>, t: f32, mode: BnMode) -> Tensor<f32> {
-        let zc = if self.time_aug { concat_time_channel(z, t) } else { z.clone() };
+        let zc = if self.time_aug {
+            concat_time_channel(z, t)
+        } else {
+            z.clone()
+        };
         let c1 = conv2d(&zc, &self.conv1.w, self.conv1.cfg);
         let b1 = self.bn1.infer_forward(&c1, mode);
         let r = relu(&b1);
-        let rc = if self.time_aug { concat_time_channel(&r, t) } else { r };
+        let rc = if self.time_aug {
+            concat_time_channel(&r, t)
+        } else {
+            r
+        };
         let c2 = conv2d(&rc, &self.conv2.w, self.conv2.cfg);
         self.bn2.infer_forward(&c2, mode)
     }
@@ -199,11 +211,19 @@ impl ResBlock {
     /// mutation — what the solver sees during training-time forward
     /// evaluations (running statistics are tracked separately).
     pub fn f_eval_batch(&self, z: &Tensor<f32>, t: f32) -> Tensor<f32> {
-        let zc = if self.time_aug { concat_time_channel(z, t) } else { z.clone() };
+        let zc = if self.time_aug {
+            concat_time_channel(z, t)
+        } else {
+            z.clone()
+        };
         let c1 = conv2d(&zc, &self.conv1.w, self.conv1.cfg);
         let (b1, _) = bn_train_forward(&c1, &self.bn1.gamma, &self.bn1.beta, self.bn1.eps);
         let r = relu(&b1);
-        let rc = if self.time_aug { concat_time_channel(&r, t) } else { r };
+        let rc = if self.time_aug {
+            concat_time_channel(&r, t)
+        } else {
+            r
+        };
         let c2 = conv2d(&rc, &self.conv2.w, self.conv2.cfg);
         let (b2, _) = bn_train_forward(&c2, &self.bn2.gamma, &self.bn2.beta, self.bn2.eps);
         b2
@@ -212,14 +232,31 @@ impl ResBlock {
     /// The residual function with batch statistics, returning the cache
     /// needed by [`ResBlock::f_backward`]. `track` updates running stats.
     pub fn f_train(&mut self, z: &Tensor<f32>, t: f32, track: bool) -> (Tensor<f32>, CoreCache) {
-        let zc = if self.time_aug { concat_time_channel(z, t) } else { z.clone() };
+        let zc = if self.time_aug {
+            concat_time_channel(z, t)
+        } else {
+            z.clone()
+        };
         let c1 = conv2d(&zc, &self.conv1.w, self.conv1.cfg);
         let (b1, bn1) = self.bn1.train_forward(&c1, track);
         let r = relu(&b1);
-        let rc = if self.time_aug { concat_time_channel(&r, t) } else { r };
+        let rc = if self.time_aug {
+            concat_time_channel(&r, t)
+        } else {
+            r
+        };
         let c2 = conv2d(&rc, &self.conv2.w, self.conv2.cfg);
         let (f, bn2) = self.bn2.train_forward(&c2, track);
-        (f, CoreCache { zc, bn1, b1, rc, bn2 })
+        (
+            f,
+            CoreCache {
+                zc,
+                bn1,
+                b1,
+                rc,
+                bn2,
+            },
+        )
     }
 
     /// Backward through `f`: accumulates `weight ·` parameter gradients
@@ -233,7 +270,11 @@ impl ResBlock {
         let gw2 = conv2d_backward_weights(&gc2, &cache.rc, self.conv2.w.shape(), self.conv2.cfg);
         axpy_tensor(&mut self.conv2.g, weight, &gw2);
         let grc = conv2d_backward_input(&gc2, &self.conv2.w, cache.rc.shape(), self.conv2.cfg);
-        let gr = if self.time_aug { split_time_channel_grad(&grc) } else { grc };
+        let gr = if self.time_aug {
+            split_time_channel_grad(&grc)
+        } else {
+            grc
+        };
         // relu
         let grelu = relu_backward(&gr, &cache.b1);
         // bn1
@@ -388,11 +429,19 @@ pub struct QuantBlock<S: Scalar> {
 impl<S: Scalar> QuantBlock<S> {
     /// The residual function in the quantized datapath.
     pub fn f_eval(&self, z: &Tensor<S>, t: S) -> Tensor<S> {
-        let zc = if self.time_aug { concat_time_channel(z, t) } else { z.clone() };
+        let zc = if self.time_aug {
+            concat_time_channel(z, t)
+        } else {
+            z.clone()
+        };
         let c1 = conv2d(&zc, &self.w1, self.cfg1);
         let b1 = bn_onthefly(&c1, &self.gamma1, &self.beta1, self.eps);
         let r = relu(&b1);
-        let rc = if self.time_aug { concat_time_channel(&r, t) } else { r };
+        let rc = if self.time_aug {
+            concat_time_channel(&r, t)
+        } else {
+            r
+        };
         let c2 = conv2d(&rc, &self.w2, self.cfg2);
         bn_onthefly(&c2, &self.gamma2, &self.beta2, self.eps)
     }
@@ -442,13 +491,31 @@ mod tests {
     fn param_counts_match_table2() {
         let mut r = rng();
         // ODE blocks.
-        assert_eq!(ResBlock::new(&mut r, LayerName::Layer1, true).param_count(), 4_960);
-        assert_eq!(ResBlock::new(&mut r, LayerName::Layer2_2, true).param_count(), 19_136);
-        assert_eq!(ResBlock::new(&mut r, LayerName::Layer3_2, true).param_count(), 75_136);
+        assert_eq!(
+            ResBlock::new(&mut r, LayerName::Layer1, true).param_count(),
+            4_960
+        );
+        assert_eq!(
+            ResBlock::new(&mut r, LayerName::Layer2_2, true).param_count(),
+            19_136
+        );
+        assert_eq!(
+            ResBlock::new(&mut r, LayerName::Layer3_2, true).param_count(),
+            75_136
+        );
         // Plain blocks.
-        assert_eq!(ResBlock::new(&mut r, LayerName::Layer1, false).param_count(), 4_672);
-        assert_eq!(ResBlock::new(&mut r, LayerName::Layer2_1, false).param_count(), 13_952);
-        assert_eq!(ResBlock::new(&mut r, LayerName::Layer3_1, false).param_count(), 55_552);
+        assert_eq!(
+            ResBlock::new(&mut r, LayerName::Layer1, false).param_count(),
+            4_672
+        );
+        assert_eq!(
+            ResBlock::new(&mut r, LayerName::Layer2_1, false).param_count(),
+            13_952
+        );
+        assert_eq!(
+            ResBlock::new(&mut r, LayerName::Layer3_1, false).param_count(),
+            55_552
+        );
     }
 
     #[test]
@@ -496,7 +563,11 @@ mod tests {
         let r = input(Shape4::new(1, 16, 4, 4), 6); // loss = <f, r>
         let loss = |b: &mut ResBlock, x: &Tensor<f32>| -> f32 {
             let (f, _) = b.f_train(x, 0.25, false);
-            f.as_slice().iter().zip(r.as_slice()).map(|(a, c)| a * c).sum()
+            f.as_slice()
+                .iter()
+                .zip(r.as_slice())
+                .map(|(a, c)| a * c)
+                .sum()
         };
         let (_, cache) = block.f_train(&x, 0.25, false);
         block.zero_grads();
@@ -510,7 +581,10 @@ mod tests {
             xm.as_mut_slice()[probe] -= eps;
             let num = (loss(&mut block, &xp) - loss(&mut block, &xm)) / (2.0 * eps);
             let ana = gx.as_slice()[probe];
-            assert!((num - ana).abs() < 0.05 * (1.0 + num.abs()), "gx[{probe}] {ana} vs {num}");
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + num.abs()),
+                "gx[{probe}] {ana} vs {num}"
+            );
         }
         // A weight gradient.
         for probe in [0usize, 77] {
@@ -522,7 +596,10 @@ mod tests {
             block.conv1.w.as_mut_slice()[probe] = orig;
             let num = (fp - fm) / (2.0 * eps);
             let ana = block.conv1.g.as_slice()[probe];
-            assert!((num - ana).abs() < 0.05 * (1.0 + num.abs()), "gw[{probe}] {ana} vs {num}");
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + num.abs()),
+                "gw[{probe}] {ana} vs {num}"
+            );
         }
         // γ gradient.
         let orig = block.bn2.gamma[3];
@@ -545,8 +622,7 @@ mod tests {
         let gx = block.residual_backward(&gout, &cache, x.shape());
         // The identity shortcut guarantees gradient magnitude ≥ ~1 on
         // average — the vanishing-gradient mitigation of Section 2.1.
-        let mean_abs: f32 =
-            gx.as_slice().iter().map(|v| v.abs()).sum::<f32>() / gx.len() as f32;
+        let mean_abs: f32 = gx.as_slice().iter().map(|v| v.abs()).sum::<f32>() / gx.len() as f32;
         assert!(mean_abs > 0.5, "short-circuited gradient flows: {mean_abs}");
     }
 
@@ -588,7 +664,11 @@ mod tests {
         let yq = qb.f_eval(&xq, Q20::from_f32(0.5));
         // Q20 resolution is ~1e-6; BN divisions amplify noise but the
         // output must stay within a tight band of the float path.
-        assert!(yf.max_abs_diff(&yq.to_f32()) < 0.02, "{}", yf.max_abs_diff(&yq.to_f32()));
+        assert!(
+            yf.max_abs_diff(&yq.to_f32()) < 0.02,
+            "{}",
+            yf.max_abs_diff(&yq.to_f32())
+        );
     }
 
     #[test]

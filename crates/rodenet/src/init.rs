@@ -57,7 +57,11 @@ mod tests {
     fn he_conv_scale() {
         let mut rng = StdRng::seed_from_u64(3);
         let w = he_conv(&mut rng, Shape4::new(64, 65, 3, 3));
-        let var = w.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()
+        let var = w
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
             / w.len() as f64;
         let expect = 2.0 / (65.0 * 9.0);
         assert!((var / expect - 1.0).abs() < 0.1, "var {var} vs {expect}");

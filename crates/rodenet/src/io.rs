@@ -105,7 +105,10 @@ pub fn load(r: &mut impl Read) -> io::Result<Network> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a RODN checkpoint"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a RODN checkpoint",
+        ));
     }
     let version = read_u32(r)?;
     if version != VERSION {

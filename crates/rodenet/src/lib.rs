@@ -40,9 +40,11 @@ pub mod init;
 pub mod io;
 pub mod model;
 pub mod params;
+pub mod quant;
 pub mod train;
 
 pub use arch::{LayerName, LayerPlan, NetSpec, Variant, PAPER_DEPTHS};
 pub use block::{BnMode, QuantBlock, ResBlock};
 pub use model::{GradMode, Network, ParamSlice};
+pub use quant::QuantNetwork;
 pub use train::{train_epochs, train_epochs_with, EpochStats, Sgd, SgdConfig, TrainConfig};

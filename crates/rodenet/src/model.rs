@@ -72,7 +72,14 @@ impl PreLayer {
     fn forward_train(&mut self, x: &Tensor<f32>) -> (Tensor<f32>, PreCache) {
         let c = conv2d(x, &self.conv.w, self.conv.cfg);
         let (b, bn) = self.bn.train_forward(&c, true);
-        (relu(&b), PreCache { x: x.clone(), bn, b })
+        (
+            relu(&b),
+            PreCache {
+                x: x.clone(),
+                bn,
+                b,
+            },
+        )
     }
 
     /// Running statistics of the pre-layer BN (mean, var).
@@ -140,7 +147,13 @@ impl FcLayer {
     fn forward_train(&mut self, x: &Tensor<f32>) -> (Tensor<f32>, FcCache) {
         let pooled = global_avg_pool(x);
         let logits = fc_forward(&pooled, &self.w, &self.b, self.out_features);
-        (logits, FcCache { feat_shape: x.shape(), pooled })
+        (
+            logits,
+            FcCache {
+                feat_shape: x.shape(),
+                pooled,
+            },
+        )
     }
 
     fn backward(&mut self, glogits: &Tensor<f32>, cache: &FcCache) -> Tensor<f32> {
@@ -171,9 +184,17 @@ pub struct Stage {
 /// Per-block training trace.
 #[allow(clippy::large_enum_variant)] // Plain's cache is the common case
 enum BlockTrace {
-    Plain { x_shape: Shape4, cache: CoreCache },
-    OdeUnrolled { traj: Vec<Tensor<f32>>, caches: Vec<CoreCache> },
-    OdeAdjoint { z1: Tensor<f32> },
+    Plain {
+        x_shape: Shape4,
+        cache: CoreCache,
+    },
+    OdeUnrolled {
+        traj: Vec<Tensor<f32>>,
+        caches: Vec<CoreCache>,
+    },
+    OdeAdjoint {
+        z1: Tensor<f32>,
+    },
 }
 
 /// Everything the backward pass needs from one forward pass.
@@ -236,7 +257,12 @@ impl Network {
             })
             .collect();
         let fc = FcLayer::new(&mut rng, 64, spec.classes);
-        Network { spec, pre, stages, fc }
+        Network {
+            spec,
+            pre,
+            stages,
+            fc,
+        }
     }
 
     /// Total trainable parameters (matches [`crate::params::spec_params`]).
@@ -272,7 +298,11 @@ impl Network {
 
     /// Training forward pass: batch-stat BN everywhere, caches for
     /// backward, running statistics updated.
-    pub fn forward_train(&mut self, x: &Tensor<f32>, grad_mode: GradMode) -> (Tensor<f32>, NetCache) {
+    pub fn forward_train(
+        &mut self,
+        x: &Tensor<f32>,
+        grad_mode: GradMode,
+    ) -> (Tensor<f32>, NetCache) {
         let (mut z, pre_cache) = self.pre.forward_train(x);
         let mut traces: Vec<Vec<BlockTrace>> = Vec::with_capacity(self.stages.len());
         for stage in &mut self.stages {
@@ -314,7 +344,14 @@ impl Network {
             traces.push(stage_traces);
         }
         let (logits, fc_cache) = self.fc.forward_train(&z);
-        (logits, NetCache { pre: pre_cache, traces, fc: fc_cache })
+        (
+            logits,
+            NetCache {
+                pre: pre_cache,
+                traces,
+                fc: fc_cache,
+            },
+        )
     }
 
     /// Backward pass from the logits gradient; accumulates parameter
@@ -359,8 +396,16 @@ impl Network {
             g: self.pre.conv.g.as_mut_slice(),
             decay: true,
         });
-        f(ParamSlice { w: &mut self.pre.bn.gamma, g: &mut self.pre.bn.ggamma, decay: false });
-        f(ParamSlice { w: &mut self.pre.bn.beta, g: &mut self.pre.bn.gbeta, decay: false });
+        f(ParamSlice {
+            w: &mut self.pre.bn.gamma,
+            g: &mut self.pre.bn.ggamma,
+            decay: false,
+        });
+        f(ParamSlice {
+            w: &mut self.pre.bn.beta,
+            g: &mut self.pre.bn.gbeta,
+            decay: false,
+        });
         for stage in &mut self.stages {
             for block in &mut stage.blocks {
                 f(ParamSlice {
@@ -368,19 +413,43 @@ impl Network {
                     g: block.conv1.g.as_mut_slice(),
                     decay: true,
                 });
-                f(ParamSlice { w: &mut block.bn1.gamma, g: &mut block.bn1.ggamma, decay: false });
-                f(ParamSlice { w: &mut block.bn1.beta, g: &mut block.bn1.gbeta, decay: false });
+                f(ParamSlice {
+                    w: &mut block.bn1.gamma,
+                    g: &mut block.bn1.ggamma,
+                    decay: false,
+                });
+                f(ParamSlice {
+                    w: &mut block.bn1.beta,
+                    g: &mut block.bn1.gbeta,
+                    decay: false,
+                });
                 f(ParamSlice {
                     w: block.conv2.w.as_mut_slice(),
                     g: block.conv2.g.as_mut_slice(),
                     decay: true,
                 });
-                f(ParamSlice { w: &mut block.bn2.gamma, g: &mut block.bn2.ggamma, decay: false });
-                f(ParamSlice { w: &mut block.bn2.beta, g: &mut block.bn2.gbeta, decay: false });
+                f(ParamSlice {
+                    w: &mut block.bn2.gamma,
+                    g: &mut block.bn2.ggamma,
+                    decay: false,
+                });
+                f(ParamSlice {
+                    w: &mut block.bn2.beta,
+                    g: &mut block.bn2.gbeta,
+                    decay: false,
+                });
             }
         }
-        f(ParamSlice { w: &mut self.fc.w, g: &mut self.fc.gw, decay: true });
-        f(ParamSlice { w: &mut self.fc.b, g: &mut self.fc.gb, decay: false });
+        f(ParamSlice {
+            w: &mut self.fc.w,
+            g: &mut self.fc.gw,
+            decay: true,
+        });
+        f(ParamSlice {
+            w: &mut self.fc.b,
+            g: &mut self.fc.gb,
+            decay: false,
+        });
     }
 
     /// Zero all gradient accumulators.
@@ -401,7 +470,43 @@ impl Network {
 
     /// A stage by layer name (None when the variant removed it).
     pub fn stage(&self, name: LayerName) -> Option<&Stage> {
-        self.stages.iter().find(|s| s.name == name && !s.blocks.is_empty())
+        self.stages
+            .iter()
+            .find(|s| s.name == name && !s.blocks.is_empty())
+    }
+
+    /// Quantize the whole network into scalar type `S` — conv1, every
+    /// residual stage, and the classification head — producing the
+    /// forward-only deployment artifact the fully-fixed-point engine
+    /// backend executes. Batch norm runs on-the-fly everywhere, as the
+    /// PL circuit computes it.
+    pub fn quantize<S: tensor::Scalar>(&self) -> crate::quant::QuantNetwork<S> {
+        use crate::quant::{QuantFc, QuantNetwork, QuantPre, QuantStage};
+        let qv = |v: &[f32]| -> Vec<S> { v.iter().map(|&x| S::from_f32(x)).collect() };
+        QuantNetwork {
+            spec: self.spec,
+            pre: QuantPre {
+                w: Tensor::from_f32_tensor(&self.pre.conv.w),
+                cfg: self.pre.conv.cfg,
+                gamma: qv(&self.pre.bn.gamma),
+                beta: qv(&self.pre.bn.beta),
+                eps: S::from_f32(self.pre.bn.eps),
+            },
+            stages: self
+                .stages
+                .iter()
+                .map(|stage| QuantStage {
+                    name: stage.name,
+                    plan: stage.plan,
+                    blocks: stage.blocks.iter().map(|b| b.quantize()).collect(),
+                })
+                .collect(),
+            fc: QuantFc {
+                w: qv(&self.fc.w),
+                b: qv(&self.fc.b),
+                out_features: self.fc.out_features,
+            },
+        }
     }
 }
 
@@ -468,7 +573,10 @@ mod tests {
         });
         let (logits1, _) = net.forward_train(&x, GradMode::Unrolled);
         let (loss1, _) = cross_entropy(&logits1, &labels);
-        assert!(loss1 < loss0, "one SGD step must reduce loss: {loss0} -> {loss1}");
+        assert!(
+            loss1 < loss0,
+            "one SGD step must reduce loss: {loss0} -> {loss1}"
+        );
     }
 
     #[test]
@@ -487,7 +595,10 @@ mod tests {
         });
         let (logits1, _) = net.forward_train(&x, GradMode::Adjoint);
         let (loss1, _) = cross_entropy(&logits1, &labels);
-        assert!(loss1 < loss0, "adjoint step must reduce loss: {loss0} -> {loss1}");
+        assert!(
+            loss1 < loss0,
+            "adjoint step must reduce loss: {loss0} -> {loss1}"
+        );
     }
 
     #[test]
@@ -509,7 +620,11 @@ mod tests {
         };
         let gu = grads(GradMode::Unrolled);
         let ga = grads(GradMode::Adjoint);
-        let dot: f64 = gu.iter().zip(&ga).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let dot: f64 = gu
+            .iter()
+            .zip(&ga)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         let nu: f64 = gu.iter().map(|a| (*a as f64).powi(2)).sum::<f64>().sqrt();
         let na: f64 = ga.iter().map(|a| (*a as f64).powi(2)).sum::<f64>().sqrt();
         let cosine = dot / (nu * na).max(1e-30);

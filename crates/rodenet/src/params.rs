@@ -42,7 +42,12 @@ pub fn block_params(layer: LayerName, is_ode: bool, classes: usize) -> usize {
 }
 
 /// Bytes of one block instance at `bytes_per_param` (4 in the paper).
-pub fn block_bytes(layer: LayerName, is_ode: bool, classes: usize, bytes_per_param: usize) -> usize {
+pub fn block_bytes(
+    layer: LayerName,
+    is_ode: bool,
+    classes: usize,
+    bytes_per_param: usize,
+) -> usize {
     block_params(layer, is_ode, classes) * bytes_per_param
 }
 

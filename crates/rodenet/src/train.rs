@@ -24,7 +24,11 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { lr: 0.01, momentum: 0.9, weight_decay: 1e-4 }
+        SgdConfig {
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        }
     }
 }
 
@@ -38,7 +42,10 @@ pub struct Sgd {
 impl Sgd {
     /// Fresh optimizer state.
     pub fn new(cfg: SgdConfig) -> Self {
-        Sgd { cfg, velocity: Vec::new() }
+        Sgd {
+            cfg,
+            velocity: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -132,7 +139,10 @@ impl TrainConfig {
         TrainConfig {
             epochs,
             batch,
-            sgd: SgdConfig { lr: 0.05, ..SgdConfig::default() },
+            sgd: SgdConfig {
+                lr: 0.05,
+                ..SgdConfig::default()
+            },
             lr_drops: [epochs / 2, epochs * 3 / 4],
             grad_mode: GradMode::Unrolled,
             eval_mode: BnMode::Running,
@@ -158,7 +168,13 @@ pub fn make_batch(
 }
 
 /// Evaluate accuracy over a dataset in batches.
-pub fn evaluate(net: &Network, images: &Tensor<f32>, labels: &[usize], batch: usize, mode: BnMode) -> f32 {
+pub fn evaluate(
+    net: &Network,
+    images: &Tensor<f32>,
+    labels: &[usize],
+    batch: usize,
+    mode: BnMode,
+) -> f32 {
     let n = images.shape().n;
     let mut hits = 0usize;
     let mut seen = 0usize;
@@ -186,7 +202,15 @@ pub fn train_epochs(
     test_labels: Option<&[usize]>,
     cfg: TrainConfig,
 ) -> Vec<EpochStats> {
-    train_epochs_with(net, train_images, train_labels, test_images, test_labels, cfg, &mut |x| x)
+    train_epochs_with(
+        net,
+        train_images,
+        train_labels,
+        test_images,
+        test_labels,
+        cfg,
+        &mut |x| x,
+    )
 }
 
 /// Like [`train_epochs`] but applies `transform` to every training batch
@@ -266,9 +290,27 @@ mod tests {
                 for h in 0..hw {
                     for w in 0..hw {
                         let pattern = match class {
-                            0 => if w % 2 == 0 { 0.8 } else { -0.8 },
-                            1 => if h % 2 == 0 { 0.8 } else { -0.8 },
-                            _ => if (h + w) % 2 == 0 { 0.8 } else { -0.8 },
+                            0 => {
+                                if w % 2 == 0 {
+                                    0.8
+                                } else {
+                                    -0.8
+                                }
+                            }
+                            1 => {
+                                if h % 2 == 0 {
+                                    0.8
+                                } else {
+                                    -0.8
+                                }
+                            }
+                            _ => {
+                                if (h + w) % 2 == 0 {
+                                    0.8
+                                } else {
+                                    -0.8
+                                }
+                            }
                         };
                         let noise = (rng.random::<f32>() - 0.5) * 0.3;
                         imgs.set(i, c, h, w, pattern + noise);
@@ -287,7 +329,11 @@ mod tests {
         // parameters stay exactly.
         let gamma_before: Vec<f32> = net.stages[0].blocks[0].bn1.gamma.clone();
         let w_before = net.stages[0].blocks[0].conv1.w.as_slice()[0];
-        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.1 });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.1,
+        });
         opt.step(&mut net);
         assert_eq!(net.stages[0].blocks[0].bn1.gamma, gamma_before);
         let w_after = net.stages[0].blocks[0].conv1.w.as_slice()[0];
@@ -298,7 +344,11 @@ mod tests {
     fn momentum_accumulates() {
         let mut net = Network::new(NetSpec::new(Variant::ResNet, 20).with_classes(3), 2);
         // Constant unit gradient on fc bias; momentum should accelerate.
-        let mut opt = Sgd::new(SgdConfig { lr: 1.0, momentum: 0.5, weight_decay: 0.0 });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 1.0,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        });
         let mut deltas = Vec::new();
         for _ in 0..3 {
             net.zero_grads();
@@ -358,18 +408,10 @@ mod tests {
         let mut net = Network::new(spec, 31);
         let mut calls = 0usize;
         let cfg = TrainConfig::quick(1, 6);
-        let _ = train_epochs_with(
-            &mut net,
-            &imgs,
-            &labels,
-            None,
-            None,
-            cfg,
-            &mut |x| {
-                calls += 1;
-                x.map(|v| v * 0.5)
-            },
-        );
+        let _ = train_epochs_with(&mut net, &imgs, &labels, None, None, cfg, &mut |x| {
+            calls += 1;
+            x.map(|v| v * 0.5)
+        });
         assert_eq!(calls, 2, "one call per batch (12 images / batch 6)");
     }
 
@@ -381,7 +423,11 @@ mod tests {
         let cfg = TrainConfig {
             epochs: 4,
             batch: 8,
-            sgd: SgdConfig { lr: 0.08, momentum: 0.9, weight_decay: 1e-4 },
+            sgd: SgdConfig {
+                lr: 0.08,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+            },
             lr_drops: [2, 3],
             grad_mode: GradMode::Unrolled,
             eval_mode: BnMode::OnTheFly,

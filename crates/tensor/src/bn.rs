@@ -152,7 +152,15 @@ pub fn bn_train_forward(
             }
         }
     }
-    (out, BnCache { xhat, invstd, mean, var })
+    (
+        out,
+        BnCache {
+            xhat,
+            invstd,
+            mean,
+            var,
+        },
+    )
 }
 
 /// Gradients of the batch-statistics forward pass.
@@ -308,7 +316,11 @@ mod tests {
         let r = probe(s, 17.0); // loss = sum(y * r)
         let loss = |x: &Tensor<f32>, gamma: &[f32], beta: &[f32]| -> f32 {
             let (y, _) = bn_train_forward(x, gamma, beta, DEFAULT_EPS);
-            y.as_slice().iter().zip(r.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(r.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let (_, cache) = bn_train_forward(&x, &gamma, &beta, DEFAULT_EPS);
         let (gx, dgamma, dbeta) = bn_backward(&r, &cache, &gamma);

@@ -38,14 +38,21 @@ impl Conv2dParams {
 
     /// Output spatial extent for an input extent and kernel size.
     pub fn out_extent(&self, extent: usize, k: usize) -> usize {
-        assert!(extent + 2 * self.pad >= k, "kernel larger than padded input");
+        assert!(
+            extent + 2 * self.pad >= k,
+            "kernel larger than padded input"
+        );
         (extent + 2 * self.pad - k) / self.stride + 1
     }
 }
 
 /// Output shape of a convolution.
 pub fn conv2d_out_shape(x: Shape4, w: Shape4, p: Conv2dParams) -> Shape4 {
-    assert_eq!(x.c, w.c, "input channels {} != weight input channels {}", x.c, w.c);
+    assert_eq!(
+        x.c, w.c,
+        "input channels {} != weight input channels {}",
+        x.c, w.c
+    );
     assert_eq!(w.h, w.w, "only square kernels are supported");
     Shape4::new(x.n, w.n, p.out_extent(x.h, w.h), p.out_extent(x.w, w.w))
 }
@@ -114,8 +121,14 @@ pub fn conv2d_backward_input(
 ) -> Tensor<f32> {
     let os = gout.shape();
     let ws = w.shape();
-    assert_eq!(os.c, ws.n, "gout channels must match weight output channels");
-    assert_eq!(x_shape.c, ws.c, "x channels must match weight input channels");
+    assert_eq!(
+        os.c, ws.n,
+        "gout channels must match weight output channels"
+    );
+    assert_eq!(
+        x_shape.c, ws.c,
+        "x channels must match weight input channels"
+    );
     let k = ws.h;
     let mut gx = Tensor::<f32>::zeros(x_shape);
     let plane = x_shape.plane();

@@ -14,7 +14,7 @@
 //! as in the paper) are `f32`-only.
 //!
 //! Parallelism is plain data parallelism over disjoint output planes built
-//! on `crossbeam::thread::scope` (see [`par`]); results are independent of
+//! on `std::thread::scope` (see [`par`]); results are independent of
 //! the thread count.
 //!
 //! ```

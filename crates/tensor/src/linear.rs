@@ -5,7 +5,38 @@
 //! major, bias is per output. Table 2's 26.00 kB comes from
 //! 64·100 weights + 100 biases at 4 bytes.
 
-use crate::{Shape4, Tensor};
+use crate::{Scalar, Shape4, Tensor};
+
+/// Scalar-generic `y = W·x + b` — the classification head in the PL's
+/// number system. Dot products run at accumulator precision
+/// ([`Scalar::Acc`]) with the bias injected before the single
+/// truncation, matching a DSP48 cascade; over `f32` this reduces to
+/// [`fc_forward`] exactly.
+pub fn fc_forward_s<S: Scalar>(x: &Tensor<S>, w: &[S], b: &[S], out_features: usize) -> Tensor<S> {
+    let s = x.shape();
+    let in_features = s.item();
+    assert_eq!(
+        w.len(),
+        out_features * in_features,
+        "weight matrix must be out×in = {out_features}×{in_features}"
+    );
+    assert_eq!(b.len(), out_features, "bias length");
+    let mut out = Tensor::<S>::zeros(Shape4::new(s.n, out_features, 1, 1));
+    for n in 0..s.n {
+        let xv = x.item(n);
+        let ov = out.item_mut(n);
+        for (o, ov_o) in ov.iter_mut().enumerate() {
+            let row = &w[o * in_features..(o + 1) * in_features];
+            let mut acc = S::acc_zero();
+            for (&wv, &xvv) in row.iter().zip(xv) {
+                acc = S::mac(acc, wv, xvv);
+            }
+            acc = S::acc_add(acc, b[o]);
+            *ov_o = S::acc_finish(acc);
+        }
+    }
+    out
+}
 
 /// `y = W·x + b` for every batch item.
 pub fn fc_forward(x: &Tensor<f32>, w: &[f32], b: &[f32], out_features: usize) -> Tensor<f32> {
@@ -90,7 +121,10 @@ mod tests {
 
     #[test]
     fn backward_matches_finite_differences() {
-        let x = Tensor::from_vec(Shape4::new(2, 3, 1, 1), vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]);
+        let x = Tensor::from_vec(
+            Shape4::new(2, 3, 1, 1),
+            vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6],
+        );
         let w: Vec<f32> = (0..12).map(|i| (i as f32 - 6.0) * 0.1).collect();
         let b = vec![0.05, -0.05, 0.1, 0.0];
         let r = Tensor::from_vec(

@@ -1,9 +1,9 @@
 //! Element-wise and structural operations: ReLU, residual/Euler updates,
 //! and the time-channel concatenation of the ODE block.
 
-use crate::{Scalar, Tensor};
 #[cfg(test)]
 use crate::Shape4;
+use crate::{Scalar, Tensor};
 
 /// ReLU forward (generic; on the PL this is a sign-bit multiplexer).
 pub fn relu<S: Scalar>(x: &Tensor<S>) -> Tensor<S> {

@@ -1,4 +1,4 @@
-//! Minimal deterministic data parallelism on `crossbeam::thread::scope`.
+//! Minimal deterministic data parallelism on `std::thread::scope`.
 //!
 //! The hpc guides recommend rayon-style *data* parallelism — disjoint
 //! chunks, no shared mutable state, results independent of thread count.
@@ -17,8 +17,7 @@
 //! pinned with [`set_threads`], and can be initialised from the
 //! `ODENET_THREADS` environment variable.
 
-use parking_lot::RwLock;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 static THREADS: OnceLock<RwLock<usize>> = OnceLock::new();
 
@@ -29,7 +28,9 @@ fn threads_lock() -> &'static RwLock<usize> {
             .and_then(|s| s.parse::<usize>().ok())
             .filter(|&t| t >= 1)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             });
         RwLock::new(default)
     })
@@ -37,14 +38,14 @@ fn threads_lock() -> &'static RwLock<usize> {
 
 /// Number of worker threads the parallel helpers will use.
 pub fn threads() -> usize {
-    *threads_lock().read()
+    *threads_lock().read().expect("thread-count lock poisoned")
 }
 
 /// Pin the worker thread count (1 = fully sequential). Affects subsequent
 /// calls process-wide; useful for making benchmarks comparable.
 pub fn set_threads(n: usize) {
     assert!(n >= 1, "thread count must be at least 1");
-    *threads_lock().write() = n;
+    *threads_lock().write().expect("thread-count lock poisoned") = n;
 }
 
 /// Execute `f(i)` for all `i in 0..n`.
@@ -65,7 +66,7 @@ where
         return;
     }
     let per = n.div_ceil(t);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for b in 0..t {
             let lo = b * per;
             let hi = ((b + 1) * per).min(n);
@@ -73,14 +74,13 @@ where
                 break;
             }
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in lo..hi {
                     f(i);
                 }
             });
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 /// Split `data` into chunks of `chunk_len` elements (the last may be short)
@@ -103,7 +103,7 @@ where
         return;
     }
     let per = n_chunks.div_ceil(t);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         // Hand each worker a contiguous run of chunks.
         let mut rest = data;
         let mut chunk_base = 0usize;
@@ -117,14 +117,13 @@ where
             let base = chunk_base;
             chunk_base += per;
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (i, chunk) in head.chunks_mut(chunk_len).enumerate() {
                     f(base + i, chunk);
                 }
             });
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -177,7 +176,9 @@ mod tests {
             data
         };
         fn default() -> usize {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
         assert_eq!(run(1), run(4));
     }

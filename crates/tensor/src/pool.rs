@@ -45,7 +45,10 @@ pub fn global_avg_pool_backward(gout: &Tensor<f32>, x_shape: Shape4) -> Tensor<f
 /// `out_channels`. Parameter-free, as in the original ResNet option A.
 pub fn shortcut_a<S: Scalar>(x: &Tensor<S>, out_channels: usize, stride: usize) -> Tensor<S> {
     let s = x.shape();
-    assert!(out_channels >= s.c, "option-A shortcut only widens channels");
+    assert!(
+        out_channels >= s.c,
+        "option-A shortcut only widens channels"
+    );
     let oh = s.h.div_ceil(stride);
     let ow = s.w.div_ceil(stride);
     let mut out = Tensor::<S>::zeros(Shape4::new(s.n, out_channels, oh, ow));
@@ -104,7 +107,10 @@ mod tests {
             (h * 4 + w) as f32 * 0.25
         });
         let xq: Tensor<Q20> = Tensor::from_f32_tensor(&x);
-        assert_eq!(global_avg_pool(&xq).to_f32().as_slice(), global_avg_pool(&x).as_slice());
+        assert_eq!(
+            global_avg_pool(&xq).to_f32().as_slice(),
+            global_avg_pool(&x).as_slice()
+        );
     }
 
     #[test]
@@ -129,9 +135,7 @@ mod tests {
 
     #[test]
     fn shortcut_identity_when_stride1_same_channels() {
-        let x = Tensor::<f32>::from_fn(Shape4::new(1, 3, 3, 3), |_, c, h, w| {
-            (c + h + w) as f32
-        });
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, 3, 3, 3), |_, c, h, w| (c + h + w) as f32);
         let y = shortcut_a(&x, 3, 1);
         assert_eq!(y.as_slice(), x.as_slice());
     }

@@ -57,13 +57,23 @@ impl Shape4 {
     /// Same spatial extents and batch, different channel count.
     #[inline]
     pub const fn with_channels(&self, c: usize) -> Self {
-        Shape4 { n: self.n, c, h: self.h, w: self.w }
+        Shape4 {
+            n: self.n,
+            c,
+            h: self.h,
+            w: self.w,
+        }
     }
 
     /// Same layout, different batch size.
     #[inline]
     pub const fn with_batch(&self, n: usize) -> Self {
-        Shape4 { n, c: self.c, h: self.h, w: self.w }
+        Shape4 {
+            n,
+            c: self.c,
+            h: self.h,
+            w: self.w,
+        }
     }
 }
 

@@ -1,9 +1,9 @@
 //! Softmax and cross-entropy (the classification head's activation and
 //! the training loss). PS-side, `f32` only.
 
-use crate::Tensor;
 #[cfg(test)]
 use crate::Shape4;
+use crate::Tensor;
 
 /// Numerically-stable softmax over the channel dimension of `(N, K, 1, 1)`.
 pub fn softmax(logits: &Tensor<f32>) -> Tensor<f32> {
@@ -150,10 +150,7 @@ mod tests {
 
     #[test]
     fn argmax_and_accuracy() {
-        let l = Tensor::from_vec(
-            Shape4::new(2, 3, 1, 1),
-            vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1],
-        );
+        let l = Tensor::from_vec(Shape4::new(2, 3, 1, 1), vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1]);
         assert_eq!(argmax(&l), vec![1, 0]);
         assert_eq!(accuracy(&l, &[1, 0]), 1.0);
         assert_eq!(accuracy(&l, &[1, 2]), 0.5);

@@ -19,12 +19,18 @@ pub struct Tensor<T> {
 impl<T: Scalar> Tensor<T> {
     /// A zero-filled tensor.
     pub fn zeros(shape: Shape4) -> Self {
-        Tensor { shape, data: vec![T::ZERO; shape.len()] }
+        Tensor {
+            shape,
+            data: vec![T::ZERO; shape.len()],
+        }
     }
 
     /// A tensor filled with `v`.
     pub fn full(shape: Shape4, v: T) -> Self {
-        Tensor { shape, data: vec![v; shape.len()] }
+        Tensor {
+            shape,
+            data: vec![v; shape.len()],
+        }
     }
 
     /// Wrap an existing buffer; `data.len()` must equal `shape.len()`.
@@ -133,7 +139,10 @@ impl<T: Scalar> Tensor<T> {
 
     /// Element-wise map into a possibly different scalar type.
     pub fn map<U: Scalar>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
-        Tensor { shape: self.shape, data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Element-wise in-place update.
@@ -148,7 +157,12 @@ impl<T: Scalar> Tensor<T> {
         assert_eq!(self.shape, rhs.shape, "shape mismatch in zip_map");
         Tensor {
             shape: self.shape,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -236,7 +250,11 @@ mod tests {
         });
         let q: Tensor<Q20> = Tensor::from_f32_tensor(&t);
         let back = q.to_f32();
-        assert_eq!(back.as_slice(), t.as_slice(), "exact dyadic values round-trip");
+        assert_eq!(
+            back.as_slice(),
+            t.as_slice(),
+            "exact dyadic values round-trip"
+        );
     }
 
     #[test]

@@ -10,13 +10,11 @@ use tensor::softmax::{cross_entropy, softmax};
 use tensor::{Shape4, Tensor};
 
 fn small_tensor(max_c: usize, max_hw: usize) -> impl Strategy<Value = Tensor<f32>> {
-    (1usize..=2, 1usize..=max_c, 2usize..=max_hw, 2usize..=max_hw).prop_flat_map(
-        |(n, c, h, w)| {
-            let len = n * c * h * w;
-            prop::collection::vec(-2.0f32..2.0, len)
-                .prop_map(move |data| Tensor::from_vec(Shape4::new(n, c, h, w), data))
-        },
-    )
+    (1usize..=2, 1usize..=max_c, 2usize..=max_hw, 2usize..=max_hw).prop_flat_map(|(n, c, h, w)| {
+        let len = n * c * h * w;
+        prop::collection::vec(-2.0f32..2.0, len)
+            .prop_map(move |data| Tensor::from_vec(Shape4::new(n, c, h, w), data))
+    })
 }
 
 fn weights_for(c: usize) -> impl Strategy<Value = Tensor<f32>> {

@@ -118,9 +118,16 @@ impl OdeBlockAccel {
     /// Quantize `block` and load it into a simulated circuit with `n`
     /// multiply–add units on `board`.
     pub fn new(block: &ResBlock, parallelism: usize, board: &Board) -> Self {
-        assert_eq!(block.stride, 1, "the PL circuit implements shape-preserving blocks");
+        assert_eq!(
+            block.stride, 1,
+            "the PL circuit implements shape-preserving blocks"
+        );
         let clock = timing_closure_hz(parallelism).min(board.pl_clock_hz);
-        OdeBlockAccel { block: block.quantize(), parallelism, clock_hz: clock }
+        OdeBlockAccel {
+            block: block.quantize(),
+            parallelism,
+            clock_hz: clock,
+        }
     }
 
     /// Execute the block once (one Euler step evaluation + update is done
@@ -128,7 +135,11 @@ impl OdeBlockAccel {
     pub fn run_f(&self, z: &Tensor<Q20>, t: Q20) -> AccelRun {
         let output = self.block.f_eval(z, t);
         let cycles = block_exec_cycles(self.block.layer, self.parallelism);
-        AccelRun { output, cycles, seconds: cycles as f64 / self.clock_hz as f64 }
+        AccelRun {
+            output,
+            cycles,
+            seconds: cycles as f64 / self.clock_hz as f64,
+        }
     }
 
     /// Execute the stage as the hardware does: DMA in, `execs` Euler
@@ -141,7 +152,11 @@ impl OdeBlockAccel {
             self.block.residual_forward(z)
         };
         let cycles = stage_cycles(self.block.layer, self.parallelism, execs);
-        AccelRun { output, cycles, seconds: cycles as f64 / self.clock_hz as f64 }
+        AccelRun {
+            output,
+            cycles,
+            seconds: cycles as f64 / self.clock_hz as f64,
+        }
     }
 }
 
@@ -203,7 +218,8 @@ mod tests {
     fn bn_cycles_are_small() {
         let geom = layer_geom(LayerName::Layer3_2);
         assert_eq!(bn_cycles(geom), 64 * 102);
-        let share = (2 * bn_cycles(geom)) as f64 / block_exec_cycles(LayerName::Layer3_2, 16) as f64;
+        let share =
+            (2 * bn_cycles(geom)) as f64 / block_exec_cycles(LayerName::Layer3_2, 16) as f64;
         assert!(share < 0.01, "{share}");
     }
 

@@ -1,0 +1,944 @@
+//! The deployment engine — configure once, infer many times.
+//!
+//! The free functions of [`crate::system`] re-plan the offload and
+//! re-quantize the PL weights on **every call**; serving workloads need
+//! the opposite shape: validate a configuration once, then make
+//! inference a cheap, repeatable, batchable operation. [`Engine`] is
+//! that shape:
+//!
+//! ```text
+//! Engine::builder(&net)            // the trained f32 network
+//!     .board(&PYNQ_Z2)             // which device (default PYNQ-Z2)
+//!     .offload(Offload::Auto)      // planner-chosen PL placement
+//!     .ps_model(PsModel::Calibrated)
+//!     .pl_model(PlModel::default())
+//!     .bn_mode(BnMode::OnTheFly)   // PS-side batch-norm statistics
+//!     .build()?                    // validate + pre-quantize ONCE
+//!     .infer(&image)?              // -> RunReport (logits + timing)
+//! ```
+//!
+//! [`EngineBuilder::build`] resolves the placement via [`crate::planner`],
+//! checks resource feasibility and paper-policy applicability, and
+//! pre-quantizes the offloaded blocks' Q20 weights into simulated BRAM
+//! — exactly once. Configuration mistakes surface as [`EngineError`]
+//! values instead of asserts deep inside an inference call.
+//!
+//! Execution is dispatched through the [`Backend`] trait, with three
+//! built-in implementations:
+//!
+//! * [`BackendKind::PsSoftware`] — everything in `f32` on the modelled
+//!   Cortex-A9 (the "w/o PL" rows of Table 5);
+//! * [`BackendKind::Hybrid`] — offloaded stages on the bit-exact Q20
+//!   ODEBlock circuit, the rest in `f32` software (the paper's
+//!   deployment; bit-identical to the legacy [`crate::run_hybrid_with`]);
+//! * [`BackendKind::PlBitExact`] — the *whole* network in the Q20
+//!   number system via [`rodenet::QuantNetwork`], offloaded stages on
+//!   the modelled circuit: what a fully-fixed-point deployment would
+//!   compute. Requires on-the-fly batch norm (the circuit has no
+//!   running statistics), enforced at build time.
+//!
+//! Future backends (multi-board sharding, alternate fabrics) implement
+//! [`Backend`] and plug in through
+//! [`EngineBuilder::custom_backend`] without touching call sites.
+//!
+//! ## Batch-norm semantics (deployment parity)
+//!
+//! [`EngineBuilder::bn_mode`] selects the statistics source for the
+//! **PS-resident residual stages**, mirroring the deployed PYNQ flow
+//! end to end: conv1 statistics are computed on-device (on-the-fly)
+//! and the PL circuit always computes statistics per feature map —
+//! that is what its divider/square-root units exist for.
+
+use crate::board::{Board, PYNQ_Z2};
+use crate::datapath::OdeBlockAccel;
+use crate::planner::{plan_offload, plan_offload_extended, OffloadTarget};
+use crate::timing::{PlModel, PsModel};
+use qfixed::Q20;
+use rodenet::{BnMode, LayerName, Network, QuantNetwork, Variant};
+use tensor::{Shape4, Tensor};
+
+/// How the engine chooses the PL placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Offload {
+    /// Latency-optimal placement under the paper's ODE-blocks-only
+    /// policy ([`plan_offload`]).
+    #[default]
+    Auto,
+    /// Latency-optimal placement, also considering once-executed plain
+    /// blocks ([`plan_offload_extended`]).
+    AutoExtended,
+    /// A fixed placement, validated at build time.
+    Target(OffloadTarget),
+}
+
+/// Which built-in [`Backend`] executes inference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// [`BackendKind::PsSoftware`] when the resolved placement is
+    /// [`OffloadTarget::None`], [`BackendKind::Hybrid`] otherwise.
+    #[default]
+    Auto,
+    /// Pure `f32` software on the PS.
+    PsSoftware,
+    /// PS software + bit-exact Q20 PL circuit (the paper's system).
+    Hybrid,
+    /// The whole network in the Q20 number system.
+    PlBitExact,
+}
+
+/// Everything that can go wrong configuring or running an [`Engine`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The requested placement does not fit the board's fabric at the
+    /// configured parallelism.
+    InfeasiblePlacement {
+        /// The rejected placement.
+        target: OffloadTarget,
+        /// conv_x·n multiply–add units it was sized for.
+        parallelism: usize,
+    },
+    /// The placement names a layer the architecture removed or stacks
+    /// (only single-instance blocks can live in BRAM).
+    TargetNotApplicable {
+        /// The rejected placement.
+        target: OffloadTarget,
+        /// The architecture it was checked against.
+        variant: Variant,
+    },
+    /// The explicit backend cannot honor the resolved placement (e.g.
+    /// [`BackendKind::PsSoftware`] with PL stages planned).
+    BackendConflict {
+        /// The conflicting backend.
+        backend: &'static str,
+        /// The resolved placement.
+        target: OffloadTarget,
+    },
+    /// The backend cannot honor the requested batch-norm mode (the Q20
+    /// circuit computes statistics on the fly; it has no running
+    /// statistics to consult).
+    BnModeConflict {
+        /// The conflicting backend.
+        backend: &'static str,
+    },
+    /// The input tensor is not CIFAR-shaped.
+    ShapeMismatch {
+        /// The offending shape.
+        got: Shape4,
+    },
+    /// `infer_batch` was called with no inputs.
+    EmptyBatch,
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::InfeasiblePlacement {
+                target,
+                parallelism,
+            } => write!(
+                f,
+                "placement {target:?} does not fit the fabric at conv_x{parallelism} \
+                 (see zynq_sim::resources)"
+            ),
+            EngineError::TargetNotApplicable { target, variant } => write!(
+                f,
+                "placement {target:?} is not applicable to {variant}: every offloaded \
+                 layer must be present as a single block instance"
+            ),
+            EngineError::BackendConflict { backend, target } => {
+                write!(f, "backend `{backend}` cannot execute placement {target:?}")
+            }
+            EngineError::BnModeConflict { backend } => write!(
+                f,
+                "backend `{backend}` computes batch-norm statistics on the fly; \
+                 BnMode::Running is not available on the Q20 datapath"
+            ),
+            EngineError::ShapeMismatch { got } => write!(
+                f,
+                "input must be shaped (N\u{2265}1, 3, H\u{2265}4, W\u{2265}4), got {got:?}"
+            ),
+            EngineError::EmptyBatch => f.write_str("infer_batch needs at least one input"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result of one engine inference: logits plus the modelled wall-clock
+/// decomposition, from the same execution.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Classifier logits (batch × classes), always reported in `f32`
+    /// (quantized backends convert on the way out).
+    pub logits: Tensor<f32>,
+    /// Images in this run's input tensor.
+    pub images: usize,
+    /// Modelled PS seconds per image (software stages + fixed overhead).
+    pub ps_seconds: f64,
+    /// Modelled PL seconds per image (offloaded stages incl. DMA).
+    pub pl_seconds: f64,
+    /// 32-bit words across the AXI bus, per image.
+    pub dma_words: u64,
+    /// Layers that ran on the PL.
+    pub offloaded: Vec<LayerName>,
+    /// Name of the backend that executed the run.
+    pub backend: &'static str,
+}
+
+impl RunReport {
+    /// Total modelled latency per image.
+    pub fn total_seconds(&self) -> f64 {
+        self.ps_seconds + self.pl_seconds
+    }
+
+    /// Total modelled latency for every image of the run (the board
+    /// processes one image at a time).
+    pub fn batch_seconds(&self) -> f64 {
+        self.total_seconds() * self.images as f64
+    }
+}
+
+/// Accumulated timing over a batch of [`RunReport`]s.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchSummary {
+    /// Total images served.
+    pub images: usize,
+    /// Accumulated PS seconds (per-image × images).
+    pub ps_seconds: f64,
+    /// Accumulated PL seconds.
+    pub pl_seconds: f64,
+    /// Accumulated DMA words.
+    pub dma_words: u64,
+}
+
+impl BatchSummary {
+    /// Fold a slice of reports into accumulated totals.
+    pub fn from_runs(runs: &[RunReport]) -> Self {
+        let mut s = BatchSummary::default();
+        for r in runs {
+            s.images += r.images;
+            s.ps_seconds += r.ps_seconds * r.images as f64;
+            s.pl_seconds += r.pl_seconds * r.images as f64;
+            s.dma_words += r.dma_words * r.images as u64;
+        }
+        s
+    }
+
+    /// Accumulated wall-clock seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.ps_seconds + self.pl_seconds
+    }
+
+    /// Modelled images per second.
+    pub fn throughput(&self) -> f64 {
+        self.images as f64 / self.total_seconds().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// A whole-inference executor. Implementations own whatever pre-built
+/// state they need (quantized weights, simulated circuits), so `infer`
+/// is cheap and repeatable; the [`Engine`] validates inputs and
+/// delegates here.
+///
+/// `Send + Sync` is part of the contract: a built engine serves from
+/// multiple threads behind a shared reference, so backends must too
+/// (`infer` takes `&self` — keep per-call state on the stack).
+pub trait Backend: Send + Sync {
+    /// Short stable name, reported in [`RunReport::backend`].
+    fn name(&self) -> &'static str;
+    /// The layers this backend runs on the PL fabric.
+    fn offloaded(&self) -> &[LayerName];
+    /// Execute one (possibly batched) input to logits + timing.
+    fn infer(&self, x: &Tensor<f32>) -> Result<RunReport, EngineError>;
+}
+
+/// One pre-built PL stage: the simulated circuit holding the quantized
+/// block, plus how often the stage executes per inference.
+struct PlStage {
+    layer: LayerName,
+    accel: OdeBlockAccel,
+    execs: usize,
+}
+
+/// Shared PS+PL walk used by the software and hybrid backends: stages
+/// in `pl_stages` run on their pre-built circuits, everything else runs
+/// as `f32` software with `bn` statistics. Mirrors the execution order
+/// of the original `run_hybrid_with` loop exactly, so logits and timing
+/// are bit-identical to the legacy path.
+fn hybrid_walk(
+    net: &Network,
+    x: &Tensor<f32>,
+    pl_stages: &[PlStage],
+    bn: BnMode,
+    ps: &PsModel,
+    board: &Board,
+) -> (Tensor<f32>, f64, f64, u64) {
+    let mut ps_cycles: u64 = ps.block_exec_cycles(LayerName::Conv1, false)
+        + ps.block_exec_cycles(LayerName::Fc, false)
+        + ps.runtime_overhead_cycles();
+    let mut pl_seconds = 0.0f64;
+    let mut dma_words = 0u64;
+
+    let mut z = net.pre_forward(x);
+    for stage in &net.stages {
+        if stage.blocks.is_empty() {
+            continue;
+        }
+        let on_pl = pl_stages.iter().find(|p| p.layer == stage.name);
+        for block in &stage.blocks {
+            if let Some(pl_stage) = on_pl {
+                let zq: Tensor<Q20> = Tensor::from_f32_tensor(&z);
+                let run = pl_stage.accel.run_stage(&zq, pl_stage.execs);
+                dma_words += crate::datapath::dma_words(stage.name);
+                pl_seconds += run.seconds;
+                z = run.output.to_f32();
+            } else {
+                z = if stage.plan.is_ode {
+                    block.ode_forward(&z, stage.plan.execs, bn)
+                } else {
+                    block.residual_forward(&z, bn)
+                };
+                ps_cycles +=
+                    stage.plan.execs as u64 * ps.block_exec_cycles(stage.name, stage.plan.is_ode);
+            }
+        }
+    }
+    let logits = net.fc_forward(&z);
+    (logits, board.ps_seconds(ps_cycles), pl_seconds, dma_words)
+}
+
+/// PS software / hybrid backend (they differ only in `pl_stages`).
+struct HybridBackend<'n> {
+    name: &'static str,
+    net: &'n Network,
+    pl_stages: Vec<PlStage>,
+    offloaded: Vec<LayerName>,
+    bn: BnMode,
+    ps: PsModel,
+    board: Board,
+}
+
+impl Backend for HybridBackend<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn offloaded(&self) -> &[LayerName] {
+        &self.offloaded
+    }
+
+    fn infer(&self, x: &Tensor<f32>) -> Result<RunReport, EngineError> {
+        let (logits, ps_seconds, pl_seconds, dma_words) =
+            hybrid_walk(self.net, x, &self.pl_stages, self.bn, &self.ps, &self.board);
+        Ok(RunReport {
+            logits,
+            images: x.shape().n,
+            ps_seconds,
+            pl_seconds,
+            dma_words,
+            offloaded: self.offloaded.clone(),
+            backend: self.name,
+        })
+    }
+}
+
+/// Fully-fixed-point backend: the whole network executes in Q20 via
+/// [`QuantNetwork`]; the offloaded stages additionally carry circuit
+/// timing, the rest PS timing (a fully-quantized PS runtime would run
+/// the same integer ops the float one does, so the calibrated cost
+/// model still applies).
+///
+/// The quantized network already *is* the circuit's datapath
+/// ([`OdeBlockAccel`] wraps the same [`rodenet::QuantBlock`] forward),
+/// so offloaded stages execute straight out of `qnet` — one
+/// quantization at build, no duplicate weight copies — with their
+/// cycle timing taken from [`PlModel::stage_seconds`], which is the
+/// identical `stage_cycles / closed-clock` arithmetic the accelerator
+/// reports.
+struct PlBitExactBackend {
+    qnet: QuantNetwork<Q20>,
+    offloaded: Vec<LayerName>,
+    ps: PsModel,
+    pl: PlModel,
+    board: Board,
+}
+
+impl Backend for PlBitExactBackend {
+    fn name(&self) -> &'static str {
+        "pl-bit-exact"
+    }
+
+    fn offloaded(&self) -> &[LayerName] {
+        &self.offloaded
+    }
+
+    fn infer(&self, x: &Tensor<f32>) -> Result<RunReport, EngineError> {
+        let mut ps_cycles: u64 = self.ps.block_exec_cycles(LayerName::Conv1, false)
+            + self.ps.block_exec_cycles(LayerName::Fc, false)
+            + self.ps.runtime_overhead_cycles();
+        let mut pl_seconds = 0.0f64;
+        let mut dma_words = 0u64;
+
+        let mut z: Tensor<Q20> = Tensor::from_f32_tensor(x);
+        z = self.qnet.pre.forward(&z);
+        for stage in &self.qnet.stages {
+            if stage.blocks.is_empty() {
+                continue;
+            }
+            let on_pl = self.offloaded.contains(&stage.name);
+            for block in &stage.blocks {
+                // The numerics are placement-independent (everything is
+                // Q20 here); on_pl only decides the timing attribution.
+                z = if stage.plan.is_ode {
+                    block.ode_forward(&z, stage.plan.execs)
+                } else {
+                    block.residual_forward(&z)
+                };
+                if on_pl {
+                    dma_words += crate::datapath::dma_words(stage.name);
+                    pl_seconds += self
+                        .pl
+                        .stage_seconds(stage.name, stage.plan.execs, &self.board);
+                } else {
+                    ps_cycles += stage.plan.execs as u64
+                        * self.ps.block_exec_cycles(stage.name, stage.plan.is_ode);
+                }
+            }
+        }
+        let logits = self.qnet.fc.forward(&z).to_f32();
+        Ok(RunReport {
+            logits,
+            images: x.shape().n,
+            ps_seconds: self.board.ps_seconds(ps_cycles),
+            pl_seconds,
+            dma_words,
+            offloaded: self.offloaded.clone(),
+            backend: self.name(),
+        })
+    }
+}
+
+/// Fluent configuration for an [`Engine`]. Start from
+/// [`Engine::builder`]; every setting has the paper's default.
+pub struct EngineBuilder<'n> {
+    net: &'n Network,
+    board: Board,
+    offload: Offload,
+    ps: PsModel,
+    pl: PlModel,
+    bn: BnMode,
+    backend: BackendKind,
+    custom: Option<Box<dyn Backend + 'n>>,
+}
+
+impl<'n> EngineBuilder<'n> {
+    /// Target device (default: the PYNQ-Z2 of Table 1).
+    pub fn board(mut self, board: &Board) -> Self {
+        self.board = *board;
+        self
+    }
+
+    /// Placement policy (default: [`Offload::Auto`]).
+    pub fn offload(mut self, offload: Offload) -> Self {
+        self.offload = offload;
+        self
+    }
+
+    /// PS software-cost model (default: [`PsModel::Calibrated`]).
+    pub fn ps_model(mut self, ps: PsModel) -> Self {
+        self.ps = ps;
+        self
+    }
+
+    /// PL circuit configuration (default: conv_x16).
+    pub fn pl_model(mut self, pl: PlModel) -> Self {
+        self.pl = pl;
+        self
+    }
+
+    /// Batch-norm statistics for PS-resident stages (default:
+    /// [`BnMode::OnTheFly`], matching the PL circuit end to end).
+    pub fn bn_mode(mut self, bn: BnMode) -> Self {
+        self.bn = bn;
+        self
+    }
+
+    /// Which built-in backend executes (default: [`BackendKind::Auto`]).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Plug in a caller-provided [`Backend`] (multi-board sharding,
+    /// alternate fabrics, …). Placement planning and conflict checks
+    /// are skipped — the backend owns its execution strategy.
+    pub fn custom_backend(mut self, backend: Box<dyn Backend + 'n>) -> Self {
+        self.custom = Some(backend);
+        self
+    }
+
+    /// Validate the configuration and pre-quantize the offloaded
+    /// blocks — once. All placement, resource, and mode errors surface
+    /// here, never inside `infer`.
+    pub fn build(self) -> Result<Engine<'n>, EngineError> {
+        let spec = self.net.spec;
+        if let Some(custom) = self.custom {
+            return Ok(Engine {
+                target: OffloadTarget::None,
+                board: self.board,
+                bn: self.bn,
+                backend: custom,
+            });
+        }
+
+        // 1. Resolve the placement.
+        let target = match self.offload {
+            Offload::Auto => {
+                plan_offload(&spec, &self.board, self.pl.parallelism, &self.ps, &self.pl)
+            }
+            Offload::AutoExtended => {
+                plan_offload_extended(&spec, &self.board, self.pl.parallelism, &self.ps, &self.pl)
+            }
+            Offload::Target(t) => {
+                if !t.applicable_extended(&spec) {
+                    return Err(EngineError::TargetNotApplicable {
+                        target: t,
+                        variant: spec.variant,
+                    });
+                }
+                if !t.fits(&self.board, self.pl.parallelism) {
+                    return Err(EngineError::InfeasiblePlacement {
+                        target: t,
+                        parallelism: self.pl.parallelism,
+                    });
+                }
+                t
+            }
+        };
+
+        // 2. Resolve the backend and check conflicts.
+        let kind = match self.backend {
+            BackendKind::Auto => {
+                if target == OffloadTarget::None {
+                    BackendKind::PsSoftware
+                } else {
+                    BackendKind::Hybrid
+                }
+            }
+            explicit => explicit,
+        };
+        if kind == BackendKind::PsSoftware && target != OffloadTarget::None {
+            return Err(EngineError::BackendConflict {
+                backend: "ps-software",
+                target,
+            });
+        }
+        if kind == BackendKind::PlBitExact && self.bn == BnMode::Running {
+            return Err(EngineError::BnModeConflict {
+                backend: "pl-bit-exact",
+            });
+        }
+
+        // 3. Pre-quantize — once. The hybrid backend gets one simulated
+        //    circuit per offloaded stage; the fully-fixed-point backend
+        //    gets the whole Q20 network (its offloaded stages execute
+        //    straight out of it, so no second weight copy is built).
+        let offloaded: Vec<LayerName> = target.layers().to_vec();
+        let backend: Box<dyn Backend + 'n> = match kind {
+            BackendKind::PsSoftware => Box::new(HybridBackend {
+                name: "ps-software",
+                net: self.net,
+                pl_stages: Vec::new(),
+                offloaded: Vec::new(),
+                bn: self.bn,
+                ps: self.ps,
+                board: self.board,
+            }),
+            BackendKind::Hybrid => {
+                let pl_stages: Vec<PlStage> = target
+                    .layers()
+                    .iter()
+                    .map(|&layer| {
+                        let stage = self
+                            .net
+                            .stage(layer)
+                            .expect("applicability check guarantees the stage exists");
+                        debug_assert_eq!(stage.blocks.len(), 1, "single-instance checked above");
+                        PlStage {
+                            layer,
+                            accel: OdeBlockAccel::new(
+                                &stage.blocks[0],
+                                self.pl.parallelism,
+                                &self.board,
+                            ),
+                            execs: if stage.plan.is_ode {
+                                stage.plan.execs
+                            } else {
+                                1
+                            },
+                        }
+                    })
+                    .collect();
+                Box::new(HybridBackend {
+                    name: "hybrid",
+                    net: self.net,
+                    pl_stages,
+                    offloaded,
+                    bn: self.bn,
+                    ps: self.ps,
+                    board: self.board,
+                })
+            }
+            BackendKind::PlBitExact => Box::new(PlBitExactBackend {
+                qnet: self.net.quantize::<Q20>(),
+                offloaded,
+                ps: self.ps,
+                pl: self.pl,
+                board: self.board,
+            }),
+            BackendKind::Auto => unreachable!("resolved above"),
+        };
+        Ok(Engine {
+            target,
+            board: self.board,
+            bn: self.bn,
+            backend,
+        })
+    }
+}
+
+/// A validated, pre-quantized inference engine over a trained network.
+///
+/// Build via [`Engine::builder`]; see the module docs for the data
+/// flow. `infer` borrows the engine immutably, so one engine can serve
+/// from multiple threads behind a shared reference.
+pub struct Engine<'n> {
+    target: OffloadTarget,
+    board: Board,
+    bn: BnMode,
+    backend: Box<dyn Backend + 'n>,
+}
+
+impl core::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Engine")
+            .field("target", &self.target)
+            .field("board", &self.board.name)
+            .field("bn", &self.bn)
+            .field("backend", &self.backend.name())
+            .finish()
+    }
+}
+
+impl<'n> Engine<'n> {
+    /// Start configuring an engine over `net`.
+    pub fn builder(net: &'n Network) -> EngineBuilder<'n> {
+        EngineBuilder {
+            net,
+            board: PYNQ_Z2,
+            offload: Offload::Auto,
+            ps: PsModel::Calibrated,
+            pl: PlModel::default(),
+            bn: BnMode::OnTheFly,
+            backend: BackendKind::Auto,
+            custom: None,
+        }
+    }
+
+    /// The placement the engine was built with ([`OffloadTarget::None`]
+    /// for custom backends — they own their placement).
+    pub fn target(&self) -> OffloadTarget {
+        self.target
+    }
+
+    /// The layers running on the PL fabric.
+    pub fn offloaded(&self) -> &[LayerName] {
+        self.backend.offloaded()
+    }
+
+    /// Name of the executing backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The configured device.
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// The PS-side batch-norm statistics mode.
+    pub fn bn_mode(&self) -> BnMode {
+        self.bn
+    }
+
+    /// One-line human description for logs and examples.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} on {} — PL: {:?} ({} stage{})",
+            self.backend.name(),
+            self.board.name,
+            self.target,
+            self.offloaded().len(),
+            if self.offloaded().len() == 1 { "" } else { "s" },
+        )
+    }
+
+    fn check_shape(&self, x: &Tensor<f32>) -> Result<(), EngineError> {
+        let s = x.shape();
+        if s.n < 1 || s.c != 3 || s.h < 4 || s.w < 4 {
+            return Err(EngineError::ShapeMismatch { got: s });
+        }
+        Ok(())
+    }
+
+    /// Run one (possibly batched) input through the configured backend.
+    /// Setup — planning, validation, quantization — happened at build;
+    /// this call only executes.
+    pub fn infer(&self, x: &Tensor<f32>) -> Result<RunReport, EngineError> {
+        self.check_shape(x)?;
+        self.backend.infer(x)
+    }
+
+    /// Run a batch of inputs, amortizing the engine's one-time setup
+    /// across all of them. Every input is validated before any work is
+    /// done, so a malformed item cannot waste a partial batch. Timing
+    /// accumulates across reports (fold with
+    /// [`BatchSummary::from_runs`]); the board serves one image at a
+    /// time, so latency is additive.
+    pub fn infer_batch(&self, xs: &[Tensor<f32>]) -> Result<Vec<RunReport>, EngineError> {
+        if xs.is_empty() {
+            return Err(EngineError::EmptyBatch);
+        }
+        for x in xs {
+            self.check_shape(x)?;
+        }
+        xs.iter().map(|x| self.backend.infer(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodenet::{NetSpec, Variant};
+
+    fn image(seed: u64) -> Tensor<f32> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(Shape4::new(1, 3, 32, 32), |_, _, _, _| {
+            rng.random::<f32>() - 0.5
+        })
+    }
+
+    fn net(v: Variant) -> Network {
+        Network::new(NetSpec::new(v, 20).with_classes(10), 77)
+    }
+
+    #[test]
+    fn auto_plan_matches_planner() {
+        let net = net(Variant::ROdeNet3);
+        let engine = Engine::builder(&net)
+            .build()
+            .expect("default config builds");
+        assert_eq!(engine.target(), OffloadTarget::Layer32);
+        assert_eq!(engine.backend_name(), "hybrid");
+        assert_eq!(engine.offloaded(), &[rodenet::LayerName::Layer3_2]);
+    }
+
+    #[test]
+    fn resnet_auto_falls_back_to_software() {
+        let net = net(Variant::ResNet);
+        let engine = Engine::builder(&net).build().expect("software fallback");
+        assert_eq!(engine.target(), OffloadTarget::None);
+        assert_eq!(engine.backend_name(), "ps-software");
+        let run = engine.infer(&image(1)).expect("runs");
+        assert_eq!(run.pl_seconds, 0.0);
+        assert_eq!(run.dma_words, 0);
+    }
+
+    #[test]
+    fn removed_layer_is_rejected_at_build() {
+        let net = net(Variant::ROdeNet3); // layer2_2 removed
+        let err = Engine::builder(&net)
+            .offload(Offload::Target(OffloadTarget::Layer22))
+            .build()
+            .expect_err("layer2_2 does not exist");
+        assert_eq!(
+            err,
+            EngineError::TargetNotApplicable {
+                target: OffloadTarget::Layer22,
+                variant: Variant::ROdeNet3
+            }
+        );
+    }
+
+    #[test]
+    fn stacked_layer_is_rejected_at_build() {
+        let net = net(Variant::ResNet);
+        let err = Engine::builder(&net)
+            .offload(Offload::Target(OffloadTarget::Layer32))
+            .build()
+            .expect_err("stacked blocks cannot offload");
+        assert!(matches!(err, EngineError::TargetNotApplicable { .. }));
+    }
+
+    #[test]
+    fn tiny_board_is_infeasible() {
+        let mut small = PYNQ_Z2;
+        small.bram36 = 10;
+        let net = net(Variant::ROdeNet3);
+        let err = Engine::builder(&net)
+            .board(&small)
+            .offload(Offload::Target(OffloadTarget::Layer32))
+            .build()
+            .expect_err("10 BRAMs fit nothing");
+        assert_eq!(
+            err,
+            EngineError::InfeasiblePlacement {
+                target: OffloadTarget::Layer32,
+                parallelism: 16
+            }
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error_not_a_panic() {
+        let net = net(Variant::ROdeNet3);
+        let engine = Engine::builder(&net).build().unwrap();
+        let bad = Tensor::<f32>::zeros(Shape4::new(1, 1, 32, 32));
+        assert!(matches!(
+            engine.infer(&bad),
+            Err(EngineError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            engine.infer_batch(&[]),
+            Err(EngineError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn software_backend_with_pl_target_conflicts() {
+        let net = net(Variant::ROdeNet3);
+        let err = Engine::builder(&net)
+            .offload(Offload::Target(OffloadTarget::Layer32))
+            .backend(BackendKind::PsSoftware)
+            .build()
+            .expect_err("software backend cannot run PL stages");
+        assert!(matches!(err, EngineError::BackendConflict { .. }));
+    }
+
+    #[test]
+    fn pl_bit_exact_rejects_running_stats() {
+        let net = net(Variant::ROdeNet3);
+        let err = Engine::builder(&net)
+            .backend(BackendKind::PlBitExact)
+            .bn_mode(BnMode::Running)
+            .build()
+            .expect_err("the circuit has no running statistics");
+        assert_eq!(
+            err,
+            EngineError::BnModeConflict {
+                backend: "pl-bit-exact"
+            }
+        );
+    }
+
+    #[test]
+    fn infer_batch_accumulates() {
+        let net = net(Variant::ROdeNet3);
+        let engine = Engine::builder(&net).build().unwrap();
+        let xs: Vec<Tensor<f32>> = (0..3).map(image).collect();
+        let runs = engine.infer_batch(&xs).expect("batch runs");
+        assert_eq!(runs.len(), 3);
+        let summary = BatchSummary::from_runs(&runs);
+        assert_eq!(summary.images, 3);
+        let single = runs[0].total_seconds();
+        assert!((summary.total_seconds() - 3.0 * single).abs() < 1e-12);
+        assert!(summary.throughput() > 0.0);
+        assert_eq!(summary.dma_words, 3 * runs[0].dma_words);
+    }
+
+    #[test]
+    fn pl_bit_exact_tracks_hybrid_logits() {
+        let net = net(Variant::ROdeNet3);
+        let hybrid = Engine::builder(&net).build().unwrap();
+        let full_q = Engine::builder(&net)
+            .backend(BackendKind::PlBitExact)
+            .build()
+            .unwrap();
+        let x = image(3);
+        let a = hybrid.infer(&x).unwrap();
+        let b = full_q.infer(&x).unwrap();
+        // Same placement, same timing model; numerics differ only by
+        // the PS-side stages running in Q20.
+        assert_eq!(a.total_seconds(), b.total_seconds());
+        assert_eq!(a.dma_words, b.dma_words);
+        let d = a.logits.max_abs_diff(&b.logits);
+        assert!(d < 0.1, "full-Q20 drift {d}");
+    }
+
+    #[test]
+    fn custom_backend_plugs_in() {
+        struct Constant;
+        impl Backend for Constant {
+            fn name(&self) -> &'static str {
+                "constant"
+            }
+            fn offloaded(&self) -> &[LayerName] {
+                &[]
+            }
+            fn infer(&self, x: &Tensor<f32>) -> Result<RunReport, EngineError> {
+                Ok(RunReport {
+                    logits: Tensor::zeros(Shape4::new(x.shape().n, 10, 1, 1)),
+                    images: x.shape().n,
+                    ps_seconds: 0.5,
+                    pl_seconds: 0.0,
+                    dma_words: 0,
+                    offloaded: Vec::new(),
+                    backend: "constant",
+                })
+            }
+        }
+        let net = net(Variant::ROdeNet3);
+        let engine = Engine::builder(&net)
+            .custom_backend(Box::new(Constant))
+            .build()
+            .unwrap();
+        assert_eq!(engine.backend_name(), "constant");
+        let run = engine.infer(&image(4)).unwrap();
+        assert_eq!(run.ps_seconds, 0.5);
+    }
+
+    #[test]
+    fn engine_serves_from_multiple_threads() {
+        // The docs promise shared-reference serving; keep the trait
+        // bounds honest (this is a compile-time contract as much as a
+        // runtime one).
+        fn assert_sync<T: Send + Sync>(_: &T) {}
+        let net = net(Variant::ROdeNet3);
+        let engine = Engine::builder(&net).build().unwrap();
+        assert_sync(&engine);
+        let logits: Vec<Tensor<f32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let engine = &engine;
+                    s.spawn(move || engine.infer(&image(i)).unwrap().logits)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Same seeds as a serial run — concurrency must not change results.
+        for (i, l) in logits.iter().enumerate() {
+            let serial = engine.infer(&image(i as u64)).unwrap();
+            assert_eq!(l.as_slice(), serial.logits.as_slice());
+        }
+    }
+
+    #[test]
+    fn describe_mentions_backend_and_board() {
+        let net = net(Variant::ROdeNet3);
+        let engine = Engine::builder(&net).build().unwrap();
+        let d = engine.describe();
+        assert!(d.contains("hybrid") && d.contains("PYNQ-Z2"), "{d}");
+    }
+}

@@ -21,7 +21,10 @@
 //!   1-cycle-per-word AXI DMA assumption;
 //! * [`planner`] — the §3.2 offload feasibility analysis (which layers
 //!   fit in BRAM, which combinations are legal, what conv_x·n passes
-//!   timing).
+//!   timing);
+//! * [`engine`] — the deployment API: a builder-configured, validated
+//!   [`Engine`] that plans and quantizes once, then serves single or
+//!   batched inference through pluggable [`Backend`]s.
 //!
 //! ```
 //! use zynq_sim::resources::{ode_block_resources};
@@ -37,6 +40,7 @@
 
 pub mod board;
 pub mod datapath;
+pub mod engine;
 pub mod planner;
 pub mod power;
 pub mod resources;
@@ -45,8 +49,13 @@ pub mod timing;
 
 pub use board::{Board, PYNQ_Z2};
 pub use datapath::{block_exec_cycles, conv_cycles, OdeBlockAccel};
+pub use engine::{
+    Backend, BackendKind, BatchSummary, Engine, EngineBuilder, EngineError, Offload, RunReport,
+};
 pub use planner::{plan_offload, OffloadTarget};
 pub use power::{EnergyReport, PowerModel};
 pub use resources::{ode_block_resources, ResourceReport};
-pub use system::{run_hybrid, run_hybrid_with, HybridRun};
+pub use system::HybridRun;
+#[allow(deprecated)]
+pub use system::{run_hybrid, run_hybrid_with};
 pub use timing::{table5_row, PlModel, PsModel, Table5Row};

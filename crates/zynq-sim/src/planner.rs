@@ -61,12 +61,24 @@ impl OffloadTarget {
     }
 
     /// Whether the placement fits `board` at the given parallelism.
+    ///
+    /// A parallelism exceeding a target layer's output channel count
+    /// cannot be instantiated (there is no ⌈O/n⌉-th channel group to
+    /// feed the extra units), so `fits` reports such placements as
+    /// infeasible — which is what the planner and the engine builder
+    /// consult. Note the guard lives here, at the placement level: the
+    /// low-level per-circuit model ([`ode_block_resources`]) keeps
+    /// `parallelism ≤ channels` as an asserted precondition.
     pub fn fits(&self, board: &Board, parallelism: usize) -> bool {
         let mut bram18 = 0u32;
         let mut dsp = 0u32;
         let mut lut = 0u32;
         let mut ff = 0u32;
         for &layer in self.layers() {
+            let (channels, _) = layer.geometry();
+            if parallelism > channels {
+                return false;
+            }
             let r = ode_block_resources(layer, parallelism);
             bram18 += r.bram18;
             dsp += r.dsp;
@@ -143,7 +155,11 @@ fn plan_with(
     let mut best = OffloadTarget::None;
     let mut best_time = f64::INFINITY;
     for target in OffloadTarget::ALL {
-        let ok = if extended { target.applicable_extended(spec) } else { target.applicable(spec) };
+        let ok = if extended {
+            target.applicable_extended(spec)
+        } else {
+            target.applicable(spec)
+        };
         if !target.fits(board, parallelism) || !ok {
             continue;
         }
@@ -185,8 +201,14 @@ mod tests {
 
     #[test]
     fn paper_defaults() {
-        assert_eq!(OffloadTarget::paper_default(Variant::ResNet), OffloadTarget::None);
-        assert_eq!(OffloadTarget::paper_default(Variant::ROdeNet3), OffloadTarget::Layer32);
+        assert_eq!(
+            OffloadTarget::paper_default(Variant::ResNet),
+            OffloadTarget::None
+        );
+        assert_eq!(
+            OffloadTarget::paper_default(Variant::ROdeNet3),
+            OffloadTarget::Layer32
+        );
         assert_eq!(
             OffloadTarget::paper_default(Variant::ROdeNet12),
             OffloadTarget::Layer1And22
@@ -231,23 +253,34 @@ mod tests {
         )
         .total_w_pl;
         let t_planned =
-            crate::timing::table5_row(spec.variant, spec.n, &choice, &ps, &pl, &PYNQ_Z2)
-                .total_w_pl;
+            crate::timing::table5_row(spec.variant, spec.n, &choice, &ps, &pl, &PYNQ_Z2).total_w_pl;
         assert!(t_planned < t_paper, "{t_planned} < {t_paper}");
     }
 
     #[test]
     fn planner_falls_back_to_software_for_resnet() {
         let spec = NetSpec::new(Variant::ResNet, 20);
-        let choice =
-            plan_offload(&spec, &PYNQ_Z2, 16, &PsModel::Calibrated, &PlModel::default());
-        assert_eq!(choice, OffloadTarget::None, "stacked layers cannot be offloaded");
+        let choice = plan_offload(
+            &spec,
+            &PYNQ_Z2,
+            16,
+            &PsModel::Calibrated,
+            &PlModel::default(),
+        );
+        assert_eq!(
+            choice,
+            OffloadTarget::None,
+            "stacked layers cannot be offloaded"
+        );
     }
 
     #[test]
     fn applicability_respects_removed_layers() {
         let spec = NetSpec::new(Variant::ROdeNet3, 20);
-        assert!(!OffloadTarget::Layer22.applicable(&spec), "layer2_2 was removed");
+        assert!(
+            !OffloadTarget::Layer22.applicable(&spec),
+            "layer2_2 was removed"
+        );
         assert!(OffloadTarget::Layer32.applicable(&spec));
         // layer1 exists but is a once-executed plain block: outside the
         // paper policy, allowed in the extended policy.

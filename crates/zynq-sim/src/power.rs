@@ -72,7 +72,12 @@ impl PowerModel {
 
     /// Energy of one inference described by a Table 5 row, with the PL
     /// circuit(s) given in `resources` (empty for software-only rows).
-    pub fn energy(&self, row: &Table5Row, resources: &[ResourceReport], _board: &Board) -> EnergyReport {
+    pub fn energy(
+        &self,
+        row: &Table5Row,
+        resources: &[ResourceReport],
+        _board: &Board,
+    ) -> EnergyReport {
         let pl_time: f64 = row.targets_w_pl.iter().sum();
         let ps_time = row.total_w_pl - pl_time;
         let pl_active: f64 = resources.iter().map(|r| self.pl_active_w(r)).sum::<f64>();

@@ -49,7 +49,10 @@ pub struct LayerGeom {
 pub fn layer_geom(layer: LayerName) -> LayerGeom {
     let (c, hw) = layer.geometry();
     assert!(
-        matches!(layer, LayerName::Layer1 | LayerName::Layer2_2 | LayerName::Layer3_2),
+        matches!(
+            layer,
+            LayerName::Layer1 | LayerName::Layer2_2 | LayerName::Layer3_2
+        ),
         "only the shape-preserving ODE layers are offloadable (got {layer})"
     );
     LayerGeom { c, hw }
@@ -128,18 +131,30 @@ pub fn dsp_slices(parallelism: usize) -> u32 {
 /// `(layer, n) → (LUT, FF)`.
 pub fn characterized_lut_ff(layer: LayerName, parallelism: usize) -> Option<(u32, u32)> {
     let table: &[(usize, (u32, u32))] = match layer {
-        LayerName::Layer1 => {
-            &[(1, (1486, 835)), (4, (2992, 1358)), (8, (4740, 2058)), (16, (8994, 4145))]
-        }
-        LayerName::Layer2_2 => {
-            &[(1, (1482, 833)), (4, (2946, 1346)), (8, (4737, 2032)), (16, (8844, 4873))]
-        }
-        LayerName::Layer3_2 => {
-            &[(1, (1692, 927)), (4, (3048, 1411)), (8, (4907, 2059)), (16, (12720, 6378))]
-        }
+        LayerName::Layer1 => &[
+            (1, (1486, 835)),
+            (4, (2992, 1358)),
+            (8, (4740, 2058)),
+            (16, (8994, 4145)),
+        ],
+        LayerName::Layer2_2 => &[
+            (1, (1482, 833)),
+            (4, (2946, 1346)),
+            (8, (4737, 2032)),
+            (16, (8844, 4873)),
+        ],
+        LayerName::Layer3_2 => &[
+            (1, (1692, 927)),
+            (4, (3048, 1411)),
+            (8, (4907, 2059)),
+            (16, (12720, 6378)),
+        ],
         _ => return None,
     };
-    table.iter().find(|(n, _)| *n == parallelism).map(|(_, v)| *v)
+    table
+        .iter()
+        .find(|(n, _)| *n == parallelism)
+        .map(|(_, v)| *v)
 }
 
 /// Linear LUT/FF model per layer, least-squares fitted to the
@@ -157,8 +172,16 @@ pub fn modelled_lut_ff(layer: LayerName, parallelism: usize) -> (u32, u32) {
     };
     // Superlinear correction calibrated on the layer3_2 conv_x16 cell.
     let n = parallelism as f64;
-    let extra = if n > 8.0 { (n - 8.0) * (n - 8.0) * 65.0 } else { 0.0 };
-    let extra_ff = if n > 8.0 { (n - 8.0) * (n - 8.0) * 60.0 } else { 0.0 };
+    let extra = if n > 8.0 {
+        (n - 8.0) * (n - 8.0) * 65.0
+    } else {
+        0.0
+    };
+    let extra_ff = if n > 8.0 {
+        (n - 8.0) * (n - 8.0) * 60.0
+    } else {
+        0.0
+    };
     (
         (lb + lm * n + extra).round() as u32,
         (fb + fm * n + extra_ff).round() as u32,
@@ -272,7 +295,11 @@ mod tests {
                 _ => unreachable!(),
             };
             for layer in [LayerName::Layer1, LayerName::Layer2_2, LayerName::Layer3_2] {
-                assert_eq!(ode_block_resources(layer, n).dsp, expect, "{layer} conv_x{n}");
+                assert_eq!(
+                    ode_block_resources(layer, n).dsp,
+                    expect,
+                    "{layer} conv_x{n}"
+                );
             }
         }
     }
@@ -321,7 +348,10 @@ mod tests {
         // The superlinear correction keeps n = 16 in the right range too.
         let (ml, _) = modelled_lut_ff(LayerName::Layer3_2, 16);
         let (cl, _) = characterized_lut_ff(LayerName::Layer3_2, 16).unwrap();
-        assert!((ml as f64 / cl as f64 - 1.0).abs() < 0.35, "x16 lut {ml} vs {cl}");
+        assert!(
+            (ml as f64 / cl as f64 - 1.0).abs() < 0.35,
+            "x16 lut {ml} vs {cl}"
+        );
     }
 
     #[test]
@@ -371,7 +401,11 @@ mod tests {
         for layer in [LayerName::Layer1, LayerName::Layer2_2, LayerName::Layer3_2] {
             for n in [1usize, 8, 16] {
                 let r = ode_block_resources(layer, n);
-                assert_eq!(bram36_at_width(layer, n, 4), r.bram36_used(), "{layer} x{n}");
+                assert_eq!(
+                    bram36_at_width(layer, n, 4),
+                    r.bram36_used(),
+                    "{layer} x{n}"
+                );
             }
         }
     }

@@ -1,19 +1,31 @@
-//! The full system: PS software + PL accelerator executing one network
-//! together (Figure 3).
+//! The legacy free-function system interface (Figure 3), kept as thin
+//! shims over [`crate::engine::Engine`].
 //!
-//! [`run_hybrid`] walks a trained [`rodenet::Network`] layer by layer.
-//! Stages claimed by the [`OffloadTarget`] are quantized to Q20, shipped
-//! over the modelled AXI DMA, executed bit-exactly on the simulated
-//! ODEBlock circuit, and converted back to `f32`; every other stage runs
-//! as f32 software. The returned [`HybridRun`] carries the logits *and*
-//! the modelled wall-clock decomposition, so functional and timing
-//! results come from one execution.
+//! [`run_hybrid`] and [`run_hybrid_with`] predate the engine: they
+//! re-planned and re-quantized the offloaded blocks on **every call**.
+//! Both now build a one-shot [`Engine`](crate::engine::Engine) and
+//! delegate — logits and timing are unchanged (the engine's hybrid
+//! backend walks the network in the same order with the same numerics),
+//! but new code should hold an `Engine` and reuse it.
+//!
+//! Migration:
+//!
+//! ```text
+//! // before
+//! let run = run_hybrid_with(&net, &x, target, bn, &ps, &pl, &board);
+//! // after
+//! let engine = Engine::builder(&net)
+//!     .board(&board)
+//!     .offload(Offload::Target(target))
+//!     .ps_model(ps).pl_model(pl).bn_mode(bn)
+//!     .build()?;             // validate + quantize once…
+//! let run = engine.infer(&x)?;   // …then serve many images
+//! ```
 
 use crate::board::Board;
-use crate::datapath::OdeBlockAccel;
+use crate::engine::{BackendKind, Engine, Offload};
 use crate::planner::OffloadTarget;
 use crate::timing::{PlModel, PsModel};
-use qfixed::Q20;
 use rodenet::{BnMode, LayerName, Network};
 use tensor::Tensor;
 
@@ -42,6 +54,11 @@ impl HybridRun {
 /// Execute `net` on `x` with `target` layers on the simulated PL, using
 /// on-the-fly batch norm for the PS-side stages (matching the PL's
 /// statistics mode end to end).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `zynq_sim::engine::Engine` once and call `infer` — \
+            this shim re-validates and re-quantizes on every call"
+)]
 pub fn run_hybrid(
     net: &Network,
     x: &Tensor<f32>,
@@ -50,6 +67,7 @@ pub fn run_hybrid(
     pl: &PlModel,
     board: &Board,
 ) -> HybridRun {
+    #[allow(deprecated)]
     run_hybrid_with(net, x, target, BnMode::OnTheFly, ps, pl, board)
 }
 
@@ -67,6 +85,18 @@ pub fn run_hybrid(
 /// accuracy when its hot block moves to the PL, because the circuit
 /// recomputes statistics per feature map. The gap shrinks as feature
 /// maps grow; see EXPERIMENTS.md ("BN statistics at deployment").
+///
+/// # Panics
+/// On configurations the engine rejects ([`crate::engine::EngineError`]):
+/// placements naming removed or stacked layers, placements that do not
+/// fit the fabric, or non-CIFAR-shaped inputs. (The original
+/// free-function asserted on a subset of these; invalid placements now
+/// fail loudly instead of silently under-reporting.)
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `zynq_sim::engine::Engine` once and call `infer` — \
+            this shim re-validates and re-quantizes on every call"
+)]
 pub fn run_hybrid_with(
     net: &Network,
     x: &Tensor<f32>,
@@ -76,51 +106,33 @@ pub fn run_hybrid_with(
     pl: &PlModel,
     board: &Board,
 ) -> HybridRun {
-    let offloaded: Vec<LayerName> = target.layers().to_vec();
-    let mut ps_cycles: u64 =
-        ps.block_exec_cycles(LayerName::Conv1, false) + ps.block_exec_cycles(LayerName::Fc, false);
-    ps_cycles += ps.runtime_overhead_cycles();
-    let mut pl_seconds = 0.0f64;
-    let mut dma_words = 0u64;
-
-    let mut z = net.pre_forward(x);
-    for stage in &net.stages {
-        if stage.blocks.is_empty() {
-            continue;
-        }
-        let on_pl = offloaded.contains(&stage.name);
-        for block in &stage.blocks {
-            if on_pl {
-                assert_eq!(stage.blocks.len(), 1, "only single-instance stages offload");
-                let accel = OdeBlockAccel::new(block, pl.parallelism, board);
-                let zq: Tensor<Q20> = Tensor::from_f32_tensor(&z);
-                let execs = if stage.plan.is_ode { stage.plan.execs } else { 1 };
-                let run = accel.run_stage(&zq, execs);
-                dma_words += crate::datapath::dma_words(stage.name);
-                pl_seconds += run.seconds;
-                z = run.output.to_f32();
-            } else {
-                z = if stage.plan.is_ode {
-                    block.ode_forward(&z, stage.plan.execs, ps_bn)
-                } else {
-                    block.residual_forward(&z, ps_bn)
-                };
-                ps_cycles +=
-                    stage.plan.execs as u64 * ps.block_exec_cycles(stage.name, stage.plan.is_ode);
-            }
-        }
-    }
-    let logits = net.fc_forward(&z);
+    let engine = Engine::builder(net)
+        .board(board)
+        .offload(Offload::Target(target))
+        .ps_model(*ps)
+        .pl_model(*pl)
+        .bn_mode(ps_bn)
+        .backend(if target == OffloadTarget::None {
+            BackendKind::PsSoftware
+        } else {
+            BackendKind::Hybrid
+        })
+        .build()
+        .unwrap_or_else(|e| panic!("run_hybrid_with: {e}"));
+    let run = engine
+        .infer(x)
+        .unwrap_or_else(|e| panic!("run_hybrid_with: {e}"));
     HybridRun {
-        logits,
-        ps_seconds: board.ps_seconds(ps_cycles),
-        pl_seconds,
-        dma_words,
-        offloaded,
+        logits: run.logits,
+        ps_seconds: run.ps_seconds,
+        pl_seconds: run.pl_seconds,
+        dma_words: run.dma_words,
+        offloaded: run.offloaded,
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims are exactly what these tests pin down
 mod tests {
     use super::*;
     use crate::board::PYNQ_Z2;
@@ -131,7 +143,9 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
-        Tensor::from_fn(Shape4::new(1, 3, 32, 32), |_, _, _, _| rng.random::<f32>() - 0.5)
+        Tensor::from_fn(Shape4::new(1, 3, 32, 32), |_, _, _, _| {
+            rng.random::<f32>() - 0.5
+        })
     }
 
     #[test]

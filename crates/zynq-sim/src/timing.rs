@@ -98,7 +98,11 @@ impl PsModel {
     /// The analytic model with constants matching the calibrated fit's
     /// global averages (≈ 7.6 cycles/MAC — a plausible scalar-FPU ARM).
     pub fn analytic_default() -> Self {
-        PsModel::Analytic { cycles_per_mac: 7.6, cycles_per_elem: 12.0, cycles_per_block: 500_000.0 }
+        PsModel::Analytic {
+            cycles_per_mac: 7.6,
+            cycles_per_elem: 12.0,
+            cycles_per_block: 500_000.0,
+        }
     }
 
     /// PS cycles for one execution of a residual-layer block.
@@ -116,7 +120,11 @@ impl PsModel {
                 (LayerName::Conv1, _) => calibrated::CONV1,
                 (LayerName::Fc, _) => calibrated::FC,
             },
-            PsModel::Analytic { cycles_per_mac, cycles_per_elem, cycles_per_block } => {
+            PsModel::Analytic {
+                cycles_per_mac,
+                cycles_per_elem,
+                cycles_per_block,
+            } => {
                 (block_macs(layer, is_ode) as f64 * cycles_per_mac
                     + block_elems(layer) as f64 * cycles_per_elem
                     + cycles_per_block) as u64
@@ -145,14 +153,19 @@ impl PsModel {
             LayerName::Layer3_2,
         ] {
             let plan = spec.plan(layer);
-            total += (plan.total_execs() as u64)
-                * self.block_exec_cycles(layer, plan.is_ode);
+            total += (plan.total_execs() as u64) * self.block_exec_cycles(layer, plan.is_ode);
         }
         total
     }
 
     /// PS seconds for one stage of `execs` block runs.
-    pub fn stage_seconds(&self, layer: LayerName, is_ode: bool, execs: usize, board: &Board) -> f64 {
+    pub fn stage_seconds(
+        &self,
+        layer: LayerName,
+        is_ode: bool,
+        execs: usize,
+        board: &Board,
+    ) -> f64 {
         board.ps_seconds(execs as u64 * self.block_exec_cycles(layer, is_ode))
     }
 
@@ -233,8 +246,8 @@ pub fn table5_row(
         targets_wo_pl.push(wo);
         targets_w_pl.push(w);
     }
-    let total_w_pl = total_wo_pl - targets_wo_pl.iter().sum::<f64>()
-        + targets_w_pl.iter().sum::<f64>();
+    let total_w_pl =
+        total_wo_pl - targets_wo_pl.iter().sum::<f64>() + targets_w_pl.iter().sum::<f64>();
     Table5Row {
         variant,
         n,
@@ -292,11 +305,31 @@ mod tests {
     fn rodenet3_row_matches_table5() {
         // The paper's headline row: rODENet-3-56.
         let r = row(Variant::ROdeNet3, 56);
-        assert!((r.total_wo_pl - 1.57).abs() < 0.02, "total w/o {}", r.total_wo_pl);
-        assert!((r.targets_wo_pl[0] - 1.38).abs() < 0.02, "target w/o {}", r.targets_wo_pl[0]);
-        assert!((r.ratio_pct[0] - 87.87).abs() < 1.0, "ratio {}", r.ratio_pct[0]);
-        assert!((r.targets_w_pl[0] - 0.40).abs() < 0.005, "target w/ {}", r.targets_w_pl[0]);
-        assert!((r.total_w_pl - 0.59).abs() < 0.02, "total w/ {}", r.total_w_pl);
+        assert!(
+            (r.total_wo_pl - 1.57).abs() < 0.02,
+            "total w/o {}",
+            r.total_wo_pl
+        );
+        assert!(
+            (r.targets_wo_pl[0] - 1.38).abs() < 0.02,
+            "target w/o {}",
+            r.targets_wo_pl[0]
+        );
+        assert!(
+            (r.ratio_pct[0] - 87.87).abs() < 1.0,
+            "ratio {}",
+            r.ratio_pct[0]
+        );
+        assert!(
+            (r.targets_w_pl[0] - 0.40).abs() < 0.005,
+            "target w/ {}",
+            r.targets_w_pl[0]
+        );
+        assert!(
+            (r.total_w_pl - 0.59).abs() < 0.02,
+            "total w/ {}",
+            r.total_w_pl
+        );
         assert!((r.speedup - 2.66).abs() < 0.1, "speedup {}", r.speedup);
     }
 
@@ -358,9 +391,17 @@ mod tests {
         // rODENet-3.
         for n in [20usize, 32, 44, 56] {
             let h = row(Variant::Hybrid3, n);
-            assert!(h.ratio_pct[0] > 18.0 && h.ratio_pct[0] < 32.0, "Hybrid-3-{n}: {}", h.ratio_pct[0]);
+            assert!(
+                h.ratio_pct[0] > 18.0 && h.ratio_pct[0] < 32.0,
+                "Hybrid-3-{n}: {}",
+                h.ratio_pct[0]
+            );
             let r = row(Variant::ROdeNet3, n);
-            assert!(r.ratio_pct[0] > 60.0 && r.ratio_pct[0] < 90.0, "rODENet-3-{n}: {}", r.ratio_pct[0]);
+            assert!(
+                r.ratio_pct[0] > 60.0 && r.ratio_pct[0] < 90.0,
+                "rODENet-3-{n}: {}",
+                r.ratio_pct[0]
+            );
         }
     }
 

@@ -2,8 +2,8 @@
 //!
 //! Phase 1 (the training workstation): train a network, save a `.rodn`
 //! checkpoint. Phase 2 (the board): load the checkpoint fresh, verify
-//! bit-identical behaviour, then serve predictions through the hybrid
-//! PS+PL executor with the planner's placement.
+//! bit-identical behaviour, build the deployment [`Engine`] **once**
+//! (planning + Q20 quantization), then serve predictions through it.
 //!
 //! ```text
 //! cargo run --release --example checkpoint_deploy
@@ -18,11 +18,22 @@ fn main() {
     let path = dir.join("rodenet3-20.rodn");
 
     // ---- Phase 1: train and checkpoint --------------------------------
-    let cfg = SynthConfig { classes: 4, per_class: 20, hw: 16, noise: 0.2, jitter: 1, seed: 77 };
+    let cfg = SynthConfig {
+        classes: 4,
+        per_class: 20,
+        hw: 16,
+        noise: 0.2,
+        jitter: 1,
+        seed: 77,
+    };
     let (train, test) = generate_split(&cfg, 8);
     let spec = NetSpec::new(Variant::ROdeNet3, 20).with_classes(4);
     let mut net = Network::new(spec, 7);
-    println!("phase 1: training {} ({} params)…", spec.display_name(), net.param_count());
+    println!(
+        "phase 1: training {} ({} params)…",
+        spec.display_name(),
+        net.param_count()
+    );
     let hist = train_epochs(
         &mut net,
         &train.images,
@@ -43,27 +54,38 @@ fn main() {
     let x = test.images.item_tensor(0);
     let before = net.forward(&x, BnMode::OnTheFly);
     let after = deployed.forward(&x, BnMode::OnTheFly);
-    assert_eq!(before.as_slice(), after.as_slice(), "reload must be bit-identical");
+    assert_eq!(
+        before.as_slice(),
+        after.as_slice(),
+        "reload must be bit-identical"
+    );
     println!("phase 2: reload is bit-identical ✓");
 
-    let ps = PsModel::Calibrated;
-    let pl = PlModel::default();
-    let target = plan_offload(&deployed.spec, &PYNQ_Z2, 16, &ps, &pl);
-    println!("phase 2: planner placed {target:?} on the PL");
-    let mut hits = 0usize;
-    let mut total_time = 0.0f64;
-    for i in 0..test.len() {
-        let xi = test.images.item_tensor(i);
-        let run = run_hybrid(&deployed, &xi, target, &ps, &pl, &PYNQ_Z2);
-        let pred = tensor::softmax::argmax(&run.logits)[0];
-        hits += usize::from(pred == test.labels[i]);
-        total_time += run.total_seconds();
-    }
+    // One engine for the whole serving loop: the placement is planned
+    // and the PL weights quantized exactly once, not per request.
+    let engine = Engine::builder(&deployed)
+        .board(&PYNQ_Z2)
+        .offload(Offload::Auto)
+        .build()
+        .expect("checkpointed architecture deploys");
+    println!("phase 2: {}", engine.describe());
+
+    let requests: Vec<Tensor<f32>> = (0..test.len())
+        .map(|i| test.images.item_tensor(i))
+        .collect();
+    let runs = engine.infer_batch(&requests).expect("serving batch");
+    let hits = runs
+        .iter()
+        .zip(&test.labels)
+        .filter(|(run, &label)| tensor::softmax::argmax(&run.logits)[0] == label)
+        .count();
+    let summary = BatchSummary::from_runs(&runs);
     println!(
-        "phase 2: served {} images — accuracy {:.3}, mean modelled latency {:.3}s",
-        test.len(),
+        "phase 2: served {} images — accuracy {:.3}, mean modelled latency {:.3}s, {:.2} img/s",
+        summary.images,
         hits as f32 / test.len() as f32,
-        total_time / test.len() as f64
+        summary.total_seconds() / summary.images as f64,
+        summary.throughput(),
     );
     let _ = std::fs::remove_file(&path);
 }

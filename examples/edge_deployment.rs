@@ -2,10 +2,11 @@
 //! introduction motivates: a resource-limited edge device must run a
 //! CIFAR-class CNN; which variant, which depth, and which offload?
 //!
-//! Sweeps all seven architectures × paper depths, scores parameter size
-//! (must fit alongside everything else in 512 MB / in BRAM for the
-//! offloaded part), modelled latency, and the PL resources of the chosen
-//! offload; prints a decision table.
+//! Sweeps all seven architectures × paper depths; for each, builds a
+//! deployment [`Engine`] (planner-chosen placement, validated against
+//! the fabric), scores parameter size (must fit alongside everything
+//! else in 512 MB / in BRAM for the offloaded part), modelled latency,
+//! and the PL resources of the chosen offload; prints a decision table.
 //!
 //! ```text
 //! cargo run --release --example edge_deployment
@@ -27,7 +28,17 @@ fn main() {
     for v in Variant::ALL {
         for n in PAPER_DEPTHS {
             let spec = NetSpec::new(v, n);
-            let target = plan_offload(&spec, &PYNQ_Z2, 16, &ps, &pl);
+            let net = Network::new(spec, 1);
+            // The engine plans the placement and validates the fit; its
+            // target feeds the same Table 5 timing model the run uses.
+            let engine = Engine::builder(&net)
+                .board(&PYNQ_Z2)
+                .offload(Offload::Auto)
+                .ps_model(ps)
+                .pl_model(pl)
+                .build()
+                .expect("Auto placement is always feasible (None at worst)");
+            let target = engine.target();
             let row = table5_row(v, n, &target, &ps, &pl, &PYNQ_Z2);
             let kb = spec_kb(&spec);
             println!(

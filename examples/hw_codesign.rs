@@ -2,7 +2,9 @@
 //! the ODEBlock circuit instantiate? Sweeps conv_x1 … conv_x64 for each
 //! offloadable layer, printing cycles, modelled latency, resources, and
 //! whether the configuration closes timing and fits the XC7Z020 — the
-//! §3.1/§3.2 exploration as a reusable tool.
+//! §3.1/§3.2 exploration as a reusable tool. The sweep closes with the
+//! deployment [`Engine`]'s verdict per parallelism (its builder rejects
+//! configurations the fabric cannot host).
 //!
 //! ```text
 //! cargo run --release --example hw_codesign [N]
@@ -13,9 +15,15 @@ use zynq_sim::datapath::{block_exec_cycles, stage_cycles};
 use zynq_sim::resources::timing_closure_hz;
 
 fn main() {
-    let n_depth: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(56);
+    let n_depth: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(56);
     let spec = NetSpec::new(Variant::ROdeNet3, n_depth);
-    println!("co-design sweep for {} (offload target layer3_2)\n", spec.display_name());
+    println!(
+        "co-design sweep for {} (offload target layer3_2)\n",
+        spec.display_name()
+    );
     for layer in [LayerName::Layer1, LayerName::Layer2_2, LayerName::Layer3_2] {
         let execs = match layer {
             LayerName::Layer1 => spec.layer1.execs,
@@ -52,4 +60,31 @@ fn main() {
         println!();
     }
     println!("(the paper settles on conv_x16: conv_x32 misses the 100 MHz timing constraint\n and DSP/LUT growth outpaces the shrinking cycle count)");
+
+    // The engine's build-time verdict for each parallelism: modelled
+    // per-image latency when the placement deploys, the builder's error
+    // when it does not.
+    println!(
+        "\nengine verdict for {} (layer3_2 placement):",
+        spec.display_name()
+    );
+    let net = Network::new(spec.with_classes(10), 3);
+    for parallelism in [1usize, 4, 8, 16, 32, 64] {
+        let verdict = Engine::builder(&net)
+            .board(&PYNQ_Z2)
+            .offload(Offload::Target(OffloadTarget::Layer32))
+            .pl_model(PlModel { parallelism })
+            .build();
+        match verdict {
+            Ok(engine) => {
+                let x = Tensor::<f32>::zeros(Shape4::new(1, 3, 32, 32));
+                let run = engine.infer(&x).expect("CIFAR-shaped input");
+                println!(
+                    "  conv_x{parallelism:<3} deploys: {:.3}s per image",
+                    run.total_seconds()
+                );
+            }
+            Err(e) => println!("  conv_x{parallelism:<3} rejected: {e}"),
+        }
+    }
 }

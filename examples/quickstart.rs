@@ -1,6 +1,7 @@
 //! Quickstart: build the paper's recommended architecture (rODENet-3),
-//! run one image through the hybrid PS+PL system, and print what the
-//! paper's Table 5 row would say about it.
+//! configure a deployment [`Engine`] for the simulated PYNQ-Z2, run one
+//! image through the hybrid PS+PL system, and print what the paper's
+//! Table 5 row would say about it.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -14,27 +15,44 @@ fn main() {
     let spec = NetSpec::new(Variant::ROdeNet3, 20).with_classes(100);
     let net = Network::new(spec, 42);
     println!("architecture : {}", spec.display_name());
-    println!("parameters   : {} ({:.1} kB)", net.param_count(), net.param_count() as f64 * 4.0 / 1000.0);
+    println!(
+        "parameters   : {} ({:.1} kB)",
+        net.param_count(),
+        net.param_count() as f64 * 4.0 / 1000.0
+    );
 
     // 2. A CIFAR-shaped input (synthetic here; swap in cifar_data::cifar
     //    when you have the real binaries).
-    let ds = generate(&SynthConfig { classes: 100, per_class: 1, hw: 32, ..Default::default() });
+    let ds = generate(&SynthConfig {
+        classes: 100,
+        per_class: 1,
+        hw: 32,
+        ..Default::default()
+    });
     let image = ds.images.item_tensor(0);
 
     // 3. Pure-software inference on the PS.
     let logits_sw = net.forward(&image, BnMode::OnTheFly);
     let sw_secs = PsModel::Calibrated.spec_seconds(&spec, &PYNQ_Z2);
-    println!("\nPS-only      : argmax={:?}  modelled latency {:.3}s", tensor::softmax::argmax(&logits_sw), sw_secs);
-
-    // 4. Hybrid inference: layer3_2 on the simulated PL (bit-exact Q20).
-    let run = run_hybrid(
-        &net,
-        &image,
-        OffloadTarget::Layer32,
-        &PsModel::Calibrated,
-        &PlModel::default(),
-        &PYNQ_Z2,
+    println!(
+        "\nPS-only      : argmax={:?}  modelled latency {:.3}s",
+        tensor::softmax::argmax(&logits_sw),
+        sw_secs
     );
+
+    // 4. The deployment engine: planned, validated, and quantized once
+    //    at build; every infer() after that is cheap and repeatable.
+    let engine = Engine::builder(&net)
+        .board(&PYNQ_Z2)
+        .offload(Offload::Auto)
+        .ps_model(PsModel::Calibrated)
+        .pl_model(PlModel::default())
+        .bn_mode(BnMode::OnTheFly)
+        .build()
+        .expect("rODENet-3's layer3_2 fits the XC7Z020 at conv_x16");
+    println!("engine       : {}", engine.describe());
+
+    let run = engine.infer(&image).expect("CIFAR-shaped input");
     println!(
         "PS + PL      : argmax={:?}  modelled latency {:.3}s (PS {:.3}s + PL {:.3}s, {} DMA words)",
         tensor::softmax::argmax(&run.logits),
@@ -49,9 +67,18 @@ fn main() {
         logits_sw.max_abs_diff(&run.logits)
     );
 
-    // 5. What the planner would pick, given the fabric.
-    let plan = plan_offload(&spec, &PYNQ_Z2, 16, &PsModel::Calibrated, &PlModel::default());
-    println!("planner      : {plan:?}");
+    // 5. Batched serving: the board still processes one image at a time,
+    //    but the engine's setup (planning + quantization) is amortized.
+    let batch: Vec<Tensor<f32>> = (0..8)
+        .map(|i| ds.images.item_tensor(i % ds.len()))
+        .collect();
+    let summary = BatchSummary::from_runs(&engine.infer_batch(&batch).expect("batch"));
+    println!(
+        "batch of {}   : modelled {:.3}s total, {:.2} img/s",
+        summary.images,
+        summary.total_seconds(),
+        summary.throughput()
+    );
 
     // 6. The Table 5 row this corresponds to at N = 56 (the headline).
     let row = paper_row(Variant::ROdeNet3, 56);

@@ -1,7 +1,8 @@
-//! Train rODENet-3 on SynthCIFAR end to end, then deploy it to the
-//! simulated FPGA and compare float-software vs Q20-hybrid accuracy —
-//! the full life cycle the paper implies (train offline in float,
-//! predict on the board in fixed point).
+//! Train rODENet-3 on SynthCIFAR end to end, then deploy it through the
+//! [`Engine`] to the simulated FPGA and compare float-software vs
+//! Q20-hybrid vs fully-quantized accuracy — the full life cycle the
+//! paper implies (train offline in float, predict on the board in fixed
+//! point).
 //!
 //! ```text
 //! cargo run --release --example train_synthcifar [epochs]
@@ -10,8 +11,18 @@
 use odenet_suite::prelude::*;
 
 fn main() {
-    let epochs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
-    let cfg = SynthConfig { classes: 5, per_class: 30, hw: 16, noise: 0.3, jitter: 2, seed: 9 };
+    let epochs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let cfg = SynthConfig {
+        classes: 5,
+        per_class: 30,
+        hw: 16,
+        noise: 0.3,
+        jitter: 2,
+        seed: 9,
+    };
     let (train, test) = generate_split(&cfg, 10);
     println!(
         "SynthCIFAR: {} train / {} test images, {} classes, 16×16",
@@ -24,7 +35,11 @@ fn main() {
     let mut net = Network::new(spec, 1234);
     let mut tc = TrainConfig::quick(epochs, 15);
     tc.grad_mode = GradMode::Unrolled;
-    println!("training {} ({} params) for {epochs} epochs…", spec.display_name(), net.param_count());
+    println!(
+        "training {} ({} params) for {epochs} epochs…",
+        spec.display_name(),
+        net.param_count()
+    );
     let history = train_epochs(
         &mut net,
         &train.images,
@@ -40,24 +55,39 @@ fn main() {
         );
     }
 
-    // Deployment: PS float vs PS+PL hybrid (Q20 layer3_2).
-    let ps = PsModel::Calibrated;
-    let pl = PlModel::default();
+    // Deployment: the same trained network behind three engine backends,
+    // each validated and quantized once.
+    let hybrid = Engine::builder(&net)
+        .offload(Offload::Target(OffloadTarget::Layer32))
+        .build()
+        .expect("layer3_2 fits the fabric");
+    let full_q20 = Engine::builder(&net)
+        .offload(Offload::Target(OffloadTarget::Layer32))
+        .backend(BackendKind::PlBitExact)
+        .build()
+        .expect("fully-quantized deployment");
+
     let mut agree = 0usize;
-    let mut hybrid_hits = 0usize;
     let mut float_hits = 0usize;
+    let mut hybrid_hits = 0usize;
+    let mut fullq_hits = 0usize;
     for i in 0..test.len() {
         let x = test.images.item_tensor(i);
         let sw = net.predict(&x, BnMode::OnTheFly)[0];
-        let run = run_hybrid(&net, &x, OffloadTarget::Layer32, &ps, &pl, &PYNQ_Z2);
-        let hy = tensor::softmax::argmax(&run.logits)[0];
+        let hy = tensor::softmax::argmax(&hybrid.infer(&x).expect("hybrid").logits)[0];
+        let fq = tensor::softmax::argmax(&full_q20.infer(&x).expect("full q20").logits)[0];
         agree += usize::from(sw == hy);
         float_hits += usize::from(sw == test.labels[i]);
         hybrid_hits += usize::from(hy == test.labels[i]);
+        fullq_hits += usize::from(fq == test.labels[i]);
     }
     let n = test.len() as f32;
     println!("\ndeployment on the simulated PYNQ-Z2 (layer3_2 → PL, Q20):");
-    println!("  float accuracy   {:.3}", float_hits as f32 / n);
-    println!("  hybrid accuracy  {:.3}", hybrid_hits as f32 / n);
-    println!("  prediction agreement float↔hybrid: {:.3}", agree as f32 / n);
+    println!("  float accuracy          {:.3}", float_hits as f32 / n);
+    println!("  hybrid accuracy         {:.3}", hybrid_hits as f32 / n);
+    println!("  fully-quantized accuracy {:.3}", fullq_hits as f32 / n);
+    println!(
+        "  prediction agreement float↔hybrid: {:.3}",
+        agree as f32 / n
+    );
 }

@@ -9,7 +9,14 @@ use rodenet::ResBlock;
 use zynq_sim::datapath::OdeBlockAccel;
 
 fn train_small(variant: Variant, seed: u64, epochs: usize) -> (Network, cifar_data::Dataset) {
-    let cfg = SynthConfig { classes: 4, per_class: 18, hw: 16, noise: 0.15, jitter: 1, seed };
+    let cfg = SynthConfig {
+        classes: 4,
+        per_class: 18,
+        hw: 16,
+        noise: 0.15,
+        jitter: 1,
+        seed,
+    };
     let (train, test) = generate_split(&cfg, 6);
     let spec = NetSpec::new(variant, 20).with_classes(4);
     let mut net = Network::new(spec, seed);
@@ -19,30 +26,44 @@ fn train_small(variant: Variant, seed: u64, epochs: usize) -> (Network, cifar_da
     (net, test)
 }
 
-/// The full life cycle: float training → Q20 PL deployment. Hybrid
-/// predictions must agree with the float model on the vast majority of
-/// samples, and both must beat chance.
+/// The full life cycle: float training → Q20 PL deployment through a
+/// reused [`Engine`]. Hybrid predictions must agree with the float
+/// model on the vast majority of samples, and both must beat chance.
 #[test]
 fn train_then_deploy_rodenet3() {
     let (net, test) = train_small(Variant::ROdeNet3, 7, 6);
-    let ps = PsModel::Calibrated;
-    let pl = PlModel::default();
+    let engine = Engine::builder(&net)
+        .board(&PYNQ_Z2)
+        .offload(Offload::Target(OffloadTarget::Layer32))
+        .build()
+        .expect("layer3_2 fits the fabric");
+    let requests: Vec<Tensor<f32>> = (0..test.len())
+        .map(|i| test.images.item_tensor(i))
+        .collect();
+    let runs = engine.infer_batch(&requests).expect("serving batch");
     let mut agree = 0usize;
     let mut float_hits = 0usize;
     let mut hybrid_hits = 0usize;
-    for i in 0..test.len() {
-        let x = test.images.item_tensor(i);
-        let sw = net.predict(&x, BnMode::OnTheFly)[0];
-        let run = run_hybrid(&net, &x, OffloadTarget::Layer32, &ps, &pl, &PYNQ_Z2);
+    for (i, run) in runs.iter().enumerate() {
+        let sw = net.predict(&requests[i], BnMode::OnTheFly)[0];
         let hy = tensor::softmax::argmax(&run.logits)[0];
         agree += usize::from(sw == hy);
         float_hits += usize::from(sw == test.labels[i]);
         hybrid_hits += usize::from(hy == test.labels[i]);
         assert!(run.pl_seconds > 0.0 && run.ps_seconds > 0.0);
+        assert_eq!(run.backend, "hybrid");
     }
     let n = test.len() as f32;
-    assert!(agree as f32 / n > 0.9, "float↔hybrid agreement {}", agree as f32 / n);
-    assert!(float_hits as f32 / n > 0.4, "float accuracy {}", float_hits as f32 / n);
+    assert!(
+        agree as f32 / n > 0.9,
+        "float↔hybrid agreement {}",
+        agree as f32 / n
+    );
+    assert!(
+        float_hits as f32 / n > 0.4,
+        "float accuracy {}",
+        float_hits as f32 / n
+    );
     assert!(
         (hybrid_hits as f32 - float_hits as f32).abs() / n < 0.2,
         "quantized offload must not collapse accuracy"
@@ -53,7 +74,14 @@ fn train_then_deploy_rodenet3() {
 /// modes — the full architecture zoo is trainable.
 #[test]
 fn all_variants_train_one_epoch() {
-    let cfg = SynthConfig { classes: 3, per_class: 8, hw: 16, noise: 0.25, jitter: 1, seed: 3 };
+    let cfg = SynthConfig {
+        classes: 3,
+        per_class: 8,
+        hw: 16,
+        noise: 0.25,
+        jitter: 1,
+        seed: 3,
+    };
     let data = generate(&cfg);
     for v in Variant::ALL {
         let spec = NetSpec::new(v, 20).with_classes(3);
@@ -95,10 +123,10 @@ fn accelerator_bit_exact_all_layers() {
     }
 }
 
-/// Hybrid timing equals the analytic Table 5 model — execution and model
+/// Engine timing equals the analytic Table 5 model — execution and model
 /// cannot drift apart.
 #[test]
-fn hybrid_timing_consistent_with_model() {
+fn engine_timing_consistent_with_model() {
     for (v, target) in [
         (Variant::ROdeNet1, OffloadTarget::Layer1),
         (Variant::ROdeNet12, OffloadTarget::Layer1And22),
@@ -108,7 +136,14 @@ fn hybrid_timing_consistent_with_model() {
         let x = Tensor::<f32>::zeros(Shape4::new(1, 3, 32, 32));
         let ps = PsModel::Calibrated;
         let pl = PlModel::default();
-        let run = run_hybrid(&net, &x, target, &ps, &pl, &PYNQ_Z2);
+        let engine = Engine::builder(&net)
+            .board(&PYNQ_Z2)
+            .offload(Offload::Target(target))
+            .ps_model(ps)
+            .pl_model(pl)
+            .build()
+            .expect("paper placements fit");
+        let run = engine.infer(&x).expect("runs");
         let row = zynq_sim::timing::table5_row(v, 20, &target, &ps, &pl, &PYNQ_Z2);
         assert!(
             (run.total_seconds() - row.total_w_pl).abs() < 1e-9,
@@ -124,7 +159,14 @@ fn hybrid_timing_consistent_with_model() {
 /// instability, measured on the real architecture.
 #[test]
 fn adjoint_gap_shrinks_with_depth() {
-    let cfg = SynthConfig { classes: 3, per_class: 2, hw: 16, noise: 0.2, jitter: 1, seed: 19 };
+    let cfg = SynthConfig {
+        classes: 3,
+        per_class: 2,
+        hw: 16,
+        noise: 0.2,
+        jitter: 1,
+        seed: 19,
+    };
     let data = generate(&cfg);
     let cosine = |n: usize| -> f64 {
         let spec = NetSpec::new(Variant::OdeNet, n).with_classes(3);
@@ -140,7 +182,11 @@ fn adjoint_gap_shrinks_with_depth() {
         };
         let a = grads(GradMode::Unrolled);
         let b = grads(GradMode::Adjoint);
-        let dot: f64 = a.iter().zip(&b).map(|(x, y)| (*x as f64) * (*y as f64)).sum();
+        let dot: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (*x as f64) * (*y as f64))
+            .sum();
         let na: f64 = a.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt();
         let nb: f64 = b.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt();
         dot / (na * nb).max(1e-30)
@@ -148,7 +194,10 @@ fn adjoint_gap_shrinks_with_depth() {
     let c20 = cosine(20);
     let c44 = cosine(44);
     assert!(c20 > 0.8, "even at N=20 directions correlate: {c20}");
-    assert!(c44 >= c20 - 0.02, "gap must not widen with depth: {c20} -> {c44}");
+    assert!(
+        c44 >= c20 - 0.02,
+        "gap must not widen with depth: {c20} -> {c44}"
+    );
 }
 
 /// CIFAR loader integration: if the real dataset is installed, load a

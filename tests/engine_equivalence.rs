@@ -1,0 +1,249 @@
+//! Equivalence suite for the `Engine` redesign.
+//!
+//! The engine replaced the free-function `run_hybrid_with` as the
+//! deployment path. Its hybrid/software backends must be **bit-identical**
+//! to the original execution semantics — same logits, same modelled
+//! timing — across every placement × architecture × batch-norm mode.
+//!
+//! The reference below is a line-for-line reimplementation of the
+//! original free-function loop (pre-engine), built from the same public
+//! primitives. Comparing against it (rather than against the shim, which
+//! now delegates to the engine) keeps this suite meaningful.
+
+use odenet_suite::prelude::*;
+use zynq_sim::datapath::{dma_words, OdeBlockAccel};
+
+/// The original `run_hybrid_with` semantics, verbatim: PS stages in f32
+/// with `ps_bn` statistics, target stages quantized on the fly and run
+/// on the simulated circuit, conv1 always on-the-fly (the deployed
+/// pre-processing), per-image timing from the calibrated models.
+fn reference_hybrid(
+    net: &Network,
+    x: &Tensor<f32>,
+    target: OffloadTarget,
+    ps_bn: BnMode,
+    ps: &PsModel,
+    pl: &PlModel,
+    board: &zynq_sim::Board,
+) -> (Tensor<f32>, f64, f64, u64) {
+    let offloaded: Vec<LayerName> = target.layers().to_vec();
+    let mut ps_cycles: u64 =
+        ps.block_exec_cycles(LayerName::Conv1, false) + ps.block_exec_cycles(LayerName::Fc, false);
+    ps_cycles += ps.runtime_overhead_cycles();
+    let mut pl_seconds = 0.0f64;
+    let mut dma = 0u64;
+
+    let mut z = net.pre_forward(x);
+    for stage in &net.stages {
+        if stage.blocks.is_empty() {
+            continue;
+        }
+        let on_pl = offloaded.contains(&stage.name);
+        for block in &stage.blocks {
+            if on_pl {
+                assert_eq!(stage.blocks.len(), 1, "only single-instance stages offload");
+                let accel = OdeBlockAccel::new(block, pl.parallelism, board);
+                let zq: Tensor<qfixed::Q20> = Tensor::from_f32_tensor(&z);
+                let execs = if stage.plan.is_ode {
+                    stage.plan.execs
+                } else {
+                    1
+                };
+                let run = accel.run_stage(&zq, execs);
+                dma += dma_words(stage.name);
+                pl_seconds += run.seconds;
+                z = run.output.to_f32();
+            } else {
+                z = if stage.plan.is_ode {
+                    block.ode_forward(&z, stage.plan.execs, ps_bn)
+                } else {
+                    block.residual_forward(&z, ps_bn)
+                };
+                ps_cycles +=
+                    stage.plan.execs as u64 * ps.block_exec_cycles(stage.name, stage.plan.is_ode);
+            }
+        }
+    }
+    let logits = net.fc_forward(&z);
+    (logits, board.ps_seconds(ps_cycles), pl_seconds, dma)
+}
+
+fn image(seed: u64) -> Tensor<f32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(Shape4::new(1, 3, 32, 32), |_, _, _, _| {
+        rng.random::<f32>() - 0.5
+    })
+}
+
+/// The acceptance matrix: every placement × {ResNet, rODENet-3, ODENet}
+/// × both BN modes. Where the placement is deployable the engine must
+/// be bit-identical to the reference; where it is not, the builder must
+/// refuse with a typed error (the original code asserted, or — worse —
+/// silently under-reported removed layers as offloaded).
+#[test]
+fn engine_bit_identical_to_legacy_across_matrix() {
+    let ps = PsModel::Calibrated;
+    let pl = PlModel::default();
+    let mut deployable = 0usize;
+    let mut rejected = 0usize;
+    for (vi, variant) in [Variant::ResNet, Variant::ROdeNet3, Variant::OdeNet]
+        .into_iter()
+        .enumerate()
+    {
+        let spec = NetSpec::new(variant, 20).with_classes(10);
+        let net = Network::new(spec, 1000 + vi as u64);
+        for target in OffloadTarget::ALL {
+            for bn in [BnMode::OnTheFly, BnMode::Running] {
+                let engine = Engine::builder(&net)
+                    .board(&PYNQ_Z2)
+                    .offload(Offload::Target(target))
+                    .ps_model(ps)
+                    .pl_model(pl)
+                    .bn_mode(bn)
+                    .build();
+                let valid =
+                    target.applicable_extended(&spec) && target.fits(&PYNQ_Z2, pl.parallelism);
+                match engine {
+                    Ok(engine) => {
+                        assert!(valid, "{variant}/{target:?} should have been rejected");
+                        deployable += 1;
+                        let x = image(7 + vi as u64);
+                        let run = engine.infer(&x).expect("valid engine runs");
+                        let (logits, ps_s, pl_s, dma) =
+                            reference_hybrid(&net, &x, target, bn, &ps, &pl, &PYNQ_Z2);
+                        assert_eq!(
+                            run.logits.as_slice(),
+                            logits.as_slice(),
+                            "{variant}/{target:?}/{bn:?}: logits must be bit-identical"
+                        );
+                        assert_eq!(run.ps_seconds, ps_s, "{variant}/{target:?}/{bn:?} PS time");
+                        assert_eq!(run.pl_seconds, pl_s, "{variant}/{target:?}/{bn:?} PL time");
+                        assert_eq!(run.dma_words, dma, "{variant}/{target:?}/{bn:?} DMA");
+                        assert_eq!(run.offloaded, target.layers().to_vec());
+                    }
+                    Err(e) => {
+                        assert!(
+                            !valid,
+                            "{variant}/{target:?}/{bn:?}: spurious rejection: {e}"
+                        );
+                        rejected += 1;
+                    }
+                }
+            }
+        }
+    }
+    // 3 variants × 5 placements × 2 modes = 30 combos; ODENet accepts
+    // all 5 placements, rODENet-3 three (None/Layer1/Layer32), ResNet
+    // only None.
+    assert_eq!(deployable, 2 * (5 + 3 + 1), "deployable combos");
+    assert_eq!(rejected, 30 - deployable, "rejected combos");
+}
+
+/// The deprecated shims must agree with the engine exactly (they
+/// delegate, so this pins the shim wiring — argument order, BN mode,
+/// backend choice).
+#[test]
+#[allow(deprecated)]
+fn legacy_shims_delegate_faithfully() {
+    let net = Network::new(NetSpec::new(Variant::ROdeNet3, 20).with_classes(10), 4);
+    let ps = PsModel::Calibrated;
+    let pl = PlModel::default();
+    let x = image(11);
+    for bn in [BnMode::OnTheFly, BnMode::Running] {
+        let legacy = run_hybrid_with(&net, &x, OffloadTarget::Layer32, bn, &ps, &pl, &PYNQ_Z2);
+        let engine = Engine::builder(&net)
+            .offload(Offload::Target(OffloadTarget::Layer32))
+            .bn_mode(bn)
+            .build()
+            .unwrap();
+        let run = engine.infer(&x).unwrap();
+        assert_eq!(legacy.logits.as_slice(), run.logits.as_slice());
+        assert_eq!(legacy.ps_seconds, run.ps_seconds);
+        assert_eq!(legacy.pl_seconds, run.pl_seconds);
+        assert_eq!(legacy.dma_words, run.dma_words);
+        assert_eq!(legacy.offloaded, run.offloaded);
+    }
+    let sw = run_hybrid(&net, &x, OffloadTarget::None, &ps, &pl, &PYNQ_Z2);
+    let engine = Engine::builder(&net)
+        .offload(Offload::Target(OffloadTarget::None))
+        .build()
+        .unwrap();
+    let run = engine.infer(&x).unwrap();
+    assert_eq!(sw.logits.as_slice(), run.logits.as_slice());
+    assert_eq!(sw.ps_seconds, run.ps_seconds);
+    assert_eq!(run.backend, "ps-software");
+}
+
+/// `infer_batch` returns per-image reports identical to per-image
+/// `infer` — batching only amortizes setup, never changes results.
+#[test]
+fn batch_matches_single_inference() {
+    let net = Network::new(NetSpec::new(Variant::ROdeNet3, 20).with_classes(10), 5);
+    let engine = Engine::builder(&net).build().unwrap();
+    let xs: Vec<Tensor<f32>> = (0..4).map(|i| image(50 + i)).collect();
+    let batch = engine.infer_batch(&xs).unwrap();
+    for (x, run) in xs.iter().zip(&batch) {
+        let single = engine.infer(x).unwrap();
+        assert_eq!(single.logits.as_slice(), run.logits.as_slice());
+        assert_eq!(single.total_seconds(), run.total_seconds());
+    }
+}
+
+/// §3.2 / Table 3 at conv_x32: the circuit misses the fabric (and the
+/// smaller layers cannot even instantiate 32 units) — the builder must
+/// reject every placement at that parallelism instead of asserting.
+#[test]
+fn parallelism_32_is_infeasible() {
+    let spec = NetSpec::new(Variant::OdeNet, 20).with_classes(10);
+    let net = Network::new(spec, 6);
+    for target in [
+        OffloadTarget::Layer1,
+        OffloadTarget::Layer22,
+        OffloadTarget::Layer1And22,
+        OffloadTarget::Layer32,
+    ] {
+        let err = Engine::builder(&net)
+            .offload(Offload::Target(target))
+            .pl_model(PlModel { parallelism: 32 })
+            .build()
+            .expect_err("conv_x32 does not deploy");
+        assert_eq!(
+            err,
+            EngineError::InfeasiblePlacement {
+                target,
+                parallelism: 32
+            }
+        );
+    }
+    // The planner-driven engine degrades gracefully to pure software.
+    let auto = Engine::builder(&net)
+        .offload(Offload::Auto)
+        .pl_model(PlModel { parallelism: 32 })
+        .build()
+        .expect("Auto falls back to software");
+    assert_eq!(auto.target(), OffloadTarget::None);
+}
+
+/// Builder validation: malformed inputs are typed errors, not panics.
+#[test]
+fn input_validation_cases() {
+    let net = Network::new(NetSpec::new(Variant::ROdeNet3, 20).with_classes(10), 8);
+    let engine = Engine::builder(&net).build().unwrap();
+    for bad in [
+        Shape4::new(1, 1, 32, 32), // wrong channels
+        Shape4::new(1, 3, 2, 32),  // degenerate height
+    ] {
+        let err = engine
+            .infer(&Tensor::<f32>::zeros(bad))
+            .expect_err("rejected");
+        assert_eq!(err, EngineError::ShapeMismatch { got: bad });
+    }
+    // A batch with one malformed item fails up front, before any work.
+    let xs = vec![image(1), Tensor::<f32>::zeros(Shape4::new(1, 1, 32, 32))];
+    assert!(matches!(
+        engine.infer_batch(&xs),
+        Err(EngineError::ShapeMismatch { .. })
+    ));
+}

@@ -59,7 +59,10 @@ fn section42_reductions() {
     ];
     for (v, n, expect) in cases {
         let got = reduction_vs_resnet(v, n);
-        assert!((got - expect).abs() < 0.005, "{v}-{n}: {got:.3} vs {expect}");
+        assert!(
+            (got - expect).abs() < 0.005,
+            "{v}-{n}: {got:.3} vs {expect}"
+        );
     }
 }
 
@@ -170,7 +173,13 @@ fn summary_speedups() {
 #[test]
 fn fig5_shape() {
     use rodenet::params::spec_kb;
-    for v in [Variant::OdeNet, Variant::ROdeNet1, Variant::ROdeNet2, Variant::ROdeNet12, Variant::ROdeNet3] {
+    for v in [
+        Variant::OdeNet,
+        Variant::ROdeNet1,
+        Variant::ROdeNet2,
+        Variant::ROdeNet12,
+        Variant::ROdeNet3,
+    ] {
         let k20 = spec_kb(&NetSpec::new(v, 20));
         let k56 = spec_kb(&NetSpec::new(v, 56));
         assert_eq!(k20, k56, "{v} must be depth-independent");

@@ -10,7 +10,11 @@ use zynq_sim::planner::feasible_targets;
 use zynq_sim::timing::table5_row;
 
 fn any_layer() -> impl Strategy<Value = LayerName> {
-    prop::sample::select(vec![LayerName::Layer1, LayerName::Layer2_2, LayerName::Layer3_2])
+    prop::sample::select(vec![
+        LayerName::Layer1,
+        LayerName::Layer2_2,
+        LayerName::Layer3_2,
+    ])
 }
 
 fn any_variant() -> impl Strategy<Value = Variant> {

@@ -31,7 +31,9 @@ fn sixteen_bit_block_tracks_float() {
     let (block, x) = block_and_input(LayerName::Layer1, 31);
     let yf = block.f_eval(&x, 0.5, BnMode::OnTheFly);
     let q: Tensor<Fix16<10>> = Tensor::from_f32_tensor(&x);
-    let y16 = block.quantize::<Fix16<10>>().f_eval(&q, Fix16::<10>::from_f32(0.5));
+    let y16 = block
+        .quantize::<Fix16<10>>()
+        .f_eval(&q, Fix16::<10>::from_f32(0.5));
     let d16 = yf.max_abs_diff(&y16.to_f32());
     // A freshly-initialized block has channels with tiny variance whose
     // BN 1/σ amplifies the ~1e-3 Q10 weight noise; a few units of
@@ -39,7 +41,9 @@ fn sixteen_bit_block_tracks_float() {
     assert!(d16 < 5.0, "16-bit divergence bounded: {d16}");
     // And strictly worse than the 32-bit Q20 path on the same input.
     let q20: Tensor<Fix<20>> = Tensor::from_f32_tensor(&x);
-    let y20 = block.quantize::<Fix<20>>().f_eval(&q20, Fix::<20>::from_f32(0.5));
+    let y20 = block
+        .quantize::<Fix<20>>()
+        .f_eval(&q20, Fix::<20>::from_f32(0.5));
     let d20 = yf.max_abs_diff(&y20.to_f32());
     assert!(d20 < d16, "Q20 ({d20}) beats Q6.10 ({d16})");
 }
@@ -84,33 +88,52 @@ fn width_error_monotone() {
     let err = |d: &Tensor<f32>| yf.max_abs_diff(d);
     let e20 = {
         let q: Tensor<Fix<20>> = Tensor::from_f32_tensor(&x);
-        err(&block.quantize::<Fix<20>>().f_eval(&q, Fix::<20>::from_f32(0.25)).to_f32())
+        err(&block
+            .quantize::<Fix<20>>()
+            .f_eval(&q, Fix::<20>::from_f32(0.25))
+            .to_f32())
     };
     let e12 = {
         let q: Tensor<Fix<12>> = Tensor::from_f32_tensor(&x);
-        err(&block.quantize::<Fix<12>>().f_eval(&q, Fix::<12>::from_f32(0.25)).to_f32())
+        err(&block
+            .quantize::<Fix<12>>()
+            .f_eval(&q, Fix::<12>::from_f32(0.25))
+            .to_f32())
     };
     let e10_16 = {
         let q: Tensor<Fix16<10>> = Tensor::from_f32_tensor(&x);
-        err(&block.quantize::<Fix16<10>>().f_eval(&q, Fix16::<10>::from_f32(0.25)).to_f32())
+        err(&block
+            .quantize::<Fix16<10>>()
+            .f_eval(&q, Fix16::<10>::from_f32(0.25))
+            .to_f32())
     };
     assert!(e20 <= e12, "Q20 {e20} ≤ Q12 {e12}");
-    assert!(e12 <= e10_16 * 4.0, "32-bit Q12 roughly tracks 16-bit Q10 ({e12} vs {e10_16})");
+    assert!(
+        e12 <= e10_16 * 4.0,
+        "32-bit Q12 roughly tracks 16-bit Q10 ({e12} vs {e10_16})"
+    );
 }
 
 /// End to end: a trained network deployed at 16-bit keeps most of its
 /// prediction agreement with the float model.
 #[test]
 fn sixteen_bit_deployment_agreement() {
-    let cfg = SynthConfig { classes: 3, per_class: 12, hw: 16, noise: 0.15, jitter: 1, seed: 53 };
+    let cfg = SynthConfig {
+        classes: 3,
+        per_class: 12,
+        hw: 16,
+        noise: 0.15,
+        jitter: 1,
+        seed: 53,
+    };
     let (train, test) = generate_split(&cfg, 6);
     let spec = NetSpec::new(Variant::Hybrid3, 20).with_classes(3);
     let mut net = Network::new(spec, 53);
     let tc = TrainConfig::quick(3, 12);
     let _ = train_epochs(&mut net, &train.images, &train.labels, None, None, tc);
     // Replace the ODE stage with its 16-bit quantized twin at inference.
-    let block16 = net.stage(LayerName::Layer3_2).expect("layer3_2").blocks[0]
-        .quantize::<Fix16<10>>();
+    let block16 =
+        net.stage(LayerName::Layer3_2).expect("layer3_2").blocks[0].quantize::<Fix16<10>>();
     let mut agree = 0usize;
     for i in 0..test.len() {
         let x = test.images.item_tensor(i);
