@@ -95,10 +95,44 @@ fn bench_build_cost(c: &mut Criterion) {
     g.finish();
 }
 
+/// The plan-centric split: a `DeploymentPlan` answers latency queries
+/// without quantizing a weight or running an inference — compare
+/// `plan()` and `latency_report()` against `build()` and `infer()`.
+fn bench_plan_vs_execute(c: &mut Criterion) {
+    let net = deployment();
+    let mut g = c.benchmark_group("engine_plan");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("plan_only", |b| {
+        b.iter(|| {
+            black_box(
+                Engine::builder(&net)
+                    .offload(Offload::Target(OffloadTarget::Layer32))
+                    .plan()
+                    .expect("plans"),
+            )
+        })
+    });
+    let engine = Engine::builder(&net)
+        .offload(Offload::Target(OffloadTarget::Layer32))
+        .build()
+        .expect("layer3_2 fits");
+    g.bench_function("cached_latency_report", |b| {
+        b.iter(|| black_box(engine.latency_report().expect("cached").total_w_pl))
+    });
+    let x = random_tensor(Shape4::new(1, 3, 8, 8), 13);
+    g.bench_function("infer_for_timing", |b| {
+        b.iter(|| black_box(engine.infer(&x).expect("runs").total_seconds()))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_setup_amortization,
     bench_batch_throughput,
-    bench_build_cost
+    bench_build_cost,
+    bench_plan_vs_execute
 );
 criterion_main!(benches);

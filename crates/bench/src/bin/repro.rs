@@ -19,6 +19,8 @@
 //!   macpolicy     Extension: accumulator-policy ablation
 //!   solver        Extension: Euler vs RK2/RK4 + adjoint-gap ablation
 //!   planner       Extension: latency-optimal offload plans vs paper
+//!   widths        Extension: footnote-2 width sweep — what each PL word
+//!                 format lets the planner place, from cached plans
 //!   energy        Extension: first-order energy-per-inference model
 //!   engine        Extension: Engine deployment API — setup amortization
 //!                 (one-shot vs reused) and batch serving throughput
@@ -93,6 +95,7 @@ fn main() {
         "macpolicy" => macpolicy_cmd(),
         "solver" => solver_cmd(&flags),
         "planner" => planner_cmd(),
+        "widths" => widths_cmd(flags.n),
         "energy" => energy_cmd(),
         "engine" => engine_cmd(flags.seed),
         "all" => {
@@ -108,6 +111,7 @@ fn main() {
             bitexact_cmd(flags.seed);
             macpolicy_cmd();
             planner_cmd();
+            widths_cmd(flags.n);
             energy_cmd();
             engine_cmd(flags.seed);
             println!("\n(run `repro fig6`, `repro quantization`, `repro solver` separately — they train networks)");
@@ -215,6 +219,11 @@ fn table4_cmd(n: usize) {
 }
 
 fn table5_cmd() {
+    // Every cell is served from a cached `DeploymentPlan` — placement,
+    // feasibility, and the full latency decomposition resolve without
+    // touching a weight or running a single inference, so this command
+    // is instant (the plan is what `Engine::latency_report` would hold).
+    use zynq_sim::plan::{plan_deployment, PlanRequest};
     let mut t = Table::new(
         "Table 5: Execution time of ResNet, ODENet and rODENet variants (PS: Cortex-A9@650MHz, PL: conv_x16@100MHz)",
         &[
@@ -240,7 +249,16 @@ fn table5_cmd() {
     ];
     for v in order {
         for n in PAPER_DEPTHS {
-            let r = paper_row(v, n);
+            let spec = NetSpec::new(v, n);
+            let plan = plan_deployment(
+                &spec,
+                &PlanRequest {
+                    offload: zynq_sim::engine::Offload::Target(OffloadTarget::paper_default(v)),
+                    ..PlanRequest::default()
+                },
+            )
+            .expect("every paper placement is deployable");
+            let r = plan.table5().clone();
             let join = |vals: &[f64]| -> String {
                 if vals.is_empty() {
                     "–".to_string()
@@ -804,6 +822,60 @@ fn engine_cmd(seed: u64) {
         ]);
     }
     t2.emit("engine_batch");
+}
+
+fn widths_cmd(n: usize) {
+    // Footnote 2 through the deployment API: sweep the PL word format
+    // and let the width-aware planner choose. Everything below comes
+    // from `DeploymentPlan`s — no weights, no numerics.
+    use zynq_sim::plan::{plan_deployment, PlFormat, PlanRequest};
+    let mut t = Table::new(
+        &format!("Extension: PL word-width sweep, planner-chosen placement (ODENet-{n}, conv_x16)"),
+        &[
+            "PL format",
+            "Planned placement",
+            "PL stages",
+            "BRAM36",
+            "DMA words",
+            "Total w/ PL [s]",
+            "Executable",
+        ],
+    );
+    let spec = NetSpec::new(Variant::OdeNet, n);
+    for format in [
+        PlFormat::Q20,
+        PlFormat::Custom(QFormat::new(32, 24)),
+        PlFormat::Q16 { frac: 12 },
+        PlFormat::Q16 { frac: 10 },
+        PlFormat::Custom(QFormat::new(8, 4)),
+    ] {
+        let plan = plan_deployment(
+            &spec,
+            &PlanRequest {
+                format,
+                ..PlanRequest::default()
+            },
+        )
+        .expect("all widths plan");
+        t.row(vec![
+            format.to_string(),
+            format!("{:?}", plan.target()),
+            plan.stages().len().to_string(),
+            format!("{:.1}", plan.bram36_used()),
+            plan.dma_words().to_string(),
+            s2(plan.total_seconds()),
+            if format.has_datapath() {
+                "yes".into()
+            } else {
+                "plan-only".into()
+            },
+        ]);
+    }
+    t.emit("widths");
+    println!(
+        "(footnote 2: \"using reduced bit widths (e.g., 16-bit or less) can implement more \
+         layers in PL part\" — at 16-bit the planner places all three ODE layers)"
+    );
 }
 
 fn energy_cmd() {

@@ -226,6 +226,34 @@ proptest! {
     }
 
     #[test]
+    fn qformat_roundtrip_within_one_ulp(total in 8u32..=32, frac_seed in 0u32..32, v in -5000.0f64..5000.0) {
+        // Every storage width the precision-polymorphic engine can plan
+        // for (8–32 bits), every legal binary point: quantize→dequantize
+        // lands within 1 ULP of any in-range value, and re-quantizing
+        // the result is exact (the grid is a fixed point of itself).
+        let frac = frac_seed % total;
+        let fmt = QFormat::new(total, frac);
+        let v = v.clamp(fmt.min_value(), fmt.max_value());
+        let q = fmt.quantize(v);
+        prop_assert!(
+            (q - v).abs() <= fmt.resolution(),
+            "{fmt}: quantize({v}) = {q} off by more than 1 ULP ({})",
+            fmt.resolution()
+        );
+        prop_assert_eq!(fmt.quantize(q), q, "re-quantization must be exact on {}", fmt);
+    }
+
+    #[test]
+    fn qformat_agrees_with_fix_types(v in -30.0f64..30.0) {
+        // The runtime-described formats and the compile-time types the
+        // engine executes must be the same grid.
+        prop_assert_eq!(QFormat::new(32, 20).quantize(v), Fix::<20>::from_f64(v).to_f64());
+        prop_assert_eq!(QFormat::new(32, 16).quantize(v), Fix::<16>::from_f64(v).to_f64());
+        prop_assert_eq!(QFormat::new(16, 10).quantize(v), Fix16::<10>::from_f64(v).to_f64());
+        prop_assert_eq!(QFormat::new(16, 8).quantize(v), Fix16::<8>::from_f64(v).to_f64());
+    }
+
+    #[test]
     fn generic_frac_one_is_identity(v in -3.0f64..3.0) {
         // Same contract across several fractional widths.
         macro_rules! check {

@@ -109,6 +109,32 @@ impl<S: Scalar> QuantNetwork<S> {
             .iter()
             .find(|s| s.name == name && !s.blocks.is_empty())
     }
+
+    /// Storage bytes per value in this network's number system (4 for
+    /// the paper's Q20, 2 for the footnote-2 16-bit formats).
+    pub fn bytes_per_value(&self) -> usize {
+        S::BYTES
+    }
+
+    /// Total storage bytes of the quantized parameters — the size of
+    /// the deployment artifact at this width. Halving the word halves
+    /// this, which is exactly the BRAM headroom the reduced-width
+    /// placements spend.
+    pub fn param_bytes(&self) -> usize {
+        let mut values = self.pre.w.len() + self.pre.gamma.len() + self.pre.beta.len();
+        for stage in &self.stages {
+            for b in &stage.blocks {
+                values += b.w1.len()
+                    + b.w2.len()
+                    + b.gamma1.len()
+                    + b.beta1.len()
+                    + b.gamma2.len()
+                    + b.beta2.len();
+            }
+        }
+        values += self.fc.w.len() + self.fc.b.len();
+        values * S::BYTES
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +180,17 @@ mod tests {
             assert_eq!(qs.blocks.len(), fs.blocks.len());
         }
         assert_eq!(q.fc.out_features, 10);
+    }
+
+    #[test]
+    fn reduced_width_halves_param_bytes() {
+        use qfixed::Fix16;
+        let net = Network::new(NetSpec::new(Variant::ROdeNet3, 20).with_classes(10), 2);
+        let q32 = net.quantize::<Q20>();
+        let q16 = net.quantize::<Fix16<10>>();
+        assert_eq!(q32.bytes_per_value(), 4);
+        assert_eq!(q16.bytes_per_value(), 2);
+        assert_eq!(q32.param_bytes(), 2 * q16.param_bytes());
     }
 
     #[test]

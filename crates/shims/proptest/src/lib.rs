@@ -3,7 +3,7 @@
 //! The build environment has no crates.io access, so this crate
 //! implements the subset of proptest the workspace's property tests
 //! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range
-//! and tuple strategies, [`collection::vec`], [`sample::select`],
+//! and tuple strategies, `collection::vec`, `sample::select`,
 //! [`Just`], [`any`], the [`proptest!`] macro, and the
 //! `prop_assert!`/`prop_assert_eq!` macros.
 //!

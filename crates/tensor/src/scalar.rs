@@ -16,6 +16,11 @@ pub trait Scalar:
     /// Accumulator for dot products (double-width for fixed point).
     type Acc: Copy + Send;
 
+    /// Storage bytes per value — what the BRAM packing and AXI DMA
+    /// models charge for one element of this type (4 for `f32` and the
+    /// 32-bit fixed formats, 2 for the 16-bit reduced-width formats).
+    const BYTES: usize;
+
     /// Additive identity.
     const ZERO: Self;
     /// Multiplicative identity.
@@ -58,6 +63,8 @@ pub trait Scalar:
 
 impl Scalar for f32 {
     type Acc = f32;
+
+    const BYTES: usize = 4;
 
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
@@ -133,6 +140,8 @@ impl<const F: u32> Scalar for Fix<F> {
     /// Double-width Q(2F) register, as produced by a DSP48 cascade.
     type Acc = i64;
 
+    const BYTES: usize = 4;
+
     const ZERO: Self = Fix::ZERO;
     const ONE: Self = Fix::ONE;
 
@@ -201,6 +210,8 @@ impl<const F: u32> Scalar for Fix16<F> {
     /// accumulator would overflow after ~100 products; i64 models the
     /// hardware faithfully.
     type Acc = i64;
+
+    const BYTES: usize = 2;
 
     const ZERO: Self = Fix16::ZERO;
     const ONE: Self = Fix16::ONE;

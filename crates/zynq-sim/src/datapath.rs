@@ -39,7 +39,7 @@ use crate::board::PYNQ_Z2;
 use crate::resources::{layer_geom, timing_closure_hz, LayerGeom};
 use qfixed::Q20;
 use rodenet::{LayerName, QuantBlock, ResBlock};
-use tensor::Tensor;
+use tensor::{Scalar, Tensor};
 
 /// Cycles per multiply–add in the non-pipelined conv loop.
 pub const MAC_CYCLES: u64 = 5;
@@ -81,21 +81,36 @@ pub fn block_exec_cycles(layer: LayerName, n: usize) -> u64 {
 /// word — the paper's stated optimistic assumption). The feature map
 /// stays resident in BRAM between repeated executions.
 pub fn dma_words(layer: LayerName) -> u64 {
+    dma_words_at(layer, 4)
+}
+
+/// AXI DMA 32-bit bus words at an arbitrary element width: a 16-bit
+/// feature map packs two values per bus word, halving the transfer
+/// (the footnote-2 reduced-width datapath).
+pub fn dma_words_at(layer: LayerName, bytes_per_value: usize) -> u64 {
     let geom = layer_geom(layer);
-    2 * (geom.c * geom.hw * geom.hw) as u64
+    (2 * geom.c * geom.hw * geom.hw * bytes_per_value).div_ceil(4) as u64
 }
 
 /// Cycles for a whole offloaded stage: `execs` block runs + one DMA
 /// round trip.
 pub fn stage_cycles(layer: LayerName, n: usize, execs: usize) -> u64 {
-    execs as u64 * block_exec_cycles(layer, n) + dma_words(layer)
+    stage_cycles_at(layer, n, execs, 4)
+}
+
+/// [`stage_cycles`] at an arbitrary element width (the compute cycles
+/// are width-independent — the MAC loop issues one multiply–add per
+/// element either way — but the DMA round trip shrinks with the word).
+pub fn stage_cycles_at(layer: LayerName, n: usize, execs: usize, bytes_per_value: usize) -> u64 {
+    execs as u64 * block_exec_cycles(layer, n) + dma_words_at(layer, bytes_per_value)
 }
 
 /// Outcome of a simulated accelerator invocation.
 #[derive(Clone, Debug)]
-pub struct AccelRun {
-    /// The Q20 output feature map, bit-exact with the hardware.
-    pub output: Tensor<Q20>,
+pub struct AccelRun<S: Scalar = Q20> {
+    /// The output feature map in the circuit's number system, bit-exact
+    /// with the hardware.
+    pub output: Tensor<S>,
     /// Modelled PL cycles consumed.
     pub cycles: u64,
     /// Modelled wall-clock seconds at the configured clock.
@@ -104,17 +119,22 @@ pub struct AccelRun {
 
 /// A simulated ODEBlock accelerator: one layer's circuit configured with
 /// `n` multiply–add units, holding the quantized parameters in its BRAM.
+///
+/// The scalar type `S` is the circuit's word format — [`Q20`] is the
+/// paper's build; 16-bit formats ([`qfixed::Fix16`]) model the
+/// footnote-2 reduced-width datapath (same cycle counts, half the DMA
+/// words — see [`stage_cycles_at`]).
 #[derive(Clone, Debug)]
-pub struct OdeBlockAccel {
+pub struct OdeBlockAccel<S: Scalar = Q20> {
     /// The quantized block resident in BRAM.
-    pub block: QuantBlock<Q20>,
+    pub block: QuantBlock<S>,
     /// conv_x·n configuration.
     pub parallelism: usize,
     /// PL clock (defaults to the closed timing of the configuration).
     pub clock_hz: u64,
 }
 
-impl OdeBlockAccel {
+impl<S: Scalar> OdeBlockAccel<S> {
     /// Quantize `block` and load it into a simulated circuit with `n`
     /// multiply–add units on `board`.
     pub fn new(block: &ResBlock, parallelism: usize, board: &Board) -> Self {
@@ -132,7 +152,7 @@ impl OdeBlockAccel {
 
     /// Execute the block once (one Euler step evaluation + update is done
     /// by the caller); returns `f(z, t)` with cycle accounting.
-    pub fn run_f(&self, z: &Tensor<Q20>, t: Q20) -> AccelRun {
+    pub fn run_f(&self, z: &Tensor<S>, t: S) -> AccelRun<S> {
         let output = self.block.f_eval(z, t);
         let cycles = block_exec_cycles(self.block.layer, self.parallelism);
         AccelRun {
@@ -144,14 +164,14 @@ impl OdeBlockAccel {
 
     /// Execute the stage as the hardware does: DMA in, `execs` Euler
     /// steps with the feature map resident in BRAM, DMA out.
-    pub fn run_stage(&self, z: &Tensor<Q20>, execs: usize) -> AccelRun {
+    pub fn run_stage(&self, z: &Tensor<S>, execs: usize) -> AccelRun<S> {
         let output = if self.block.time_aug {
             self.block.ode_forward(z, execs)
         } else {
             assert_eq!(execs, 1, "plain blocks execute once");
             self.block.residual_forward(z)
         };
-        let cycles = stage_cycles(self.block.layer, self.parallelism, execs);
+        let cycles = stage_cycles_at(self.block.layer, self.parallelism, execs, S::BYTES);
         AccelRun {
             output,
             cycles,
@@ -258,10 +278,44 @@ mod tests {
     }
 
     #[test]
+    fn reduced_width_halves_dma() {
+        assert_eq!(dma_words_at(LayerName::Layer3_2, 2), 64 * 64);
+        assert_eq!(
+            dma_words_at(LayerName::Layer3_2, 4),
+            dma_words(LayerName::Layer3_2)
+        );
+        // Compute cycles are width-independent; only the DMA share shrinks.
+        let full = stage_cycles_at(LayerName::Layer3_2, 16, 6, 4);
+        let half = stage_cycles_at(LayerName::Layer3_2, 16, 6, 2);
+        assert_eq!(full - half, dma_words(LayerName::Layer3_2) / 2);
+    }
+
+    #[test]
+    fn sixteen_bit_accel_is_bit_exact_with_fix16_reference() {
+        use qfixed::Fix16;
+        let mut rng = StdRng::seed_from_u64(91);
+        let block = ResBlock::new(&mut rng, LayerName::Layer1, true);
+        let accel: OdeBlockAccel<Fix16<10>> = OdeBlockAccel::new(&block, 16, &PYNQ_Z2);
+        use rand::Rng;
+        let x = Tensor::<f32>::from_fn(Shape4::new(1, 16, 16, 16), |_, _, _, _| {
+            rng.random::<f32>() - 0.5
+        });
+        let xq: Tensor<Fix16<10>> = Tensor::from_f32_tensor(&x);
+        let reference = block.quantize::<Fix16<10>>().ode_forward(&xq, 2);
+        let run = accel.run_stage(&xq, 2);
+        assert_eq!(run.output.as_slice(), reference.as_slice());
+        assert_eq!(
+            run.cycles,
+            stage_cycles_at(LayerName::Layer1, 16, 2, 2),
+            "16-bit stage pays half the DMA words"
+        );
+    }
+
+    #[test]
     fn conv_x32_runs_at_reduced_clock() {
         let mut rng = StdRng::seed_from_u64(5);
         let block = ResBlock::new(&mut rng, LayerName::Layer3_2, true);
-        let accel = OdeBlockAccel::new(&block, 32, &PYNQ_Z2);
+        let accel: OdeBlockAccel = OdeBlockAccel::new(&block, 32, &PYNQ_Z2);
         assert!(accel.clock_hz < 100_000_000);
     }
 }

@@ -10,30 +10,45 @@
 //! Engine::builder(&net)            // the trained f32 network
 //!     .board(&PYNQ_Z2)             // which device (default PYNQ-Z2)
 //!     .offload(Offload::Auto)      // planner-chosen PL placement
+//!     .pl_format(PlFormat::Q20)    // PL word width (runtime parameter)
 //!     .ps_model(PsModel::Calibrated)
 //!     .pl_model(PlModel::default())
 //!     .bn_mode(BnMode::OnTheFly)   // PS-side batch-norm statistics
-//!     .build()?                    // validate + pre-quantize ONCE
+//!     .build()?                    // plan + pre-quantize ONCE
 //!     .infer(&image)?              // -> RunReport (logits + timing)
 //! ```
 //!
-//! [`EngineBuilder::build`] resolves the placement via [`crate::planner`],
-//! checks resource feasibility and paper-policy applicability, and
-//! pre-quantizes the offloaded blocks' Q20 weights into simulated BRAM
-//! — exactly once. Configuration mistakes surface as [`EngineError`]
-//! values instead of asserts deep inside an inference call.
+//! Building is **plan-centric**: [`EngineBuilder::plan`] resolves the
+//! placement via [`crate::planner`], checks width-aware resource
+//! feasibility and paper-policy applicability, and computes the full
+//! input-independent timing decomposition — all without touching a
+//! weight. The resulting [`DeploymentPlan`] is queryable on its own
+//! (latency, BRAM, DMA — see [`crate::plan`]);
+//! [`EngineBuilder::build`] computes the same plan, then pre-quantizes
+//! the offloaded blocks into simulated BRAM — exactly once — and keeps
+//! the plan for [`Engine::plan`] / [`Engine::latency_report`].
+//! Configuration mistakes surface as [`EngineError`] values instead of
+//! asserts deep inside an inference call.
+//!
+//! The PL word format is a runtime builder parameter
+//! ([`EngineBuilder::pl_format`]): the paper's Q20, any 16-bit
+//! Q(15−n).n, or a custom [`qfixed::QFormat`]. Every backend below is
+//! generic over the format; at 16 bits the planner may legally choose
+//! placements that share the fabric with layer3_2 (footnote 2: "more
+//! layers in PL").
 //!
 //! Execution is dispatched through the [`Backend`] trait, with three
 //! built-in implementations:
 //!
 //! * [`BackendKind::PsSoftware`] — everything in `f32` on the modelled
 //!   Cortex-A9 (the "w/o PL" rows of Table 5);
-//! * [`BackendKind::Hybrid`] — offloaded stages on the bit-exact Q20
-//!   ODEBlock circuit, the rest in `f32` software (the paper's
-//!   deployment; bit-identical to the legacy [`crate::run_hybrid_with`]);
-//! * [`BackendKind::PlBitExact`] — the *whole* network in the Q20
-//!   number system via [`rodenet::QuantNetwork`], offloaded stages on
-//!   the modelled circuit: what a fully-fixed-point deployment would
+//! * [`BackendKind::Hybrid`] — offloaded stages on the bit-exact
+//!   fixed-point ODEBlock circuit, the rest in `f32` software (the
+//!   paper's deployment; bit-identical to the legacy
+//!   [`crate::run_hybrid_with`] at the default Q20);
+//! * [`BackendKind::PlBitExact`] — the *whole* network in the PL number
+//!   system via [`rodenet::QuantNetwork`], offloaded stages on the
+//!   modelled circuit: what a fully-fixed-point deployment would
 //!   compute. Requires on-the-fly batch norm (the circuit has no
 //!   running statistics), enforced at build time.
 //!
@@ -49,23 +64,26 @@
 //! and the PL circuit always computes statistics per feature map —
 //! that is what its divider/square-root units exist for.
 
-use crate::board::{Board, PYNQ_Z2};
+use crate::board::Board;
+#[cfg(test)]
+use crate::board::PYNQ_Z2;
 use crate::datapath::OdeBlockAccel;
-use crate::planner::{plan_offload, plan_offload_extended, OffloadTarget};
-use crate::timing::{PlModel, PsModel};
-use qfixed::Q20;
+use crate::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
+use crate::planner::OffloadTarget;
+use crate::timing::{PlModel, PsModel, Table5Row};
+use qfixed::{Fix, Fix16, Q20};
 use rodenet::{BnMode, LayerName, Network, QuantNetwork, Variant};
-use tensor::{Shape4, Tensor};
+use tensor::{Scalar, Shape4, Tensor};
 
 /// How the engine chooses the PL placement.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Offload {
     /// Latency-optimal placement under the paper's ODE-blocks-only
-    /// policy ([`plan_offload`]).
+    /// policy ([`crate::planner::plan_offload_at`]).
     #[default]
     Auto,
     /// Latency-optimal placement, also considering once-executed plain
-    /// blocks ([`plan_offload_extended`]).
+    /// blocks ([`crate::planner::plan_offload_extended_at`]).
     AutoExtended,
     /// A fixed placement, validated at build time.
     Target(OffloadTarget),
@@ -120,6 +138,17 @@ pub enum EngineError {
         /// The conflicting backend.
         backend: &'static str,
     },
+    /// The requested PL word format is degenerate (`frac ≥ total bits`,
+    /// or outside 2–64 bits), or — at build time — not one of the
+    /// widths the engine can instantiate a datapath for (see
+    /// [`EngineBuilder::pl_format`]; any structurally valid format
+    /// still *plans*).
+    UnsupportedFormat {
+        /// Requested storage bits.
+        total_bits: u32,
+        /// Requested fractional bits.
+        frac_bits: u32,
+    },
     /// The input tensor is not CIFAR-shaped.
     ShapeMismatch {
         /// The offending shape.
@@ -153,6 +182,37 @@ impl core::fmt::Display for EngineError {
                 "backend `{backend}` computes batch-norm statistics on the fly; \
                  BnMode::Running is not available on the Q20 datapath"
             ),
+            EngineError::UnsupportedFormat {
+                total_bits,
+                frac_bits,
+            } => {
+                let degenerate = PlFormat::Custom(qfixed::QFormat {
+                    total_bits: *total_bits,
+                    frac_bits: *frac_bits,
+                })
+                .is_degenerate();
+                if degenerate {
+                    // Structurally invalid — rejected at plan time,
+                    // before executability is even a question.
+                    write!(
+                        f,
+                        "degenerate fixed-point format: {total_bits} total bits with \
+                         {frac_bits} fractional bits (need 2 ≤ total ≤ 64 and frac < total)"
+                    )
+                } else {
+                    let widths = PlFormat::EXECUTABLE_WIDTHS
+                        .iter()
+                        .map(|(t, fr)| format!("{t}-bit/frac {fr}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    write!(
+                        f,
+                        "no PL datapath for a {total_bits}-bit format with {frac_bits} \
+                         fractional bits — it plans but cannot execute \
+                         (executable widths: {widths})"
+                    )
+                }
+            }
             EngineError::ShapeMismatch { got } => write!(
                 f,
                 "input must be shaped (N\u{2265}1, 3, H\u{2265}4, W\u{2265}4), got {got:?}"
@@ -229,8 +289,12 @@ impl BatchSummary {
         self.ps_seconds + self.pl_seconds
     }
 
-    /// Modelled images per second.
+    /// Modelled images per second (`0.0` for an empty summary — an
+    /// idle server has no throughput, not a near-infinite one).
     pub fn throughput(&self) -> f64 {
+        if self.images == 0 {
+            return 0.0;
+        }
         self.images as f64 / self.total_seconds().max(f64::MIN_POSITIVE)
     }
 }
@@ -254,21 +318,22 @@ pub trait Backend: Send + Sync {
 
 /// One pre-built PL stage: the simulated circuit holding the quantized
 /// block, plus how often the stage executes per inference.
-struct PlStage {
+struct PlStage<S: Scalar> {
     layer: LayerName,
-    accel: OdeBlockAccel,
+    accel: OdeBlockAccel<S>,
     execs: usize,
 }
 
 /// Shared PS+PL walk used by the software and hybrid backends: stages
-/// in `pl_stages` run on their pre-built circuits, everything else runs
-/// as `f32` software with `bn` statistics. Mirrors the execution order
-/// of the original `run_hybrid_with` loop exactly, so logits and timing
-/// are bit-identical to the legacy path.
-fn hybrid_walk(
+/// in `pl_stages` run on their pre-built circuits in the PL number
+/// system `S`, everything else runs as `f32` software with `bn`
+/// statistics. At `S = Q20` this mirrors the execution order of the
+/// original `run_hybrid_with` loop exactly, so logits and timing are
+/// bit-identical to the legacy path.
+fn hybrid_walk<S: Scalar>(
     net: &Network,
     x: &Tensor<f32>,
-    pl_stages: &[PlStage],
+    pl_stages: &[PlStage<S>],
     bn: BnMode,
     ps: &PsModel,
     board: &Board,
@@ -287,9 +352,9 @@ fn hybrid_walk(
         let on_pl = pl_stages.iter().find(|p| p.layer == stage.name);
         for block in &stage.blocks {
             if let Some(pl_stage) = on_pl {
-                let zq: Tensor<Q20> = Tensor::from_f32_tensor(&z);
+                let zq: Tensor<S> = Tensor::from_f32_tensor(&z);
                 let run = pl_stage.accel.run_stage(&zq, pl_stage.execs);
-                dma_words += crate::datapath::dma_words(stage.name);
+                dma_words += crate::datapath::dma_words_at(stage.name, S::BYTES);
                 pl_seconds += run.seconds;
                 z = run.output.to_f32();
             } else {
@@ -308,17 +373,17 @@ fn hybrid_walk(
 }
 
 /// PS software / hybrid backend (they differ only in `pl_stages`).
-struct HybridBackend<'n> {
+struct HybridBackend<'n, S: Scalar> {
     name: &'static str,
     net: &'n Network,
-    pl_stages: Vec<PlStage>,
+    pl_stages: Vec<PlStage<S>>,
     offloaded: Vec<LayerName>,
     bn: BnMode,
     ps: PsModel,
     board: Board,
 }
 
-impl Backend for HybridBackend<'_> {
+impl<S: Scalar> Backend for HybridBackend<'_, S> {
     fn name(&self) -> &'static str {
         self.name
     }
@@ -342,28 +407,28 @@ impl Backend for HybridBackend<'_> {
     }
 }
 
-/// Fully-fixed-point backend: the whole network executes in Q20 via
-/// [`QuantNetwork`]; the offloaded stages additionally carry circuit
-/// timing, the rest PS timing (a fully-quantized PS runtime would run
-/// the same integer ops the float one does, so the calibrated cost
-/// model still applies).
+/// Fully-fixed-point backend: the whole network executes in the PL
+/// number system `S` via [`QuantNetwork`]; the offloaded stages
+/// additionally carry circuit timing, the rest PS timing (a
+/// fully-quantized PS runtime would run the same integer ops the float
+/// one does, so the calibrated cost model still applies).
 ///
 /// The quantized network already *is* the circuit's datapath
 /// ([`OdeBlockAccel`] wraps the same [`rodenet::QuantBlock`] forward),
 /// so offloaded stages execute straight out of `qnet` — one
 /// quantization at build, no duplicate weight copies — with their
-/// cycle timing taken from [`PlModel::stage_seconds`], which is the
+/// cycle timing taken from [`PlModel::stage_seconds_at`], which is the
 /// identical `stage_cycles / closed-clock` arithmetic the accelerator
 /// reports.
-struct PlBitExactBackend {
-    qnet: QuantNetwork<Q20>,
+struct PlBitExactBackend<S: Scalar> {
+    qnet: QuantNetwork<S>,
     offloaded: Vec<LayerName>,
     ps: PsModel,
     pl: PlModel,
     board: Board,
 }
 
-impl Backend for PlBitExactBackend {
+impl<S: Scalar> Backend for PlBitExactBackend<S> {
     fn name(&self) -> &'static str {
         "pl-bit-exact"
     }
@@ -379,7 +444,7 @@ impl Backend for PlBitExactBackend {
         let mut pl_seconds = 0.0f64;
         let mut dma_words = 0u64;
 
-        let mut z: Tensor<Q20> = Tensor::from_f32_tensor(x);
+        let mut z: Tensor<S> = Tensor::from_f32_tensor(x);
         z = self.qnet.pre.forward(&z);
         for stage in &self.qnet.stages {
             if stage.blocks.is_empty() {
@@ -388,17 +453,20 @@ impl Backend for PlBitExactBackend {
             let on_pl = self.offloaded.contains(&stage.name);
             for block in &stage.blocks {
                 // The numerics are placement-independent (everything is
-                // Q20 here); on_pl only decides the timing attribution.
+                // in `S` here); on_pl only decides timing attribution.
                 z = if stage.plan.is_ode {
                     block.ode_forward(&z, stage.plan.execs)
                 } else {
                     block.residual_forward(&z)
                 };
                 if on_pl {
-                    dma_words += crate::datapath::dma_words(stage.name);
-                    pl_seconds += self
-                        .pl
-                        .stage_seconds(stage.name, stage.plan.execs, &self.board);
+                    dma_words += crate::datapath::dma_words_at(stage.name, S::BYTES);
+                    pl_seconds += self.pl.stage_seconds_at(
+                        stage.name,
+                        stage.plan.execs,
+                        &self.board,
+                        S::BYTES,
+                    );
                 } else {
                     ps_cycles += stage.plan.execs as u64
                         * self.ps.block_exec_cycles(stage.name, stage.plan.is_ode);
@@ -427,6 +495,7 @@ pub struct EngineBuilder<'n> {
     ps: PsModel,
     pl: PlModel,
     bn: BnMode,
+    format: PlFormat,
     backend: BackendKind,
     custom: Option<Box<dyn Backend + 'n>>,
 }
@@ -463,6 +532,22 @@ impl<'n> EngineBuilder<'n> {
         self
     }
 
+    /// PL datapath word format (default: [`PlFormat::Q20`], the
+    /// paper's 32-bit build).
+    ///
+    /// The width threads through placement feasibility, the DMA share
+    /// of the timing model, and the number system the offloaded
+    /// circuits execute in. Any structurally valid format *plans*
+    /// ([`EngineBuilder::plan`]); **executing** additionally requires a
+    /// width the engine has a monomorphized datapath for — 32-bit with
+    /// 12/16/20/24 fractional bits, or 16-bit with 6/8/10/12 — else
+    /// [`EngineBuilder::build`] returns
+    /// [`EngineError::UnsupportedFormat`].
+    pub fn pl_format(mut self, format: PlFormat) -> Self {
+        self.format = format;
+        self
+    }
+
     /// Which built-in backend executes (default: [`BackendKind::Auto`]).
     pub fn backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
@@ -477,75 +562,53 @@ impl<'n> EngineBuilder<'n> {
         self
     }
 
-    /// Validate the configuration and pre-quantize the offloaded
-    /// blocks — once. All placement, resource, and mode errors surface
-    /// here, never inside `infer`.
+    /// The [`PlanRequest`] equivalent of this builder's configuration.
+    fn plan_request(&self) -> PlanRequest {
+        PlanRequest {
+            board: self.board,
+            offload: self.offload,
+            backend: self.backend,
+            bn: self.bn,
+            ps: self.ps,
+            pl: self.pl,
+            format: self.format,
+        }
+    }
+
+    /// Resolve placement, backend, width-aware feasibility, and the
+    /// full input-independent timing decomposition — **without running
+    /// any numerics or quantizing any weight**. The returned
+    /// [`DeploymentPlan`] answers latency/resource/DMA queries on its
+    /// own; pass the same builder to [`EngineBuilder::build`] when you
+    /// want to execute it.
+    ///
+    /// A caller-provided [`EngineBuilder::custom_backend`] is ignored
+    /// here: plans describe the built-in execution paths.
+    pub fn plan(&self) -> Result<DeploymentPlan, EngineError> {
+        plan_deployment(&self.net.spec, &self.plan_request())
+    }
+
+    /// Validate the configuration ([`EngineBuilder::plan`]) and
+    /// pre-quantize the offloaded blocks into the configured
+    /// [`PlFormat`] — once. All placement, resource, format, and mode
+    /// errors surface here, never inside `infer`.
     pub fn build(self) -> Result<Engine<'n>, EngineError> {
-        let spec = self.net.spec;
         if let Some(custom) = self.custom {
             return Ok(Engine {
                 target: OffloadTarget::None,
                 board: self.board,
                 bn: self.bn,
+                format: self.format,
+                plan: None,
                 backend: custom,
             });
         }
 
-        // 1. Resolve the placement.
-        let target = match self.offload {
-            Offload::Auto => {
-                plan_offload(&spec, &self.board, self.pl.parallelism, &self.ps, &self.pl)
-            }
-            Offload::AutoExtended => {
-                plan_offload_extended(&spec, &self.board, self.pl.parallelism, &self.ps, &self.pl)
-            }
-            Offload::Target(t) => {
-                if !t.applicable_extended(&spec) {
-                    return Err(EngineError::TargetNotApplicable {
-                        target: t,
-                        variant: spec.variant,
-                    });
-                }
-                if !t.fits(&self.board, self.pl.parallelism) {
-                    return Err(EngineError::InfeasiblePlacement {
-                        target: t,
-                        parallelism: self.pl.parallelism,
-                    });
-                }
-                t
-            }
-        };
-
-        // 2. Resolve the backend and check conflicts.
-        let kind = match self.backend {
-            BackendKind::Auto => {
-                if target == OffloadTarget::None {
-                    BackendKind::PsSoftware
-                } else {
-                    BackendKind::Hybrid
-                }
-            }
-            explicit => explicit,
-        };
-        if kind == BackendKind::PsSoftware && target != OffloadTarget::None {
-            return Err(EngineError::BackendConflict {
-                backend: "ps-software",
-                target,
-            });
-        }
-        if kind == BackendKind::PlBitExact && self.bn == BnMode::Running {
-            return Err(EngineError::BnModeConflict {
-                backend: "pl-bit-exact",
-            });
-        }
-
-        // 3. Pre-quantize — once. The hybrid backend gets one simulated
-        //    circuit per offloaded stage; the fully-fixed-point backend
-        //    gets the whole Q20 network (its offloaded stages execute
-        //    straight out of it, so no second weight copy is built).
-        let offloaded: Vec<LayerName> = target.layers().to_vec();
-        let backend: Box<dyn Backend + 'n> = match kind {
-            BackendKind::PsSoftware => Box::new(HybridBackend {
+        let plan = self.plan()?;
+        let backend: Box<dyn Backend + 'n> = match plan.backend_kind() {
+            // The software path never touches the PL number system; the
+            // scalar parameter is irrelevant (instantiated at Q20).
+            BackendKind::PsSoftware => Box::new(HybridBackend::<Q20> {
                 name: "ps-software",
                 net: self.net,
                 pl_stages: Vec::new(),
@@ -554,56 +617,103 @@ impl<'n> EngineBuilder<'n> {
                 ps: self.ps,
                 board: self.board,
             }),
-            BackendKind::Hybrid => {
-                let pl_stages: Vec<PlStage> = target
-                    .layers()
-                    .iter()
-                    .map(|&layer| {
-                        let stage = self
-                            .net
-                            .stage(layer)
-                            .expect("applicability check guarantees the stage exists");
-                        debug_assert_eq!(stage.blocks.len(), 1, "single-instance checked above");
-                        PlStage {
-                            layer,
-                            accel: OdeBlockAccel::new(
-                                &stage.blocks[0],
-                                self.pl.parallelism,
-                                &self.board,
-                            ),
-                            execs: if stage.plan.is_ode {
-                                stage.plan.execs
-                            } else {
-                                1
-                            },
-                        }
-                    })
-                    .collect();
-                Box::new(HybridBackend {
-                    name: "hybrid",
-                    net: self.net,
-                    pl_stages,
-                    offloaded,
-                    bn: self.bn,
-                    ps: self.ps,
-                    board: self.board,
-                })
+            BackendKind::Hybrid | BackendKind::PlBitExact => {
+                // Monomorphize the quantized datapath for the requested
+                // word format. `qformat()` validated in `plan()`.
+                let q = self.format.qformat().expect("validated by plan()");
+                match (q.total_bits, q.frac_bits) {
+                    (32, 12) => build_quant_backend::<Fix<12>>(self.net, &plan),
+                    (32, 16) => build_quant_backend::<Fix<16>>(self.net, &plan),
+                    (32, 20) => build_quant_backend::<Fix<20>>(self.net, &plan),
+                    (32, 24) => build_quant_backend::<Fix<24>>(self.net, &plan),
+                    (16, 6) => build_quant_backend::<Fix16<6>>(self.net, &plan),
+                    (16, 8) => build_quant_backend::<Fix16<8>>(self.net, &plan),
+                    (16, 10) => build_quant_backend::<Fix16<10>>(self.net, &plan),
+                    (16, 12) => build_quant_backend::<Fix16<12>>(self.net, &plan),
+                    (total_bits, frac_bits) => {
+                        // The match arms above must stay in lockstep
+                        // with the declared executable set (the forward
+                        // direction is pinned by
+                        // `every_listed_executable_width_builds`).
+                        debug_assert!(
+                            !self.format.has_datapath(),
+                            "({total_bits},{frac_bits}) is in EXECUTABLE_WIDTHS but not dispatched"
+                        );
+                        return Err(EngineError::UnsupportedFormat {
+                            total_bits,
+                            frac_bits,
+                        });
+                    }
+                }
             }
-            BackendKind::PlBitExact => Box::new(PlBitExactBackend {
-                qnet: self.net.quantize::<Q20>(),
-                offloaded,
-                ps: self.ps,
-                pl: self.pl,
-                board: self.board,
-            }),
-            BackendKind::Auto => unreachable!("resolved above"),
+            BackendKind::Auto => unreachable!("plan() resolves Auto"),
         };
         Ok(Engine {
-            target,
+            target: plan.target(),
             board: self.board,
             bn: self.bn,
+            format: self.format,
+            plan: Some(plan),
             backend,
         })
+    }
+}
+
+/// Pre-quantize — once — into the scalar type `S` and build the
+/// executing backend the plan resolved. The hybrid backend gets one
+/// simulated circuit per offloaded stage; the fully-fixed-point backend
+/// gets the whole quantized network (its offloaded stages execute
+/// straight out of it, so no second weight copy is built).
+fn build_quant_backend<'n, S: Scalar>(
+    net: &'n Network,
+    plan: &DeploymentPlan,
+) -> Box<dyn Backend + 'n> {
+    let target = plan.target();
+    let offloaded: Vec<LayerName> = target.layers().to_vec();
+    let ps = *plan.ps_model();
+    let pl = *plan.pl_model();
+    let board = *plan.board();
+    match plan.backend_kind() {
+        BackendKind::Hybrid => {
+            let pl_stages: Vec<PlStage<S>> = target
+                .layers()
+                .iter()
+                .map(|&layer| {
+                    let stage = net
+                        .stage(layer)
+                        .expect("applicability check guarantees the stage exists");
+                    debug_assert_eq!(stage.blocks.len(), 1, "single-instance checked above");
+                    PlStage {
+                        layer,
+                        accel: OdeBlockAccel::new(&stage.blocks[0], pl.parallelism, &board),
+                        execs: if stage.plan.is_ode {
+                            stage.plan.execs
+                        } else {
+                            1
+                        },
+                    }
+                })
+                .collect();
+            Box::new(HybridBackend {
+                name: "hybrid",
+                net,
+                pl_stages,
+                offloaded,
+                bn: plan.bn_mode(),
+                ps,
+                board,
+            })
+        }
+        BackendKind::PlBitExact => Box::new(PlBitExactBackend {
+            qnet: net.quantize::<S>(),
+            offloaded,
+            ps,
+            pl,
+            board,
+        }),
+        BackendKind::PsSoftware | BackendKind::Auto => {
+            unreachable!("caller dispatches only quantized backends")
+        }
     }
 }
 
@@ -616,6 +726,8 @@ pub struct Engine<'n> {
     target: OffloadTarget,
     board: Board,
     bn: BnMode,
+    format: PlFormat,
+    plan: Option<DeploymentPlan>,
     backend: Box<dyn Backend + 'n>,
 }
 
@@ -625,6 +737,7 @@ impl core::fmt::Debug for Engine<'_> {
             .field("target", &self.target)
             .field("board", &self.board.name)
             .field("bn", &self.bn)
+            .field("format", &self.format)
             .field("backend", &self.backend.name())
             .finish()
     }
@@ -633,14 +746,18 @@ impl core::fmt::Debug for Engine<'_> {
 impl<'n> Engine<'n> {
     /// Start configuring an engine over `net`.
     pub fn builder(net: &'n Network) -> EngineBuilder<'n> {
+        // One source of defaults: the same PlanRequest the spec-level
+        // planning entry point uses.
+        let d = PlanRequest::default();
         EngineBuilder {
             net,
-            board: PYNQ_Z2,
-            offload: Offload::Auto,
-            ps: PsModel::Calibrated,
-            pl: PlModel::default(),
-            bn: BnMode::OnTheFly,
-            backend: BackendKind::Auto,
+            board: d.board,
+            offload: d.offload,
+            ps: d.ps,
+            pl: d.pl,
+            bn: d.bn,
+            format: d.format,
+            backend: d.backend,
             custom: None,
         }
     }
@@ -649,6 +766,27 @@ impl<'n> Engine<'n> {
     /// for custom backends — they own their placement).
     pub fn target(&self) -> OffloadTarget {
         self.target
+    }
+
+    /// The deployment plan the engine was built from (`None` for
+    /// custom backends — they own their execution strategy).
+    pub fn plan(&self) -> Option<&DeploymentPlan> {
+        self.plan.as_ref()
+    }
+
+    /// The configuration's cached latency decomposition (its Table 5
+    /// row), served straight from the build-time plan — **no inference
+    /// executes**. `total_w_pl` here equals what
+    /// [`RunReport::total_seconds`] reports from an actual `infer`
+    /// (the timing model is input-independent). `None` for custom
+    /// backends.
+    pub fn latency_report(&self) -> Option<&Table5Row> {
+        self.plan.as_ref().map(|p| p.table5())
+    }
+
+    /// The PL word format the engine executes in.
+    pub fn pl_format(&self) -> PlFormat {
+        self.format
     }
 
     /// The layers running on the PL fabric.
@@ -674,12 +812,13 @@ impl<'n> Engine<'n> {
     /// One-line human description for logs and examples.
     pub fn describe(&self) -> String {
         format!(
-            "{} on {} — PL: {:?} ({} stage{})",
+            "{} on {} — PL: {:?} ({} stage{}, {})",
             self.backend.name(),
             self.board.name,
             self.target,
             self.offloaded().len(),
             if self.offloaded().len() == 1 { "" } else { "s" },
+            self.format,
         )
     }
 
@@ -856,6 +995,95 @@ mod tests {
         assert!((summary.total_seconds() - 3.0 * single).abs() < 1e-12);
         assert!(summary.throughput() > 0.0);
         assert_eq!(summary.dma_words, 3 * runs[0].dma_words);
+    }
+
+    #[test]
+    fn empty_summary_has_zero_throughput() {
+        // An idle server serves zero images per second — the previous
+        // `max(f64::MIN_POSITIVE)` clamp returned ~1.8e308 instead.
+        let s = BatchSummary::default();
+        assert_eq!(s.images, 0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(BatchSummary::from_runs(&[]).throughput(), 0.0);
+    }
+
+    #[test]
+    fn sixteen_bit_engine_builds_and_infers() {
+        let net = net(Variant::ROdeNet3);
+        let engine = Engine::builder(&net)
+            .pl_format(PlFormat::Q16 { frac: 10 })
+            .build()
+            .expect("16-bit datapath builds");
+        assert_eq!(engine.pl_format(), PlFormat::Q16 { frac: 10 });
+        assert_eq!(engine.target(), OffloadTarget::Layer32);
+        let run = engine.infer(&image(9)).expect("runs");
+        assert!(run.logits.as_slice().iter().all(|v| v.is_finite()));
+        // Half-width feature maps halve the modelled DMA words.
+        assert_eq!(run.dma_words, 64 * 64);
+    }
+
+    #[test]
+    fn custom_format_dispatches_or_errors() {
+        use qfixed::QFormat;
+        let net = net(Variant::ROdeNet3);
+        // A supported custom width executes…
+        let ok = Engine::builder(&net)
+            .pl_format(PlFormat::Custom(QFormat::new(32, 16)))
+            .build()
+            .expect("Q15.16 has a datapath");
+        assert!(ok.infer(&image(2)).is_ok());
+        // …an analysis-only width is a typed error, not a panic.
+        let err = Engine::builder(&net)
+            .pl_format(PlFormat::Custom(QFormat::new(8, 4)))
+            .build()
+            .expect_err("no 8-bit datapath");
+        assert_eq!(
+            err,
+            EngineError::UnsupportedFormat {
+                total_bits: 8,
+                frac_bits: 4
+            }
+        );
+        // But the same configuration still *plans* (resource analysis).
+        let plan = Engine::builder(&net)
+            .pl_format(PlFormat::Custom(QFormat::new(8, 4)))
+            .plan()
+            .expect("8-bit plans fine");
+        assert!(plan.bram36_used() < 140.0);
+    }
+
+    #[test]
+    fn every_listed_executable_width_builds() {
+        // `PlFormat::EXECUTABLE_WIDTHS` is the single source of truth;
+        // the dispatch match in `build()` must cover every entry.
+        let net = net(Variant::ROdeNet3);
+        for &(total, frac) in PlFormat::EXECUTABLE_WIDTHS {
+            let format = PlFormat::Custom(qfixed::QFormat::new(total, frac));
+            assert!(format.has_datapath(), "({total},{frac}) is listed");
+            let engine = Engine::builder(&net)
+                .pl_format(format)
+                .build()
+                .unwrap_or_else(|e| panic!("({total},{frac}) listed as executable: {e}"));
+            engine.infer(&image(1)).expect("listed widths serve");
+        }
+        assert!(!PlFormat::Custom(qfixed::QFormat::new(24, 12)).has_datapath());
+    }
+
+    #[test]
+    fn plan_without_numerics_matches_built_engine() {
+        let net = net(Variant::ROdeNet3);
+        let builder_plan = Engine::builder(&net).plan().expect("plans");
+        let engine = Engine::builder(&net).build().expect("builds");
+        let engine_plan = engine.plan().expect("built-in backend keeps its plan");
+        assert_eq!(builder_plan.target(), engine_plan.target());
+        assert_eq!(
+            builder_plan.table5().total_w_pl,
+            engine_plan.table5().total_w_pl
+        );
+        assert_eq!(
+            engine.latency_report().expect("cached").total_w_pl,
+            engine_plan.table5().total_w_pl
+        );
     }
 
     #[test]

@@ -22,9 +22,14 @@
 //! * [`planner`] — the §3.2 offload feasibility analysis (which layers
 //!   fit in BRAM, which combinations are legal, what conv_x·n passes
 //!   timing);
+//! * [`plan`] — numerics-free deployment planning: [`DeploymentPlan`]
+//!   resolves placement, width-aware resources, and the cached Table 5
+//!   timing for any PL word format ([`PlFormat`]) before a single
+//!   weight is quantized;
 //! * [`engine`] — the deployment API: a builder-configured, validated
-//!   [`Engine`] that plans and quantizes once, then serves single or
-//!   batched inference through pluggable [`Backend`]s.
+//!   [`Engine`] built from a [`DeploymentPlan`], precision-polymorphic
+//!   over the PL word format, serving single or batched inference
+//!   through pluggable [`Backend`]s.
 //!
 //! ```
 //! use zynq_sim::resources::{ode_block_resources};
@@ -41,6 +46,7 @@
 pub mod board;
 pub mod datapath;
 pub mod engine;
+pub mod plan;
 pub mod planner;
 pub mod power;
 pub mod resources;
@@ -52,6 +58,7 @@ pub use datapath::{block_exec_cycles, conv_cycles, OdeBlockAccel};
 pub use engine::{
     Backend, BackendKind, BatchSummary, Engine, EngineBuilder, EngineError, Offload, RunReport,
 };
+pub use plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest, PlannedStage};
 pub use planner::{plan_offload, OffloadTarget};
 pub use power::{EnergyReport, PowerModel};
 pub use resources::{ode_block_resources, ResourceReport};

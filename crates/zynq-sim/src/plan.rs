@@ -1,0 +1,510 @@
+//! Deployment planning — placement, resources, and timing **without
+//! numerics**.
+//!
+//! A [`DeploymentPlan`] is everything [`crate::engine::EngineBuilder::build`]
+//! decides *before* any weight is quantized or any tensor is touched:
+//! the resolved [`OffloadTarget`], the per-stage width-aware resource
+//! report, and the full input-independent latency decomposition (the
+//! configuration's Table 5 row). Because the paper's timing model is
+//! input-independent, a plan answers every "how fast / does it fit /
+//! what would it cost" question by itself — build one with
+//! [`plan_deployment`] (from a bare [`NetSpec`]) or
+//! [`crate::engine::EngineBuilder::plan`] (from a builder), inspect it,
+//! and only then pay for an [`crate::engine::Engine`].
+//!
+//! The PL word width is a first-class plan parameter ([`PlFormat`]):
+//! the paper's footnote 2 observes that reduced bit widths "can
+//! implement more layers in PL part", and the width flows through the
+//! BRAM/DSP feasibility check ([`OffloadTarget::fits_at`]) and the DMA
+//! share of the timing model, so a 16-bit plan can legally choose the
+//! layer3_2-sharing placements a 32-bit plan must reject.
+
+use crate::board::{Board, PYNQ_Z2};
+use crate::engine::{BackendKind, EngineError, Offload};
+use crate::planner::{plan_offload_at, plan_offload_extended_at, OffloadTarget};
+use crate::resources::{bram36_at_width, dsp_slices_at_width, lut_ff};
+use crate::timing::{table5_row_at, PlModel, PsModel, Table5Row};
+use qfixed::QFormat;
+use rodenet::{BnMode, LayerName, NetSpec};
+
+/// The PL datapath word format, chosen at plan time.
+///
+/// [`PlFormat::Q20`] is the paper's 32-bit build and the default;
+/// [`PlFormat::Q16`] is the footnote-2 16-bit datapath with a
+/// selectable binary point; [`PlFormat::Custom`] admits any
+/// [`QFormat`] for planning/analysis (execution additionally requires
+/// one of the widths the engine can instantiate — see
+/// [`crate::engine::EngineBuilder::pl_format`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PlFormat {
+    /// The paper's 32-bit Q11.20 datapath.
+    #[default]
+    Q20,
+    /// A 16-bit datapath with `frac` fractional bits (Q(15−frac).frac).
+    Q16 {
+        /// Fractional bits (must be below 16).
+        frac: u32,
+    },
+    /// Any runtime-described format.
+    Custom(QFormat),
+}
+
+impl PlFormat {
+    /// The `(total_bits, frac_bits)` pair this format describes, before
+    /// any validity checking.
+    fn bits(&self) -> (u32, u32) {
+        match *self {
+            PlFormat::Q20 => (32, 20),
+            PlFormat::Q16 { frac } => (16, frac),
+            PlFormat::Custom(f) => (f.total_bits, f.frac_bits),
+        }
+    }
+
+    /// Whether the described bit layout is structurally invalid
+    /// (zero-width, `frac ≥ total bits`, or wider than 64 bits) — the
+    /// single definition behind [`PlFormat::qformat`]'s rejection and
+    /// the error message wording. Degenerate formats cannot even plan;
+    /// contrast [`PlFormat::has_datapath`], which gates execution only.
+    pub fn is_degenerate(&self) -> bool {
+        let (total, frac) = self.bits();
+        !(2..=64).contains(&total) || frac >= total
+    }
+
+    /// The format as a runtime [`QFormat`] description, or an
+    /// [`EngineError::UnsupportedFormat`] when
+    /// [degenerate](PlFormat::is_degenerate).
+    pub fn qformat(&self) -> Result<QFormat, EngineError> {
+        let (total, frac) = self.bits();
+        if self.is_degenerate() {
+            return Err(EngineError::UnsupportedFormat {
+                total_bits: total,
+                frac_bits: frac,
+            });
+        }
+        Ok(QFormat::new(total, frac))
+    }
+
+    /// Storage bytes per value (what the BRAM/DMA models charge).
+    pub fn bytes(&self) -> Result<usize, EngineError> {
+        Ok(self.qformat()?.bytes())
+    }
+
+    /// The `(total_bits, frac_bits)` pairs the engine has a
+    /// monomorphized datapath for — the single source of truth behind
+    /// [`PlFormat::has_datapath`], the builder's dispatch, and the
+    /// `UnsupportedFormat` error text. Everything else plans but does
+    /// not execute.
+    pub const EXECUTABLE_WIDTHS: &'static [(u32, u32)] = &[
+        (32, 12),
+        (32, 16),
+        (32, 20),
+        (32, 24),
+        (16, 6),
+        (16, 8),
+        (16, 10),
+        (16, 12),
+    ];
+
+    /// Whether [`crate::engine::EngineBuilder::build`] can instantiate
+    /// a quantized datapath for this format (planning never needs this).
+    pub fn has_datapath(&self) -> bool {
+        self.qformat()
+            .map(|q| Self::EXECUTABLE_WIDTHS.contains(&(q.total_bits, q.frac_bits)))
+            .unwrap_or(false)
+    }
+}
+
+impl core::fmt::Display for PlFormat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.qformat() {
+            Ok(q) => write!(f, "{q}"),
+            Err(_) => write!(f, "{self:?} (degenerate)"),
+        }
+    }
+}
+
+/// Everything the builder decides, minus the engine: see module docs.
+/// Constructed by [`plan_deployment`] /
+/// [`crate::engine::EngineBuilder::plan`]; every accessor is pure — no
+/// numerics ran and none will.
+#[derive(Clone, Debug)]
+pub struct DeploymentPlan {
+    spec: NetSpec,
+    board: Board,
+    target: OffloadTarget,
+    format: PlFormat,
+    backend: BackendKind,
+    bn: BnMode,
+    ps: PsModel,
+    pl: PlModel,
+    stages: Vec<PlannedStage>,
+    timing: Table5Row,
+}
+
+/// One offloaded stage of a [`DeploymentPlan`]: placement + width-aware
+/// resources + input-independent timing.
+#[derive(Clone, Debug)]
+pub struct PlannedStage {
+    /// The offloaded layer.
+    pub layer: LayerName,
+    /// Block executions per inference (ODE steps, or 1 for plain blocks).
+    pub execs: usize,
+    /// BRAM36-equivalents at the plan's word width.
+    pub bram36: f64,
+    /// DSP48E1 slices at the plan's word width.
+    pub dsp: u32,
+    /// Look-up tables (32-bit characterization, width-conservative).
+    pub lut: u32,
+    /// Flip-flops (32-bit characterization, width-conservative).
+    pub ff: u32,
+    /// Modelled circuit seconds per inference (incl. DMA).
+    pub pl_seconds: f64,
+    /// 32-bit AXI bus words per inference.
+    pub dma_words: u64,
+}
+
+/// The configuration a [`DeploymentPlan`] is computed from — the same
+/// knobs as [`crate::engine::EngineBuilder`], minus the network (plans
+/// are weight-free). `Default` is the paper's deployment: PYNQ-Z2,
+/// planner-chosen placement, calibrated PS model, conv_x16, Q20,
+/// on-the-fly batch norm.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanRequest {
+    /// Target device.
+    pub board: Board,
+    /// Placement policy.
+    pub offload: Offload,
+    /// Executing backend.
+    pub backend: BackendKind,
+    /// PS-side batch-norm statistics mode.
+    pub bn: BnMode,
+    /// PS software-cost model.
+    pub ps: PsModel,
+    /// PL circuit configuration.
+    pub pl: PlModel,
+    /// PL word format.
+    pub format: PlFormat,
+}
+
+impl Default for PlanRequest {
+    fn default() -> Self {
+        PlanRequest {
+            board: PYNQ_Z2,
+            offload: Offload::Auto,
+            backend: BackendKind::Auto,
+            bn: BnMode::OnTheFly,
+            ps: PsModel::Calibrated,
+            pl: PlModel::default(),
+            format: PlFormat::Q20,
+        }
+    }
+}
+
+/// Resolve placement, backend, feasibility, and timing for `spec` —
+/// the numerics-free half of [`crate::engine::EngineBuilder::build`].
+///
+/// Any structurally valid [`PlFormat`] plans, including widths the
+/// engine cannot execute (an 8-bit plan is a legitimate resource-model
+/// question); executability is checked when an engine is built from
+/// the same configuration.
+pub fn plan_deployment(spec: &NetSpec, req: &PlanRequest) -> Result<DeploymentPlan, EngineError> {
+    let bytes = req.format.bytes()?;
+
+    // 1. Resolve the placement at the requested word width.
+    let target = match req.offload {
+        Offload::Auto => plan_offload_at(
+            spec,
+            &req.board,
+            req.pl.parallelism,
+            &req.ps,
+            &req.pl,
+            bytes,
+        ),
+        Offload::AutoExtended => plan_offload_extended_at(
+            spec,
+            &req.board,
+            req.pl.parallelism,
+            &req.ps,
+            &req.pl,
+            bytes,
+        ),
+        Offload::Target(t) => {
+            if !t.applicable_extended(spec) {
+                return Err(EngineError::TargetNotApplicable {
+                    target: t,
+                    variant: spec.variant,
+                });
+            }
+            if !t.fits_at(&req.board, req.pl.parallelism, bytes) {
+                return Err(EngineError::InfeasiblePlacement {
+                    target: t,
+                    parallelism: req.pl.parallelism,
+                });
+            }
+            t
+        }
+    };
+
+    // 2. Resolve the backend and check conflicts.
+    let backend = match req.backend {
+        BackendKind::Auto => {
+            if target == OffloadTarget::None {
+                BackendKind::PsSoftware
+            } else {
+                BackendKind::Hybrid
+            }
+        }
+        explicit => explicit,
+    };
+    if backend == BackendKind::PsSoftware && target != OffloadTarget::None {
+        return Err(EngineError::BackendConflict {
+            backend: "ps-software",
+            target,
+        });
+    }
+    if backend == BackendKind::PlBitExact && req.bn == BnMode::Running {
+        return Err(EngineError::BnModeConflict {
+            backend: "pl-bit-exact",
+        });
+    }
+
+    // 3. Per-stage width-aware resources + timing, and the cached row.
+    let stages = target
+        .layers()
+        .iter()
+        .map(|&layer| {
+            let plan = spec.plan(layer);
+            let execs = if plan.is_ode { plan.execs } else { 1 };
+            let (lut, ff) = lut_ff(layer, req.pl.parallelism);
+            PlannedStage {
+                layer,
+                execs,
+                bram36: bram36_at_width(layer, req.pl.parallelism, bytes),
+                dsp: dsp_slices_at_width(req.pl.parallelism, bytes),
+                lut,
+                ff,
+                pl_seconds: req.pl.stage_seconds_at(layer, execs, &req.board, bytes),
+                dma_words: crate::datapath::dma_words_at(layer, bytes),
+            }
+        })
+        .collect();
+    let timing = table5_row_at(
+        spec.variant,
+        spec.n,
+        &target,
+        &req.ps,
+        &req.pl,
+        &req.board,
+        bytes,
+    );
+
+    Ok(DeploymentPlan {
+        spec: *spec,
+        board: req.board,
+        target,
+        format: req.format,
+        backend,
+        bn: req.bn,
+        ps: req.ps,
+        pl: req.pl,
+        stages,
+        timing,
+    })
+}
+
+impl DeploymentPlan {
+    /// The architecture this plan deploys.
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    /// The configured device.
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// The resolved placement.
+    pub fn target(&self) -> OffloadTarget {
+        self.target
+    }
+
+    /// The PL word format the plan was computed for.
+    pub fn pl_format(&self) -> PlFormat {
+        self.format
+    }
+
+    /// The resolved (never `Auto`) backend kind.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The PS-side batch-norm statistics mode.
+    pub fn bn_mode(&self) -> BnMode {
+        self.bn
+    }
+
+    /// The PS cost model the timing was computed with.
+    pub fn ps_model(&self) -> &PsModel {
+        &self.ps
+    }
+
+    /// The PL circuit configuration (parallelism).
+    pub fn pl_model(&self) -> &PlModel {
+        &self.pl
+    }
+
+    /// The offloaded stages with width-aware resources and timing.
+    pub fn stages(&self) -> &[PlannedStage] {
+        &self.stages
+    }
+
+    /// The configuration's Table 5 row, cached at plan time — serve
+    /// latency queries from here without executing any inference
+    /// (`total_w_pl` is what [`crate::engine::RunReport::total_seconds`]
+    /// will report for this configuration).
+    pub fn table5(&self) -> &Table5Row {
+        &self.timing
+    }
+
+    /// Modelled end-to-end seconds per image for this configuration.
+    pub fn total_seconds(&self) -> f64 {
+        self.timing.total_w_pl
+    }
+
+    /// Modelled PL seconds per image across all offloaded stages.
+    pub fn pl_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.pl_seconds).sum()
+    }
+
+    /// Modelled PS seconds per image (total minus the PL share).
+    pub fn ps_seconds(&self) -> f64 {
+        self.total_seconds() - self.pl_seconds()
+    }
+
+    /// 32-bit AXI bus words per image.
+    pub fn dma_words(&self) -> u64 {
+        self.stages.iter().map(|s| s.dma_words).sum()
+    }
+
+    /// Total BRAM36-equivalents of the planned circuits at the plan's
+    /// word width.
+    pub fn bram36_used(&self) -> f64 {
+        self.stages.iter().map(|s| s.bram36).sum()
+    }
+
+    /// Total DSP48E1 slices of the planned circuits.
+    pub fn dsp_used(&self) -> u32 {
+        self.stages.iter().map(|s| s.dsp).sum()
+    }
+
+    /// One-line human description for logs and examples.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} · {} · {:?} ({} PL stage{}, {:.1} BRAM36) · {:.3}s/img",
+            self.spec.display_name(),
+            self.format,
+            self.target,
+            self.stages.len(),
+            if self.stages.len() == 1 { "" } else { "s" },
+            self.bram36_used(),
+            self.total_seconds(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodenet::Variant;
+
+    #[test]
+    fn default_plan_matches_paper_row() {
+        let spec = NetSpec::new(Variant::ROdeNet3, 56);
+        let plan = plan_deployment(&spec, &PlanRequest::default()).expect("plans");
+        assert_eq!(plan.target(), OffloadTarget::Layer32);
+        assert_eq!(plan.backend_kind(), BackendKind::Hybrid);
+        let row = crate::timing::paper_row(Variant::ROdeNet3, 56);
+        assert_eq!(plan.table5().total_w_pl, row.total_w_pl);
+        assert_eq!(plan.total_seconds(), plan.ps_seconds() + plan.pl_seconds());
+        assert_eq!(plan.dma_words(), 2 * 64 * 64);
+        assert_eq!(plan.bram36_used(), 140.0);
+    }
+
+    #[test]
+    fn sixteen_bit_plan_admits_layer32_combos() {
+        let spec = NetSpec::new(Variant::OdeNet, 20);
+        let req = PlanRequest {
+            format: PlFormat::Q16 { frac: 10 },
+            ..PlanRequest::default()
+        };
+        let plan = plan_deployment(&spec, &req).expect("16-bit plans");
+        assert_eq!(plan.target(), OffloadTarget::AllOde);
+        assert!(plan.bram36_used() <= PYNQ_Z2.bram36 as f64);
+        // The same placement is a typed error at the paper's width.
+        let err = plan_deployment(
+            &spec,
+            &PlanRequest {
+                offload: Offload::Target(OffloadTarget::AllOde),
+                ..PlanRequest::default()
+            },
+        )
+        .expect_err("AllOde cannot fit at 32-bit");
+        assert!(matches!(err, EngineError::InfeasiblePlacement { .. }));
+    }
+
+    #[test]
+    fn degenerate_format_is_a_typed_error() {
+        let spec = NetSpec::new(Variant::ROdeNet3, 20);
+        for format in [
+            PlFormat::Q16 { frac: 16 },
+            PlFormat::Custom(QFormat {
+                total_bits: 80,
+                frac_bits: 20,
+            }),
+        ] {
+            let err = plan_deployment(
+                &spec,
+                &PlanRequest {
+                    format,
+                    ..PlanRequest::default()
+                },
+            )
+            .expect_err("degenerate format");
+            assert!(
+                matches!(err, EngineError::UnsupportedFormat { .. }),
+                "{format:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_bit_plans_for_analysis() {
+        // Analysis-only widths plan fine (engines reject them at build).
+        let spec = NetSpec::new(Variant::OdeNet, 20);
+        let req = PlanRequest {
+            format: PlFormat::Custom(QFormat::new(8, 4)),
+            ..PlanRequest::default()
+        };
+        let plan = plan_deployment(&spec, &req).expect("8-bit analysis plan");
+        let plan16 = plan_deployment(
+            &spec,
+            &PlanRequest {
+                format: PlFormat::Q16 { frac: 10 },
+                ..PlanRequest::default()
+            },
+        )
+        .expect("16-bit plan");
+        assert!(
+            plan.bram36_used() <= plan16.bram36_used(),
+            "8-bit ({}) uses no more BRAM than 16-bit ({})",
+            plan.bram36_used(),
+            plan16.bram36_used()
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", PlFormat::Q20), "Q11.20 (32-bit)");
+        assert_eq!(format!("{}", PlFormat::Q16 { frac: 10 }), "Q5.10 (16-bit)");
+    }
+}

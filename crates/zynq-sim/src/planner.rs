@@ -8,11 +8,19 @@
 //! can pick the latency-optimal one for a given architecture.
 
 use crate::board::Board;
-use crate::resources::ode_block_resources;
 use crate::timing::{PlModel, PsModel};
 use rodenet::{LayerName, NetSpec, Variant};
 
 /// A PL placement of ODE layers.
+///
+/// The first five cases are the §3.2 enumeration for the paper's 32-bit
+/// datapath. The remaining combinations share the fabric with layer3_2
+/// — impossible at 32 bits (layer3_2 alone is 100 % of BRAM, Table 3)
+/// but feasible at reduced word widths, which is exactly the paper's
+/// footnote-2 motivation ("using reduced bit widths … can implement
+/// more layers in PL part"). They participate in planning whenever the
+/// width-aware feasibility check ([`OffloadTarget::fits_at`]) admits
+/// them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OffloadTarget {
     /// Pure software.
@@ -23,18 +31,27 @@ pub enum OffloadTarget {
     Layer22,
     /// layer1 and layer2_2 both on the PL (§3.2 case 3).
     Layer1And22,
-    /// layer3_2 on the PL (100 % BRAM).
+    /// layer3_2 on the PL (100 % BRAM at 32-bit).
     Layer32,
+    /// layer1 and layer3_2 (reduced width only).
+    Layer1And32,
+    /// layer2_2 and layer3_2 (reduced width only).
+    Layer22And32,
+    /// All three shape-preserving layers on the PL (reduced width only).
+    AllOde,
 }
 
 impl OffloadTarget {
     /// All placements, software first.
-    pub const ALL: [OffloadTarget; 5] = [
+    pub const ALL: [OffloadTarget; 8] = [
         OffloadTarget::None,
         OffloadTarget::Layer1,
         OffloadTarget::Layer22,
         OffloadTarget::Layer1And22,
         OffloadTarget::Layer32,
+        OffloadTarget::Layer1And32,
+        OffloadTarget::Layer22And32,
+        OffloadTarget::AllOde,
     ];
 
     /// The layers this placement puts on the PL.
@@ -45,6 +62,9 @@ impl OffloadTarget {
             OffloadTarget::Layer22 => &[LayerName::Layer2_2],
             OffloadTarget::Layer1And22 => &[LayerName::Layer1, LayerName::Layer2_2],
             OffloadTarget::Layer32 => &[LayerName::Layer3_2],
+            OffloadTarget::Layer1And32 => &[LayerName::Layer1, LayerName::Layer3_2],
+            OffloadTarget::Layer22And32 => &[LayerName::Layer2_2, LayerName::Layer3_2],
+            OffloadTarget::AllOde => &[LayerName::Layer1, LayerName::Layer2_2, LayerName::Layer3_2],
         }
     }
 
@@ -67,10 +87,21 @@ impl OffloadTarget {
     /// feed the extra units), so `fits` reports such placements as
     /// infeasible — which is what the planner and the engine builder
     /// consult. Note the guard lives here, at the placement level: the
-    /// low-level per-circuit model ([`ode_block_resources`]) keeps
+    /// low-level per-circuit model ([`crate::resources::ode_block_resources`]) keeps
     /// `parallelism ≤ channels` as an asserted precondition.
     pub fn fits(&self, board: &Board, parallelism: usize) -> bool {
-        let mut bram18 = 0u32;
+        self.fits_at(board, parallelism, 4)
+    }
+
+    /// Width-aware feasibility: like [`OffloadTarget::fits`] but with
+    /// the PL word width as a parameter (`bytes_per_value`; 4 is the
+    /// paper's 32-bit build, 2 the footnote-2 16-bit datapath). BRAM
+    /// scales via [`crate::resources::bram36_at_width`], DSP via
+    /// [`crate::resources::dsp_slices_at_width`]; LUT/FF use the 32-bit
+    /// characterization either way (conservative — narrower adders can
+    /// only shrink them).
+    pub fn fits_at(&self, board: &Board, parallelism: usize, bytes_per_value: usize) -> bool {
+        let mut bram36 = 0.0f64;
         let mut dsp = 0u32;
         let mut lut = 0u32;
         let mut ff = 0u32;
@@ -79,13 +110,13 @@ impl OffloadTarget {
             if parallelism > channels {
                 return false;
             }
-            let r = ode_block_resources(layer, parallelism);
-            bram18 += r.bram18;
-            dsp += r.dsp;
-            lut += r.lut;
-            ff += r.ff;
+            bram36 += crate::resources::bram36_at_width(layer, parallelism, bytes_per_value);
+            dsp += crate::resources::dsp_slices_at_width(parallelism, bytes_per_value);
+            let (l, f) = crate::resources::lut_ff(layer, parallelism);
+            lut += l;
+            ff += f;
         }
-        bram18 <= 2 * board.bram36 && dsp <= board.dsp && lut <= board.lut && ff <= board.ff
+        bram36 <= board.bram36 as f64 && dsp <= board.dsp && lut <= board.lut && ff <= board.ff
     }
 
     /// Whether the placement matches the paper's policy for `spec`:
@@ -111,16 +142,26 @@ impl OffloadTarget {
     }
 }
 
-/// All placements that fit the board at `parallelism`.
+/// All placements that fit the board at `parallelism` (32-bit build).
 pub fn feasible_targets(board: &Board, parallelism: usize) -> Vec<OffloadTarget> {
+    feasible_targets_at(board, parallelism, 4)
+}
+
+/// All placements that fit the board at `parallelism` and the given PL
+/// word width.
+pub fn feasible_targets_at(
+    board: &Board,
+    parallelism: usize,
+    bytes_per_value: usize,
+) -> Vec<OffloadTarget> {
     OffloadTarget::ALL
         .into_iter()
-        .filter(|t| t.fits(board, parallelism))
+        .filter(|t| t.fits_at(board, parallelism, bytes_per_value))
         .collect()
 }
 
 /// Pick the placement minimizing modelled end-to-end latency for `spec`
-/// under the paper's ODE-blocks-only policy.
+/// under the paper's ODE-blocks-only policy (32-bit datapath).
 pub fn plan_offload(
     spec: &NetSpec,
     board: &Board,
@@ -128,7 +169,7 @@ pub fn plan_offload(
     ps: &PsModel,
     pl: &PlModel,
 ) -> OffloadTarget {
-    plan_with(spec, board, parallelism, ps, pl, false)
+    plan_with(spec, board, parallelism, ps, pl, false, 4)
 }
 
 /// Like [`plan_offload`] but also considers once-executed plain blocks
@@ -141,9 +182,36 @@ pub fn plan_offload_extended(
     ps: &PsModel,
     pl: &PlModel,
 ) -> OffloadTarget {
-    plan_with(spec, board, parallelism, ps, pl, true)
+    plan_with(spec, board, parallelism, ps, pl, true, 4)
 }
 
+/// Width-aware [`plan_offload`]: feasibility and DMA timing both see
+/// the PL word width, so a 16-bit plan can legally pick the
+/// layer3_2-sharing placements that a 32-bit plan must reject.
+pub fn plan_offload_at(
+    spec: &NetSpec,
+    board: &Board,
+    parallelism: usize,
+    ps: &PsModel,
+    pl: &PlModel,
+    bytes_per_value: usize,
+) -> OffloadTarget {
+    plan_with(spec, board, parallelism, ps, pl, false, bytes_per_value)
+}
+
+/// Width-aware [`plan_offload_extended`].
+pub fn plan_offload_extended_at(
+    spec: &NetSpec,
+    board: &Board,
+    parallelism: usize,
+    ps: &PsModel,
+    pl: &PlModel,
+    bytes_per_value: usize,
+) -> OffloadTarget {
+    plan_with(spec, board, parallelism, ps, pl, true, bytes_per_value)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn plan_with(
     spec: &NetSpec,
     board: &Board,
@@ -151,6 +219,7 @@ fn plan_with(
     ps: &PsModel,
     pl: &PlModel,
     extended: bool,
+    bytes_per_value: usize,
 ) -> OffloadTarget {
     let mut best = OffloadTarget::None;
     let mut best_time = f64::INFINITY;
@@ -160,10 +229,18 @@ fn plan_with(
         } else {
             target.applicable(spec)
         };
-        if !target.fits(board, parallelism) || !ok {
+        if !target.fits_at(board, parallelism, bytes_per_value) || !ok {
             continue;
         }
-        let row = crate::timing::table5_row(spec.variant, spec.n, &target, ps, pl, board);
+        let row = crate::timing::table5_row_at(
+            spec.variant,
+            spec.n,
+            &target,
+            ps,
+            pl,
+            board,
+            bytes_per_value,
+        );
         if row.total_w_pl < best_time {
             best_time = row.total_w_pl;
             best = target;
@@ -192,8 +269,10 @@ mod tests {
 
     #[test]
     fn layer32_plus_anything_infeasible() {
-        // There is no enum case for layer3_2 + another layer precisely
-        // because BRAM is at 100 %; verify the arithmetic anyway.
+        // At the paper's 32-bit width, layer3_2 + another layer can
+        // never fit (BRAM is at 100 %) — the layer3_2-sharing enum
+        // cases exist solely for reduced widths; verify the arithmetic.
+        use crate::resources::ode_block_resources;
         let a = ode_block_resources(LayerName::Layer3_2, 16);
         let b = ode_block_resources(LayerName::Layer1, 1);
         assert!(a.bram18 + b.bram18 > 2 * PYNQ_Z2.bram36);
@@ -304,6 +383,39 @@ mod tests {
         let t_ext = crate::timing::table5_row(spec.variant, spec.n, &extended, &ps, &pl, &PYNQ_Z2)
             .total_w_pl;
         assert!(t_ext < t_paper, "{t_ext} < {t_paper}");
+    }
+
+    #[test]
+    fn layer32_combos_need_reduced_width() {
+        // The three layer3_2-sharing placements are exactly the ones a
+        // 32-bit build must reject (Table 3: layer3_2 = 100 % BRAM) and
+        // a 16-bit build admits (footnote 2).
+        for t in [
+            OffloadTarget::Layer1And32,
+            OffloadTarget::Layer22And32,
+            OffloadTarget::AllOde,
+        ] {
+            assert!(!t.fits(&PYNQ_Z2, 16), "{t:?} cannot fit at 32-bit");
+            assert!(t.fits_at(&PYNQ_Z2, 16, 2), "{t:?} fits at 16-bit");
+        }
+        // And the 32-bit check is unchanged by the width-aware rewrite.
+        for t in OffloadTarget::ALL {
+            assert_eq!(t.fits(&PYNQ_Z2, 16), t.fits_at(&PYNQ_Z2, 16, 4), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_planner_offloads_more_layers() {
+        // ODENet has all three shape-preserving layers as single-instance
+        // ODE blocks; at 16-bit the latency-optimal placement puts all of
+        // them on the PL — unreachable at 32-bit.
+        let ps = PsModel::Calibrated;
+        let pl = PlModel::default();
+        let spec = NetSpec::new(Variant::OdeNet, 56);
+        let choice32 = plan_offload_at(&spec, &PYNQ_Z2, 16, &ps, &pl, 4);
+        let choice16 = plan_offload_at(&spec, &PYNQ_Z2, 16, &ps, &pl, 2);
+        assert_eq!(choice32, OffloadTarget::Layer1And22);
+        assert_eq!(choice16, OffloadTarget::AllOde);
     }
 
     #[test]

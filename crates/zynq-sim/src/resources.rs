@@ -124,7 +124,18 @@ pub fn weight_bank_bram18(geom: LayerGeom, parallelism: usize) -> u32 {
 
 /// DSP48E1 slices: 4 per multiply–add unit + 4 for the BN unit.
 pub fn dsp_slices(parallelism: usize) -> u32 {
-    4 * parallelism as u32 + 4
+    dsp_slices_at_width(parallelism, 4)
+}
+
+/// DSP48E1 slices at an arbitrary parameter width. A b×b multiplier
+/// tiles onto `⌈b/25⌉·⌈b/18⌉` of the slice's 25×18 signed multipliers:
+/// 4 for the paper's 32-bit build (exact on Table 3), 1 for 16-bit or
+/// less, 2 for a 17–24-bit operand, 12 for a 64-bit one. The BN mean/σ
+/// unit keeps its four slices at every width.
+pub fn dsp_slices_at_width(parallelism: usize, bytes_per_value: usize) -> u32 {
+    let bits = (bytes_per_value * 8) as u32;
+    let per_mac = bits.div_ceil(25) * bits.div_ceil(18);
+    per_mac * parallelism as u32 + 4
 }
 
 /// The paper's synthesis results (Table 3) as a characterization table:
@@ -188,6 +199,12 @@ pub fn modelled_lut_ff(layer: LayerName, parallelism: usize) -> (u32, u32) {
     )
 }
 
+/// LUT/FF of one circuit: the synthesis characterization when the
+/// configuration is in Table 3, the linear model otherwise.
+pub fn lut_ff(layer: LayerName, parallelism: usize) -> (u32, u32) {
+    characterized_lut_ff(layer, parallelism).unwrap_or_else(|| modelled_lut_ff(layer, parallelism))
+}
+
 /// Full resource report for one ODEBlock circuit.
 pub fn ode_block_resources(layer: LayerName, parallelism: usize) -> ResourceReport {
     assert!(parallelism >= 1, "at least one multiply-add unit");
@@ -198,13 +215,8 @@ pub fn ode_block_resources(layer: LayerName, parallelism: usize) -> ResourceRepo
         geom.c
     );
     let bram18 = feature_buffer_bram18(geom) + weight_bank_bram18(geom, parallelism);
-    let (lut, ff, characterized) = match characterized_lut_ff(layer, parallelism) {
-        Some((l, f)) => (l, f, true),
-        None => {
-            let (l, f) = modelled_lut_ff(layer, parallelism);
-            (l, f, false)
-        }
-    };
+    let characterized = characterized_lut_ff(layer, parallelism).is_some();
+    let (lut, ff) = lut_ff(layer, parallelism);
     ResourceReport {
         layer,
         parallelism,
@@ -408,6 +420,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dsp_tiling_by_width() {
+        // 4-byte (paper) = 4 per MAC — Table 3 exact; the other widths
+        // follow the ⌈b/25⌉·⌈b/18⌉ tiling of the 25×18 multiplier.
+        assert_eq!(dsp_slices_at_width(16, 4), dsp_slices(16));
+        assert_eq!(dsp_slices_at_width(16, 2), 16 + 4);
+        assert_eq!(dsp_slices_at_width(16, 1), 16 + 4);
+        assert_eq!(
+            dsp_slices_at_width(16, 3),
+            2 * 16 + 4,
+            "24-bit needs 1×2 tiles"
+        );
+        assert_eq!(
+            dsp_slices_at_width(16, 8),
+            12 * 16 + 4,
+            "64-bit needs 3×4 tiles"
+        );
     }
 
     #[test]

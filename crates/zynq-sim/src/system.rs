@@ -3,7 +3,7 @@
 //!
 //! [`run_hybrid`] and [`run_hybrid_with`] predate the engine: they
 //! re-planned and re-quantized the offloaded blocks on **every call**.
-//! Both now build a one-shot [`Engine`](crate::engine::Engine) and
+//! Both now build a one-shot [`crate::engine::Engine`] and
 //! delegate — logits and timing are unchanged (the engine's hybrid
 //! backend walks the network in the same order with the same numerics),
 //! but new code should hold an `Engine` and reuse it.

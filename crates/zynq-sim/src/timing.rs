@@ -13,7 +13,6 @@
 //! clock, plus the paper's 1-cycle-per-word DMA assumption.
 
 use crate::board::{Board, PYNQ_Z2};
-use crate::datapath::stage_cycles;
 use crate::planner::OffloadTarget;
 use crate::resources::timing_closure_hz;
 use rodenet::{LayerName, NetSpec, Variant};
@@ -192,8 +191,22 @@ impl PlModel {
     /// Seconds for an offloaded stage of `execs` block runs (including
     /// the DMA round trip) at the configuration's closed clock.
     pub fn stage_seconds(&self, layer: LayerName, execs: usize, board: &Board) -> f64 {
+        self.stage_seconds_at(layer, execs, board, 4)
+    }
+
+    /// [`PlModel::stage_seconds`] at an arbitrary PL word width: the
+    /// compute cycles are width-independent, the DMA round trip scales
+    /// with `bytes_per_value` (see [`crate::datapath::stage_cycles_at`]).
+    pub fn stage_seconds_at(
+        &self,
+        layer: LayerName,
+        execs: usize,
+        board: &Board,
+        bytes_per_value: usize,
+    ) -> f64 {
         let clock = timing_closure_hz(self.parallelism).min(board.pl_clock_hz);
-        stage_cycles(layer, self.parallelism, execs) as f64 / clock as f64
+        crate::datapath::stage_cycles_at(layer, self.parallelism, execs, bytes_per_value) as f64
+            / clock as f64
     }
 }
 
@@ -220,7 +233,7 @@ pub struct Table5Row {
     pub speedup: f64,
 }
 
-/// Compute one Table 5 row.
+/// Compute one Table 5 row (the paper's 32-bit PL datapath).
 pub fn table5_row(
     variant: Variant,
     n: usize,
@@ -228,6 +241,21 @@ pub fn table5_row(
     ps: &PsModel,
     pl: &PlModel,
     board: &Board,
+) -> Table5Row {
+    table5_row_at(variant, n, offload, ps, pl, board, 4)
+}
+
+/// [`table5_row`] at an arbitrary PL word width: the PS side is
+/// unchanged, the PL stage times see the narrower DMA transfers.
+#[allow(clippy::too_many_arguments)]
+pub fn table5_row_at(
+    variant: Variant,
+    n: usize,
+    offload: &OffloadTarget,
+    ps: &PsModel,
+    pl: &PlModel,
+    board: &Board,
+    bytes_per_value: usize,
 ) -> Table5Row {
     let spec = NetSpec::new(variant, n);
     let total_wo_pl = ps.spec_seconds(&spec, board);
@@ -241,7 +269,7 @@ pub fn table5_row(
             "only single-instance (ODE) layers are offloaded in the paper"
         );
         let wo = ps.stage_seconds(layer, plan.is_ode, plan.execs, board);
-        let w = pl.stage_seconds(layer, plan.execs, board);
+        let w = pl.stage_seconds_at(layer, plan.execs, board, bytes_per_value);
         ratio_pct.push(100.0 * wo / total_wo_pl);
         targets_wo_pl.push(wo);
         targets_w_pl.push(w);

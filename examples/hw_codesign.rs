@@ -87,4 +87,26 @@ fn main() {
             Err(e) => println!("  conv_x{parallelism:<3} rejected: {e}"),
         }
     }
+
+    // The second co-design axis (footnote 2): the PL word width. The
+    // width-aware planner trades precision for fabric space — at 16-bit
+    // layer3_2 stops monopolizing BRAM and placements that are typed
+    // errors at Q20 deploy.
+    println!("\nword-width verdicts (Offload::Auto, conv_x16):");
+    for format in [
+        PlFormat::Q20,
+        PlFormat::Q16 { frac: 12 },
+        PlFormat::Q16 { frac: 10 },
+    ] {
+        match Engine::builder(&net).pl_format(format).plan() {
+            Ok(plan) => println!(
+                "  {:<16} plans {:?}: {:.1} BRAM36, {:.3}s per image",
+                format.to_string(),
+                plan.target(),
+                plan.bram36_used(),
+                plan.total_seconds(),
+            ),
+            Err(e) => println!("  {format:<16} rejected: {e}"),
+        }
+    }
 }

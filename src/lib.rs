@@ -62,6 +62,7 @@ pub mod prelude {
     pub use zynq_sim::engine::{
         Backend, BackendKind, BatchSummary, Engine, EngineBuilder, EngineError, Offload, RunReport,
     };
+    pub use zynq_sim::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
     pub use zynq_sim::planner::{plan_offload, OffloadTarget};
     pub use zynq_sim::timing::{paper_row, PlModel, PsModel};
     pub use zynq_sim::{ode_block_resources, HybridRun, OdeBlockAccel, PYNQ_Z2};

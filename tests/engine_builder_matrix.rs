@@ -1,0 +1,190 @@
+//! Builder misuse matrix: every `PlFormat` × `BackendKind` × `BnMode`
+//! (× placement policy) combination must resolve to either a working
+//! engine or a **typed** [`EngineError`] — never a panic, never a
+//! silently wrong configuration.
+
+use odenet_suite::prelude::*;
+use qfixed::QFormat;
+
+fn formats() -> Vec<PlFormat> {
+    vec![
+        PlFormat::Q20,
+        PlFormat::Q16 { frac: 6 },
+        PlFormat::Q16 { frac: 10 },
+        PlFormat::Q16 { frac: 12 },
+        PlFormat::Q16 { frac: 15 },             // valid but no datapath
+        PlFormat::Custom(QFormat::new(32, 16)), // executable custom
+        PlFormat::Custom(QFormat::new(32, 24)), // executable custom
+        PlFormat::Custom(QFormat::new(8, 4)),   // analysis-only width
+        PlFormat::Custom(QFormat::new(24, 12)), // analysis-only width
+        PlFormat::Custom(QFormat {
+            total_bits: 16,
+            frac_bits: 16,
+        }), // degenerate (frac == total)
+        PlFormat::Custom(QFormat {
+            total_bits: 0,
+            frac_bits: 0,
+        }), // degenerate (zero width)
+    ]
+}
+
+/// Whether a format has a monomorphized datapath in the engine —
+/// derived from the engine's own single source of truth
+/// (`PlFormat::EXECUTABLE_WIDTHS`); the matrix below cross-checks it
+/// against what `build()` actually accepts.
+fn executable(f: &PlFormat) -> bool {
+    f.has_datapath()
+}
+
+fn degenerate(f: &PlFormat) -> bool {
+    f.is_degenerate()
+}
+
+#[test]
+fn full_matrix_is_total_and_typed() {
+    let net = Network::new(NetSpec::new(Variant::ROdeNet3, 20).with_classes(10), 7);
+    let backends = [
+        BackendKind::Auto,
+        BackendKind::PsSoftware,
+        BackendKind::Hybrid,
+        BackendKind::PlBitExact,
+    ];
+    let offloads = [
+        Offload::Auto,
+        Offload::Target(OffloadTarget::None),
+        Offload::Target(OffloadTarget::Layer32),
+        Offload::Target(OffloadTarget::AllOde),
+    ];
+    let mut built = 0usize;
+    let mut rejected = 0usize;
+    for format in formats() {
+        for backend in backends {
+            for bn in [BnMode::OnTheFly, BnMode::Running] {
+                for offload in offloads {
+                    let result = Engine::builder(&net)
+                        .pl_format(format)
+                        .backend(backend)
+                        .bn_mode(bn)
+                        .offload(offload)
+                        .build();
+                    match result {
+                        Ok(engine) => {
+                            built += 1;
+                            assert!(!degenerate(&format), "degenerate formats never build");
+                            // A quantized datapath only exists for the
+                            // monomorphized widths.
+                            if engine.backend_name() != "ps-software" {
+                                assert!(
+                                    executable(&format),
+                                    "{format:?} has no datapath but built {}",
+                                    engine.backend_name()
+                                );
+                            }
+                            // A built engine must actually serve.
+                            let x = Tensor::<f32>::zeros(Shape4::new(1, 3, 8, 8));
+                            engine.infer(&x).expect("built engines infer");
+                        }
+                        Err(e) => {
+                            rejected += 1;
+                            // Every rejection is one of the documented,
+                            // matchable error values.
+                            assert!(
+                                matches!(
+                                    e,
+                                    EngineError::InfeasiblePlacement { .. }
+                                        | EngineError::TargetNotApplicable { .. }
+                                        | EngineError::BackendConflict { .. }
+                                        | EngineError::BnModeConflict { .. }
+                                        | EngineError::UnsupportedFormat { .. }
+                                ),
+                                "unexpected error shape: {e:?}"
+                            );
+                            if matches!(e, EngineError::UnsupportedFormat { .. }) {
+                                assert!(
+                                    degenerate(&format) || !executable(&format),
+                                    "{format:?} rejected as unsupported but is executable"
+                                );
+                            }
+                            // And it formats without panicking.
+                            let _ = e.to_string();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(built + rejected, 11 * 4 * 2 * 4, "matrix is total");
+    assert!(built > 0 && rejected > 0);
+}
+
+/// The specific conflict classes, pinned one by one.
+#[test]
+fn conflict_classes_are_the_documented_errors() {
+    let net = Network::new(NetSpec::new(Variant::ROdeNet3, 20).with_classes(10), 8);
+
+    // Degenerate formats fail even planning.
+    let err = Engine::builder(&net)
+        .pl_format(PlFormat::Q16 { frac: 16 })
+        .plan()
+        .expect_err("frac == total bits");
+    assert_eq!(
+        err,
+        EngineError::UnsupportedFormat {
+            total_bits: 16,
+            frac_bits: 16
+        }
+    );
+
+    // Analysis-only widths plan but do not build.
+    let b = Engine::builder(&net).pl_format(PlFormat::Custom(QFormat::new(24, 12)));
+    assert!(b.plan().is_ok());
+    assert!(matches!(
+        b.build(),
+        Err(EngineError::UnsupportedFormat {
+            total_bits: 24,
+            frac_bits: 12
+        })
+    ));
+
+    // PS software cannot host PL stages, at any width.
+    for format in [PlFormat::Q20, PlFormat::Q16 { frac: 10 }] {
+        let err = Engine::builder(&net)
+            .pl_format(format)
+            .backend(BackendKind::PsSoftware)
+            .offload(Offload::Target(OffloadTarget::Layer32))
+            .build()
+            .expect_err("software backend with PL stages");
+        assert!(matches!(err, EngineError::BackendConflict { .. }));
+    }
+
+    // The circuit computes statistics on the fly, at any width.
+    for format in [PlFormat::Q20, PlFormat::Q16 { frac: 10 }] {
+        let err = Engine::builder(&net)
+            .pl_format(format)
+            .backend(BackendKind::PlBitExact)
+            .bn_mode(BnMode::Running)
+            .build()
+            .expect_err("no running statistics on the PL");
+        assert_eq!(
+            err,
+            EngineError::BnModeConflict {
+                backend: "pl-bit-exact"
+            }
+        );
+    }
+
+    // Width changes feasibility: AllOde is an InfeasiblePlacement at
+    // Q20 and builds at Q16 — same request, only the format differs.
+    let net_ode = Network::new(NetSpec::new(Variant::OdeNet, 20).with_classes(10), 9);
+    assert!(matches!(
+        Engine::builder(&net_ode)
+            .offload(Offload::Target(OffloadTarget::AllOde))
+            .build(),
+        Err(EngineError::InfeasiblePlacement { .. })
+    ));
+    assert!(Engine::builder(&net_ode)
+        .pl_format(PlFormat::Q16 { frac: 10 })
+        .offload(Offload::Target(OffloadTarget::AllOde))
+        .build()
+        .is_ok());
+}

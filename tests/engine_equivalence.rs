@@ -134,11 +134,14 @@ fn engine_bit_identical_to_legacy_across_matrix() {
             }
         }
     }
-    // 3 variants × 5 placements × 2 modes = 30 combos; ODENet accepts
-    // all 5 placements, rODENet-3 three (None/Layer1/Layer32), ResNet
-    // only None.
+    // 3 variants × 8 placements × 2 modes = 48 combos; ODENet accepts
+    // the five §3.2 placements (the three layer3_2-sharing combos need
+    // a reduced word width — infeasible at the default Q20), rODENet-3
+    // three (None/Layer1/Layer32), ResNet only None.
+    let combos = 3 * OffloadTarget::ALL.len() * 2;
+    assert_eq!(combos, 48);
     assert_eq!(deployable, 2 * (5 + 3 + 1), "deployable combos");
-    assert_eq!(rejected, 30 - deployable, "rejected combos");
+    assert_eq!(rejected, combos - deployable, "rejected combos");
 }
 
 /// The deprecated shims must agree with the engine exactly (they
@@ -174,6 +177,36 @@ fn legacy_shims_delegate_faithfully() {
     assert_eq!(sw.logits.as_slice(), run.logits.as_slice());
     assert_eq!(sw.ps_seconds, run.ps_seconds);
     assert_eq!(run.backend, "ps-software");
+}
+
+/// The plan's cached Table 5 row is the same timing an actual
+/// execution reports — `latency_report()` may be served without
+/// running numerics precisely because the model is input-independent.
+#[test]
+fn latency_report_matches_execution() {
+    for (variant, target) in [
+        (Variant::ROdeNet3, OffloadTarget::Layer32),
+        (Variant::OdeNet, OffloadTarget::Layer1And22),
+        (Variant::ResNet, OffloadTarget::None),
+    ] {
+        let net = Network::new(NetSpec::new(variant, 20).with_classes(10), 77);
+        let engine = Engine::builder(&net)
+            .offload(Offload::Target(target))
+            .build()
+            .expect("deployable");
+        let cached = engine.latency_report().expect("built-in backend").clone();
+        let run = engine.infer(&image(3)).expect("runs");
+        assert!(
+            (cached.total_w_pl - run.total_seconds()).abs() < 1e-12,
+            "{variant}/{target:?}: cached {} vs executed {}",
+            cached.total_w_pl,
+            run.total_seconds()
+        );
+        let plan = engine.plan().expect("built-in backend");
+        assert_eq!(plan.dma_words(), run.dma_words, "{variant}/{target:?} DMA");
+        assert!((plan.pl_seconds() - run.pl_seconds).abs() < 1e-12);
+        assert!((plan.ps_seconds() - run.ps_seconds).abs() < 1e-12);
+    }
 }
 
 /// `infer_batch` returns per-image reports identical to per-image

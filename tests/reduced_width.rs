@@ -114,6 +114,75 @@ fn width_error_monotone() {
     );
 }
 
+/// The acceptance case for the precision-polymorphic engine: at
+/// `PlFormat::Q16`, `Offload::Auto` deploys a placement that is
+/// *infeasible* at the paper's Q20 on the PYNQ-Z2 (anything sharing
+/// the fabric with layer3_2) and runs it end to end — footnote 2's
+/// "more layers in PL part" through the public API.
+#[test]
+fn sixteen_bit_auto_deploys_placement_infeasible_at_q20() {
+    // ODENet keeps all three shape-preserving layers as single-instance
+    // ODE blocks, so the width is the only thing gating the placement.
+    let net = Network::new(NetSpec::new(Variant::OdeNet, 20).with_classes(10), 99);
+    let engine = Engine::builder(&net)
+        .pl_format(PlFormat::Q16 { frac: 10 })
+        .offload(Offload::Auto)
+        .build()
+        .expect("16-bit deployment builds");
+    let target = engine.target();
+    assert_eq!(target, OffloadTarget::AllOde, "planner exploits the width");
+    assert!(
+        !target.fits(&PYNQ_Z2, 16),
+        "the same placement must NOT fit the board at 32-bit Q20"
+    );
+    assert!(target.fits_at(&PYNQ_Z2, 16, 2), "and must fit at 16-bit");
+    // The identical request at the default Q20 cannot reach it: Auto
+    // falls back to a §3.2 placement, and asking for it explicitly is
+    // a typed error.
+    let q20 = Engine::builder(&net)
+        .offload(Offload::Auto)
+        .build()
+        .unwrap();
+    assert_eq!(q20.target(), OffloadTarget::Layer1And22);
+    let err = Engine::builder(&net)
+        .offload(Offload::Target(OffloadTarget::AllOde))
+        .build()
+        .expect_err("AllOde at Q20 is infeasible");
+    assert!(matches!(err, EngineError::InfeasiblePlacement { .. }));
+
+    // End to end: plan timing is served without numerics and matches
+    // the executed run; logits stay finite at the reduced width.
+    let plan = engine.plan().expect("built-in backend");
+    assert_eq!(plan.stages().len(), 3);
+    assert!(plan.bram36_used() <= PYNQ_Z2.bram36 as f64);
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(12);
+    let x = Tensor::<f32>::from_fn(Shape4::new(1, 3, 32, 32), |_, _, _, _| {
+        rng.random::<f32>() - 0.5
+    });
+    let run = engine.infer(&x).expect("16-bit inference runs");
+    assert_eq!(
+        run.offloaded,
+        vec![LayerName::Layer1, LayerName::Layer2_2, LayerName::Layer3_2]
+    );
+    assert!(run.logits.as_slice().iter().all(|v| v.is_finite()));
+    assert!(
+        (plan.total_seconds() - run.total_seconds()).abs() < 1e-12,
+        "cached plan latency {} equals executed {}",
+        plan.total_seconds(),
+        run.total_seconds()
+    );
+    // Offloading all three stages at 16-bit beats the best Q20 config.
+    let q20_run = q20.infer(&x).expect("Q20 inference");
+    assert!(
+        run.total_seconds() < q20_run.total_seconds(),
+        "16-bit AllOde ({}) faster than Q20 Layer1And22 ({})",
+        run.total_seconds(),
+        q20_run.total_seconds()
+    );
+}
+
 /// End to end: a trained network deployed at 16-bit keeps most of its
 /// prediction agreement with the float model.
 #[test]
