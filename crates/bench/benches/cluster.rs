@@ -1,0 +1,88 @@
+//! Cluster-backend benches: what the pipelined batch scheduler costs
+//! and what it buys.
+//!
+//! * `cluster_schedule/*` — the pure scheduling models on a prebuilt
+//!   2-board plan timeline (batch of 32): the additive fold vs the
+//!   event-driven pipeline simulation. This is the code that runs on
+//!   every `infer_batch_summary`, so it must stay cheap next to the
+//!   numerics it summarizes.
+//! * `cluster_infer_batch/*` — end-to-end `infer_batch_summary` of a
+//!   batch of 32 thumbnails through the 2-board engine, sequential vs
+//!   pipelined schedule (identical numerics, different summary).
+
+use bench::random_tensor;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rodenet::{BnMode, NetSpec, Network, Variant};
+use std::time::Duration;
+use tensor::{Shape4, Tensor};
+use zynq_sim::cluster::{pipelined_schedule, sequential_makespan};
+use zynq_sim::engine::{Engine, Offload};
+use zynq_sim::plan::PlFormat;
+use zynq_sim::timing::{PlModel, PsModel};
+use zynq_sim::{plan_cluster, Cluster, ClusterRequest, Interconnect, Schedule, ARTY_Z7_20};
+
+const BATCH: usize = 32;
+
+fn two_board_request(schedule: Schedule) -> ClusterRequest {
+    ClusterRequest {
+        cluster: Cluster::homogeneous(&ARTY_Z7_20, 2, Interconnect::GIGABIT_ETHERNET),
+        offload: Offload::Auto,
+        bn: BnMode::OnTheFly,
+        ps: PsModel::Calibrated,
+        pl: PlModel::default(),
+        format: PlFormat::Q20,
+        schedule,
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let spec = NetSpec::new(Variant::OdeNet, 20);
+    let plan = plan_cluster(&spec, &two_board_request(Schedule::Pipelined)).expect("plans");
+    let timeline = plan.timeline().to_vec();
+    let mut g = c.benchmark_group("cluster_schedule");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_with_input(BenchmarkId::new("sequential", BATCH), &(), |b, _| {
+        b.iter(|| black_box(sequential_makespan(&timeline, BATCH)))
+    });
+    g.bench_with_input(BenchmarkId::new("pipelined", BATCH), &(), |b, _| {
+        b.iter(|| black_box(pipelined_schedule(&timeline, BATCH).makespan))
+    });
+    g.finish();
+}
+
+fn bench_batch_schedules(c: &mut Criterion) {
+    let net = Network::new(NetSpec::new(Variant::OdeNet, 20).with_classes(100), 13);
+    let xs: Vec<Tensor<f32>> = (0..BATCH)
+        .map(|i| random_tensor(Shape4::new(1, 3, 8, 8), 100 + i as u64))
+        .collect();
+    let mut g = c.benchmark_group("cluster_infer_batch");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_secs(1));
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for schedule in [Schedule::Sequential, Schedule::Pipelined] {
+        let engine = Engine::builder(&net)
+            .cluster(Cluster::homogeneous(
+                &ARTY_Z7_20,
+                2,
+                Interconnect::GIGABIT_ETHERNET,
+            ))
+            .schedule(schedule)
+            .build()
+            .expect("two boards fit AllOde at Q20");
+        g.bench_with_input(
+            BenchmarkId::new("infer_batch_summary", format!("{schedule:?}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let (runs, summary) = engine.infer_batch_summary(&xs).expect("batch");
+                    black_box((runs.len(), summary.wall_seconds))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_batch_schedules);
+criterion_main!(benches);

@@ -24,6 +24,9 @@
 //!   energy        Extension: first-order energy-per-inference model
 //!   engine        Extension: Engine deployment API — setup amortization
 //!                 (one-shot vs reused) and batch serving throughput
+//!   cluster       Extension: multi-board sharding — 1-board vs 2-board
+//!                 Table-5-style comparison and the pipelined batch
+//!                 schedule vs the additive one
 //!   all           Everything except the slow fig6 full sweep
 //!
 //! Flags
@@ -98,6 +101,7 @@ fn main() {
         "widths" => widths_cmd(flags.n),
         "energy" => energy_cmd(),
         "engine" => engine_cmd(flags.seed),
+        "cluster" => cluster_cmd(),
         "all" => {
             table1();
             table2_cmd(flags.n);
@@ -114,6 +118,7 @@ fn main() {
             widths_cmd(flags.n);
             energy_cmd();
             engine_cmd(flags.seed);
+            cluster_cmd();
             println!("\n(run `repro fig6`, `repro quantization`, `repro solver` separately — they train networks)");
         }
         _ => {
@@ -932,4 +937,101 @@ fn energy_cmd() {
         ]);
     }
     t.emit("energy");
+}
+
+fn cluster_cmd() {
+    use zynq_sim::engine::Offload;
+    use zynq_sim::plan::PlFormat;
+    use zynq_sim::{plan_cluster, Cluster, ClusterRequest, Interconnect, Schedule, ARTY_Z7_20};
+
+    let request = |boards: usize| ClusterRequest {
+        cluster: Cluster::homogeneous(&ARTY_Z7_20, boards, Interconnect::GIGABIT_ETHERNET),
+        offload: Offload::Auto,
+        bn: BnMode::OnTheFly,
+        ps: PsModel::Calibrated,
+        pl: PlModel::default(),
+        format: PlFormat::Q20,
+        schedule: Schedule::Pipelined,
+    };
+    let shards = |plan: &zynq_sim::ClusterPlan| -> String {
+        if plan.shards().is_empty() {
+            "–".into()
+        } else {
+            plan.shards()
+                .iter()
+                .map(|s| format!("b{}:{:?}", s.board, s.target))
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    };
+
+    // Per-image view over the paper's depths: what a second board buys
+    // (everything below is served from plans — zero numerics).
+    let mut t = Table::new(
+        "Extension: multi-board sharding — ODENet-N on 1 vs 2 Arty Z7-20 (Q20, conv_x16, GigE)",
+        &[
+            "N",
+            "1-board shards",
+            "1-board [s/img]",
+            "2-board shards",
+            "2-board [s/img]",
+            "interconnect [ms]",
+        ],
+    );
+    for n in PAPER_DEPTHS {
+        let spec = NetSpec::new(Variant::OdeNet, n);
+        let one = plan_cluster(&spec, &request(1)).expect("1-board plans");
+        let two = plan_cluster(&spec, &request(2)).expect("2-board plans");
+        t.row(vec![
+            n.to_string(),
+            shards(&one),
+            s2(one.total_seconds()),
+            shards(&two),
+            s2(two.total_seconds()),
+            format!("{:.3}", two.transfer_seconds() * 1e3),
+        ]);
+    }
+    t.emit("cluster");
+    println!(
+        "(at Q20 a single XC7Z020 cannot host layer3_2 alongside anything — the second \
+         board unlocks the AllOde placement the paper's footnote 2 reaches via 16-bit)"
+    );
+
+    // Batch-of-32 schedules on the 2-board chain: additive vs
+    // event-driven pipelining (PS of image i+1 overlaps PL of image i).
+    let mut t2 = Table::new(
+        "Extension: batch-of-32 schedule on 2 Arty Z7-20 — Sequential vs Pipelined",
+        &[
+            "N",
+            "sequential [s]",
+            "pipelined [s]",
+            "seq [img/s]",
+            "pipe [img/s]",
+            "latency p50 [s]",
+            "latency max [s]",
+            "speedup",
+        ],
+    );
+    const BATCH: usize = 32;
+    for n in PAPER_DEPTHS {
+        let spec = NetSpec::new(Variant::OdeNet, n);
+        let plan = plan_cluster(&spec, &request(2)).expect("plans");
+        let seq = plan.batch_seconds(BATCH, Schedule::Sequential);
+        let run = zynq_sim::cluster::pipelined_schedule(plan.timeline(), BATCH);
+        t2.row(vec![
+            n.to_string(),
+            s2(seq),
+            s2(run.makespan),
+            format!("{:.2}", BATCH as f64 / seq),
+            format!("{:.2}", BATCH as f64 / run.makespan),
+            s2(run.latency_p50()),
+            s2(run.latency_max()),
+            format!("{:.2}x", seq / run.makespan),
+        ]);
+    }
+    t2.emit("cluster_schedule");
+    println!(
+        "(assumptions: head-board PS runs all software stages without preemption, one \
+         in-flight image per board, transfers occupy no compute resource)"
+    );
 }

@@ -46,6 +46,25 @@ pub const PYNQ_Z2: Board = Board {
     ff: 106_400,
 };
 
+/// The Digilent Arty Z7-20 — the other widespread low-cost XC7Z020
+/// carrier (same Zynq-7020 fabric and 650 MHz dual Cortex-A9 as the
+/// PYNQ-Z2, 512 MB DDR3). The multi-board cluster examples shard
+/// across several of these.
+pub const ARTY_Z7_20: Board = Board {
+    name: "Digilent Arty Z7-20",
+    os: "PYNQ Linux (Ubuntu 18.04)",
+    cpu: "ARM Cortex-A9 @ 650MHz",
+    ps_cores: 2,
+    ps_clock_hz: 650_000_000,
+    dram_bytes: 512 * 1024 * 1024,
+    fpga: "Xilinx Zynq XC7Z020-1CLG400C",
+    pl_clock_hz: 100_000_000,
+    bram36: 140,
+    dsp: 220,
+    lut: 53_200,
+    ff: 106_400,
+};
+
 impl Board {
     /// Bytes of a single BRAM36 (36 kbit = 4 608 bytes).
     pub const BRAM36_BYTES: usize = 4608;
@@ -89,6 +108,15 @@ mod tests {
         assert_eq!(PYNQ_Z2.ff, 106_400);
         // 140 × 36kbit = 630 KB of on-chip RAM.
         assert_eq!(PYNQ_Z2.bram_bytes(), 645_120);
+    }
+
+    #[test]
+    fn arty_shares_the_xc7z020_fabric() {
+        assert_eq!(ARTY_Z7_20.bram36, PYNQ_Z2.bram36);
+        assert_eq!(ARTY_Z7_20.dsp, PYNQ_Z2.dsp);
+        assert_eq!(ARTY_Z7_20.ps_clock_hz, PYNQ_Z2.ps_clock_hz);
+        assert!(ARTY_Z7_20.fpga.contains("XC7Z020"));
+        assert_ne!(ARTY_Z7_20.name, PYNQ_Z2.name);
     }
 
     #[test]

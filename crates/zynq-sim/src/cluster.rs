@@ -1,0 +1,882 @@
+//! Multi-board clusters — sharded placements and pipelined batch
+//! scheduling.
+//!
+//! The paper deploys one ODENet on a single low-cost Zynq board;
+//! footnote 2 observes that lighter blocks let *more* layers move into
+//! the PL. The natural step past one board is several: a [`Cluster`] is
+//! an ordered list of [`Board`]s joined by a modelled [`Interconnect`]
+//! (board-to-board feature-map transfers at a finite bandwidth plus a
+//! per-message latency), and a [`ClusterPlan`] extends the plan-centric
+//! flow of [`crate::plan`] to it — [`plan_cluster`] resolves a
+//! **sharded placement** (e.g. layer1 + layer2_2 on board A, layer3_2
+//! on board B) with per-board width-aware feasibility and per-stage
+//! timing that includes the inter-board DMA, all with zero numerics.
+//!
+//! ## Execution model
+//!
+//! Board 0 is the **head board**: its PS runs every software stage
+//! (conv1, the downsample blocks, any non-offloaded residual stage, the
+//! classifier) exactly as the single-board engine does; remote boards
+//! contribute only their PL fabric. A feature map crosses the
+//! interconnect whenever consecutive stages live on different boards;
+//! PS ↔ PL traffic *within* the head board is the AXI DMA already
+//! charged by [`crate::datapath::stage_cycles_at`]. Sharding therefore
+//! changes *where* and *when* stages run — never the Q-format numerics
+//! — so a sharded deployment stays bit-identical to a single-board one
+//! with the same overall placement (pinned in `tests/cluster.rs`).
+//!
+//! ## Batch schedules
+//!
+//! A per-image inference is a fixed sequence of [`StageTiming`]s
+//! (merged PS segments interleaved with PL stages). Two schedules turn
+//! that sequence into a batch makespan:
+//!
+//! * [`Schedule::Sequential`] — one image fully completes before the
+//!   next starts: the additive latency today's `infer_batch` reports.
+//! * [`Schedule::Pipelined`] — an event-driven model in which each
+//!   resource (the head PS, every board's PL) serves one stage at a
+//!   time and a board starts image *i+1* as soon as it finishes its
+//!   share of image *i*. The makespan approaches
+//!   `latency + (images − 1) · bottleneck`, beating the additive bound
+//!   whenever more than one resource carries work.
+//!
+//! Modelling assumptions (recorded in the ROADMAP): no PS preemption
+//! (a PS segment runs to completion), one in-flight image per board,
+//! and interconnect transfers occupy no board resource (the DMA engines
+//! stream while the next compute stage waits on the data).
+
+use crate::board::Board;
+use crate::engine::{EngineError, Offload};
+use crate::plan::{PlFormat, PlannedStage};
+use crate::planner::OffloadTarget;
+use crate::resources::{bram36_at_width, dsp_slices_at_width, modelled_lut_ff_at};
+use crate::timing::{PlModel, PsModel};
+use rodenet::{BnMode, LayerName, NetSpec};
+
+/// A modelled board-to-board link (point-to-point, full duplex).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interconnect {
+    /// Sustained payload bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Per-transfer setup latency in seconds (driver + NIC + switch).
+    pub latency_s: f64,
+}
+
+impl Interconnect {
+    /// The boards' on-board gigabit Ethernet port: 125 MB/s of payload
+    /// and a 50 µs software-stack round-up per message.
+    pub const GIGABIT_ETHERNET: Interconnect = Interconnect {
+        bandwidth_bytes_per_s: 125_000_000.0,
+        latency_s: 50e-6,
+    };
+
+    /// Seconds to move `bytes` across the link (zero for zero bytes —
+    /// no message, no setup cost).
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+}
+
+/// An ordered set of boards joined by an [`Interconnect`]. Board 0 is
+/// the head board (see the module docs for the execution model).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cluster {
+    boards: Vec<Board>,
+    interconnect: Interconnect,
+}
+
+impl Cluster {
+    /// A cluster over `boards` (at least one; the first is the head).
+    pub fn new(boards: Vec<Board>, interconnect: Interconnect) -> Self {
+        assert!(!boards.is_empty(), "a cluster needs at least one board");
+        Cluster {
+            boards,
+            interconnect,
+        }
+    }
+
+    /// `count` identical boards (the common lab rack).
+    pub fn homogeneous(board: &Board, count: usize, interconnect: Interconnect) -> Self {
+        Self::new(vec![*board; count], interconnect)
+    }
+
+    /// The member boards, head first.
+    pub fn boards(&self) -> &[Board] {
+        &self.boards
+    }
+
+    /// The head board — the PS that drives every inference.
+    pub fn head(&self) -> &Board {
+        &self.boards[0]
+    }
+
+    /// Number of member boards.
+    pub fn len(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// Never true — [`Cluster::new`] requires at least one board.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The modelled board-to-board link.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
+    }
+}
+
+/// How a cluster engine orders a batch across the board pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// One image fully completes before the next starts (the additive
+    /// latency of the single-board `infer_batch`).
+    #[default]
+    Sequential,
+    /// Event-driven pipelining: board *k* starts image *i+1* as soon
+    /// as it finishes its share of image *i*, and PS segments of later
+    /// images fill the head CPU's idle slots.
+    Pipelined,
+}
+
+/// The execution resource one pipeline stage occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageResource {
+    /// The head board's ARM cores.
+    Ps,
+    /// Board `k`'s PL fabric.
+    Pl(usize),
+}
+
+impl StageResource {
+    /// The board this resource physically lives on (the PS is the head
+    /// board's) — decides whether a hand-off crosses the interconnect.
+    pub fn board(&self) -> usize {
+        match self {
+            StageResource::Ps => 0,
+            StageResource::Pl(k) => *k,
+        }
+    }
+
+    /// Dense scheduling slot: 0 for the PS, `1 + k` for board `k`'s PL.
+    pub fn slot(&self) -> usize {
+        match self {
+            StageResource::Ps => 0,
+            StageResource::Pl(k) => 1 + *k,
+        }
+    }
+}
+
+/// One stage of the per-image pipeline: a merged PS segment or one
+/// offloaded PL stage, with the interconnect hand-off that precedes it.
+#[derive(Clone, Copy, Debug)]
+pub struct StageTiming {
+    /// Which resource executes the stage.
+    pub resource: StageResource,
+    /// The offloaded layer (`None` for merged PS segments).
+    pub layer: Option<LayerName>,
+    /// Modelled execution seconds (PL stages include their AXI DMA).
+    pub seconds: f64,
+    /// Interconnect seconds to deliver this stage's input when the
+    /// previous stage ran on a different board (0 otherwise).
+    pub transfer_in: f64,
+}
+
+/// Bytes of one feature map entering/leaving `layer` at the given word
+/// width (the payload of an inter-board hand-off).
+pub fn feature_map_bytes(layer: LayerName, bytes_per_value: usize) -> u64 {
+    let (c, hw) = layer.geometry();
+    (c * hw * hw * bytes_per_value) as u64
+}
+
+/// A sharded placement as `(board index, per-board placement)` pairs,
+/// in network order.
+pub type ShardAssignment = Vec<(usize, OffloadTarget)>;
+
+/// The slice of a sharded placement one board carries.
+#[derive(Clone, Debug)]
+pub struct BoardShard {
+    /// Index of the carrying board in [`Cluster::boards`].
+    pub board: usize,
+    /// The layers this board implements, as a placement.
+    pub target: OffloadTarget,
+    /// Width-aware resources + timing per carried stage.
+    pub stages: Vec<PlannedStage>,
+}
+
+/// Split `target`'s layers across the cluster's boards, first-fit in
+/// network order (so feature maps flow forward through the board
+/// list). Every shard is checked with the width-aware
+/// [`OffloadTarget::fits_at`]; a layer that fits no remaining board
+/// makes the whole placement infeasible.
+pub fn shard_placement(
+    target: OffloadTarget,
+    cluster: &Cluster,
+    parallelism: usize,
+    bytes_per_value: usize,
+) -> Result<ShardAssignment, EngineError> {
+    let infeasible = || EngineError::ShardInfeasible {
+        target,
+        boards: cluster.len(),
+        parallelism,
+    };
+    let mut shards: ShardAssignment = Vec::new();
+    let mut board = 0usize;
+    let mut current: Vec<LayerName> = Vec::new();
+    for &layer in target.layers() {
+        loop {
+            let mut candidate = current.clone();
+            candidate.push(layer);
+            let t = OffloadTarget::from_layers(&candidate).ok_or_else(infeasible)?;
+            if t.fits_at(&cluster.boards()[board], parallelism, bytes_per_value) {
+                current = candidate;
+                break;
+            }
+            // Close the current shard and try the next board; a layer
+            // that does not fit an *empty* board fits nowhere.
+            if !current.is_empty() {
+                let t = OffloadTarget::from_layers(&current).expect("validated above");
+                shards.push((board, t));
+                current.clear();
+            }
+            board += 1;
+            if board >= cluster.len() {
+                return Err(infeasible());
+            }
+        }
+    }
+    if !current.is_empty() {
+        let t = OffloadTarget::from_layers(&current).expect("validated above");
+        shards.push((board, t));
+    }
+    Ok(shards)
+}
+
+/// The configuration a [`ClusterPlan`] is computed from — the cluster
+/// analog of [`crate::plan::PlanRequest`].
+#[derive(Clone, Debug)]
+pub struct ClusterRequest {
+    /// The boards and their interconnect.
+    pub cluster: Cluster,
+    /// Placement policy (resolved against the *cluster's* capacity).
+    pub offload: Offload,
+    /// PS-side batch-norm statistics mode.
+    pub bn: BnMode,
+    /// PS software-cost model (the head board's CPU).
+    pub ps: PsModel,
+    /// PL circuit configuration (applied on every board).
+    pub pl: PlModel,
+    /// PL word format (applied on every board).
+    pub format: PlFormat,
+    /// Batch execution order.
+    pub schedule: Schedule,
+}
+
+/// Everything the cluster builder decides, minus the engine: the
+/// resolved sharded placement, per-board width-aware resources, the
+/// per-image stage pipeline, and both batch-schedule makespans — all
+/// without touching a weight.
+#[derive(Clone, Debug)]
+pub struct ClusterPlan {
+    spec: NetSpec,
+    cluster: Cluster,
+    target: OffloadTarget,
+    shards: Vec<BoardShard>,
+    format: PlFormat,
+    bn: BnMode,
+    ps: PsModel,
+    pl: PlModel,
+    schedule: Schedule,
+    timeline: Vec<StageTiming>,
+}
+
+/// Resolve a sharded placement, per-board feasibility, and the full
+/// per-image pipeline for `spec` on a cluster — the numerics-free half
+/// of a cluster engine build, exactly as [`crate::plan::plan_deployment`]
+/// is for a single board.
+pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan, EngineError> {
+    let bytes = req.format.bytes()?;
+
+    // 1. Resolve the overall placement at cluster capacity.
+    let (target, shards) = match req.offload {
+        Offload::Target(t) => {
+            if !t.applicable_extended(spec) {
+                return Err(EngineError::TargetNotApplicable {
+                    target: t,
+                    variant: spec.variant,
+                });
+            }
+            (
+                t,
+                shard_placement(t, &req.cluster, req.pl.parallelism, bytes)?,
+            )
+        }
+        Offload::Auto | Offload::AutoExtended => {
+            let extended = req.offload == Offload::AutoExtended;
+            let mut best: Option<(f64, OffloadTarget, ShardAssignment)> = None;
+            for t in OffloadTarget::ALL {
+                let ok = if extended {
+                    t.applicable_extended(spec)
+                } else {
+                    t.applicable(spec)
+                };
+                if !ok {
+                    continue;
+                }
+                let Ok(shards) = shard_placement(t, &req.cluster, req.pl.parallelism, bytes) else {
+                    continue;
+                };
+                let timeline = build_timeline(spec, &shards, req, bytes);
+                let total = per_image_seconds(&timeline);
+                if best.as_ref().is_none_or(|(b, _, _)| total < *b) {
+                    best = Some((total, t, shards));
+                }
+            }
+            let (_, t, shards) = best.expect("OffloadTarget::None always shards");
+            (t, shards)
+        }
+    };
+
+    let timeline = build_timeline(spec, &shards, req, bytes);
+    let shards = shards
+        .into_iter()
+        .map(|(board, t)| BoardShard {
+            board,
+            target: t,
+            stages: t
+                .layers()
+                .iter()
+                .map(|&layer| {
+                    let plan = spec.plan(layer);
+                    let execs = if plan.is_ode { plan.execs } else { 1 };
+                    let (lut, ff) = modelled_lut_ff_at(layer, req.pl.parallelism, bytes);
+                    PlannedStage {
+                        layer,
+                        execs,
+                        bram36: bram36_at_width(layer, req.pl.parallelism, bytes),
+                        dsp: dsp_slices_at_width(req.pl.parallelism, bytes),
+                        lut,
+                        ff,
+                        pl_seconds: req.pl.stage_seconds_at(
+                            layer,
+                            execs,
+                            &req.cluster.boards()[board],
+                            bytes,
+                        ),
+                        dma_words: crate::datapath::dma_words_at(layer, bytes),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+
+    Ok(ClusterPlan {
+        spec: *spec,
+        cluster: req.cluster.clone(),
+        target,
+        shards,
+        format: req.format,
+        bn: req.bn,
+        ps: req.ps,
+        pl: req.pl,
+        schedule: req.schedule,
+        timeline,
+    })
+}
+
+/// Build the per-image stage pipeline for a sharded placement:
+/// consecutive PS-resident work merges into one segment (cycles summed
+/// before the single clock conversion), each offloaded layer becomes a
+/// PL stage on its board, and every hand-off between different boards
+/// pays the interconnect.
+fn build_timeline(
+    spec: &NetSpec,
+    shards: &[(usize, OffloadTarget)],
+    req: &ClusterRequest,
+    bytes: usize,
+) -> Vec<StageTiming> {
+    let head = req.cluster.head();
+    let board_of = |layer: LayerName| -> Option<usize> {
+        shards
+            .iter()
+            .find(|(_, t)| t.layers().contains(&layer))
+            .map(|(b, _)| *b)
+    };
+
+    let mut timeline: Vec<StageTiming> = Vec::new();
+    let mut ps_acc: u64 =
+        req.ps.block_exec_cycles(LayerName::Conv1, false) + req.ps.runtime_overhead_cycles();
+    let flush_ps = |timeline: &mut Vec<StageTiming>, acc: &mut u64| {
+        if *acc > 0 {
+            timeline.push(StageTiming {
+                resource: StageResource::Ps,
+                layer: None,
+                seconds: head.ps_seconds(*acc),
+                transfer_in: 0.0,
+            });
+            *acc = 0;
+        }
+    };
+    for layer in [
+        LayerName::Layer1,
+        LayerName::Layer2_1,
+        LayerName::Layer2_2,
+        LayerName::Layer3_1,
+        LayerName::Layer3_2,
+    ] {
+        let plan = spec.plan(layer);
+        if plan.total_execs() == 0 {
+            continue;
+        }
+        if let Some(board) = board_of(layer) {
+            flush_ps(&mut timeline, &mut ps_acc);
+            let execs = if plan.is_ode { plan.execs } else { 1 };
+            timeline.push(StageTiming {
+                resource: StageResource::Pl(board),
+                layer: Some(layer),
+                seconds: req
+                    .pl
+                    .stage_seconds_at(layer, execs, &req.cluster.boards()[board], bytes),
+                transfer_in: 0.0,
+            });
+        } else {
+            ps_acc += plan.total_execs() as u64 * req.ps.block_exec_cycles(layer, plan.is_ode);
+        }
+    }
+    ps_acc += req.ps.block_exec_cycles(LayerName::Fc, false);
+    flush_ps(&mut timeline, &mut ps_acc);
+
+    // Interconnect hand-offs: a crossing always has a PL stage on at
+    // least one side (the PS never moves); the transferred map is that
+    // stage's shape-preserved feature map.
+    for i in 1..timeline.len() {
+        if timeline[i - 1].resource.board() != timeline[i].resource.board() {
+            let layer = timeline[i]
+                .layer
+                .or(timeline[i - 1].layer)
+                .expect("a crossing involves a PL stage");
+            timeline[i].transfer_in = req
+                .cluster
+                .interconnect()
+                .transfer_seconds(feature_map_bytes(layer, bytes));
+        }
+    }
+    timeline
+}
+
+/// Per-image end-to-end seconds of a pipeline: execution plus
+/// interconnect hand-offs.
+pub fn per_image_seconds(timeline: &[StageTiming]) -> f64 {
+    timeline.iter().map(|s| s.seconds + s.transfer_in).sum()
+}
+
+/// The pipeline's bottleneck: the largest per-image busy time of any
+/// single resource. `images × bottleneck` lower-bounds every schedule.
+pub fn bottleneck_seconds(timeline: &[StageTiming]) -> f64 {
+    let slots = timeline
+        .iter()
+        .map(|s| s.resource.slot())
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut busy = vec![0.0f64; slots];
+    for s in timeline {
+        busy[s.resource.slot()] += s.seconds;
+    }
+    busy.into_iter().fold(0.0, f64::max)
+}
+
+/// Makespan of the additive schedule: images strictly one at a time.
+pub fn sequential_makespan(timeline: &[StageTiming], images: usize) -> f64 {
+    images as f64 * per_image_seconds(timeline)
+}
+
+/// Outcome of the event-driven pipelined schedule.
+#[derive(Clone, Debug)]
+pub struct PipelineRun {
+    /// Wall-clock seconds from the first stage start to the last
+    /// stage completion.
+    pub makespan: f64,
+    /// Per-image seconds from its first stage start to its last stage
+    /// completion (stretches beyond the unloaded latency when the
+    /// image queues behind the bottleneck resource).
+    pub latencies: Vec<f64>,
+}
+
+impl PipelineRun {
+    /// Lower-median per-image latency (the same convention as
+    /// [`crate::engine::BatchSummary::latency_p50`]).
+    pub fn latency_p50(&self) -> f64 {
+        crate::engine::latency_percentiles(self.latencies.clone()).0
+    }
+
+    /// Worst-case per-image latency.
+    pub fn latency_max(&self) -> f64 {
+        crate::engine::latency_percentiles(self.latencies.clone()).1
+    }
+}
+
+/// Event-driven pipelined makespan: every resource (head PS, each
+/// board's PL) executes one stage at a time to completion; whenever a
+/// resource frees, it takes the ready stage with the earliest feasible
+/// start (ties to the oldest image). Transfers delay readiness but
+/// occupy no resource. All images share the same stage timings — the
+/// paper's model is input-independent — so this is a deterministic
+/// simulation.
+pub fn pipelined_schedule(timeline: &[StageTiming], images: usize) -> PipelineRun {
+    let slots = timeline
+        .iter()
+        .map(|s| s.resource.slot())
+        .max()
+        .map_or(1, |m| m + 1);
+    let mut free = vec![0.0f64; slots];
+    let mut next = vec![0usize; images];
+    let mut ready = vec![0.0f64; images];
+    let mut first_start = vec![0.0f64; images];
+    let mut latencies = vec![0.0f64; images];
+    let mut makespan = 0.0f64;
+    for _ in 0..images * timeline.len() {
+        // The globally earliest-startable pending stage; ties go to the
+        // oldest image so downstream segments outrank later images'
+        // prefixes on a shared resource.
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..images {
+            let Some(stage) = timeline.get(next[i]) else {
+                continue;
+            };
+            let start = (ready[i] + stage.transfer_in).max(free[stage.resource.slot()]);
+            if best.is_none_or(|(b, _)| start < b) {
+                best = Some((start, i));
+            }
+        }
+        let (start, i) = best.expect("pending stages remain");
+        let stage = &timeline[next[i]];
+        let done = start + stage.seconds;
+        free[stage.resource.slot()] = done;
+        if next[i] == 0 {
+            // Latency runs from the moment the image's first transfer
+            // begins (a leading hand-off is part of serving the image).
+            first_start[i] = start - stage.transfer_in;
+        }
+        ready[i] = done;
+        next[i] += 1;
+        if next[i] == timeline.len() {
+            latencies[i] = done - first_start[i];
+            makespan = makespan.max(done);
+        }
+    }
+    PipelineRun {
+        makespan,
+        latencies,
+    }
+}
+
+impl ClusterPlan {
+    /// The architecture this plan deploys.
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    /// The configured boards + interconnect.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The overall resolved placement (union of all shards).
+    pub fn target(&self) -> OffloadTarget {
+        self.target
+    }
+
+    /// The per-board slices of the placement (boards carrying nothing
+    /// are omitted).
+    pub fn shards(&self) -> &[BoardShard] {
+        &self.shards
+    }
+
+    /// The board carrying `layer`, if it is offloaded.
+    pub fn board_of(&self, layer: LayerName) -> Option<usize> {
+        self.shards
+            .iter()
+            .find(|s| s.target.layers().contains(&layer))
+            .map(|s| s.board)
+    }
+
+    /// The PL word format the plan was computed for.
+    pub fn pl_format(&self) -> PlFormat {
+        self.format
+    }
+
+    /// The PS-side batch-norm statistics mode.
+    pub fn bn_mode(&self) -> BnMode {
+        self.bn
+    }
+
+    /// The PS cost model the timing was computed with.
+    pub fn ps_model(&self) -> &PsModel {
+        &self.ps
+    }
+
+    /// The PL circuit configuration (parallelism).
+    pub fn pl_model(&self) -> &PlModel {
+        &self.pl
+    }
+
+    /// The configured batch schedule.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// The per-image stage pipeline (merged PS segments, PL stages,
+    /// interconnect hand-offs) the batch schedules run over.
+    pub fn timeline(&self) -> &[StageTiming] {
+        &self.timeline
+    }
+
+    /// Modelled end-to-end seconds per unloaded image (execution plus
+    /// interconnect hand-offs).
+    pub fn total_seconds(&self) -> f64 {
+        per_image_seconds(&self.timeline)
+    }
+
+    /// Per-image interconnect seconds (0 on a single board).
+    pub fn transfer_seconds(&self) -> f64 {
+        self.timeline.iter().map(|s| s.transfer_in).sum()
+    }
+
+    /// Per-image PL seconds across all boards (incl. AXI DMA).
+    pub fn pl_seconds(&self) -> f64 {
+        self.shards
+            .iter()
+            .flat_map(|s| &s.stages)
+            .map(|s| s.pl_seconds)
+            .sum()
+    }
+
+    /// Per-image PS seconds on the head board.
+    pub fn ps_seconds(&self) -> f64 {
+        self.timeline
+            .iter()
+            .filter(|s| s.resource == StageResource::Ps)
+            .map(|s| s.seconds)
+            .sum()
+    }
+
+    /// Per-image 32-bit AXI bus words (on-board DMA, not interconnect).
+    pub fn dma_words(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| &s.stages)
+            .map(|s| s.dma_words)
+            .sum()
+    }
+
+    /// Modelled makespan of a batch under `schedule`.
+    pub fn batch_seconds(&self, images: usize, schedule: Schedule) -> f64 {
+        match schedule {
+            Schedule::Sequential => sequential_makespan(&self.timeline, images),
+            Schedule::Pipelined => pipelined_schedule(&self.timeline, images).makespan,
+        }
+    }
+
+    /// Throughput gain of pipelining a batch over the additive
+    /// schedule (≥ 1; approaches latency ÷ bottleneck for large
+    /// batches).
+    pub fn pipeline_speedup(&self, images: usize) -> f64 {
+        if images == 0 {
+            return 1.0;
+        }
+        self.batch_seconds(images, Schedule::Sequential)
+            / self.batch_seconds(images, Schedule::Pipelined)
+    }
+
+    /// One-line human description for logs and examples.
+    pub fn describe(&self) -> String {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| format!("board{}: {:?}", s.board, s.target))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{} · {} · {:?} over {}×{} ({}) · {:.3}s/img · {:?}",
+            self.spec.display_name(),
+            self.format,
+            self.target,
+            self.cluster.len(),
+            self.cluster.head().name,
+            if shards.is_empty() { "all PS" } else { &shards },
+            self.total_seconds(),
+            self.schedule,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::{ARTY_Z7_20, PYNQ_Z2};
+    use rodenet::Variant;
+
+    fn request(boards: usize) -> ClusterRequest {
+        ClusterRequest {
+            cluster: Cluster::homogeneous(&ARTY_Z7_20, boards, Interconnect::GIGABIT_ETHERNET),
+            offload: Offload::Auto,
+            bn: BnMode::OnTheFly,
+            ps: PsModel::Calibrated,
+            pl: PlModel::default(),
+            format: PlFormat::Q20,
+            schedule: Schedule::Pipelined,
+        }
+    }
+
+    #[test]
+    fn interconnect_transfer_math() {
+        let link = Interconnect::GIGABIT_ETHERNET;
+        assert_eq!(link.transfer_seconds(0), 0.0);
+        let t = link.transfer_seconds(125_000_000);
+        assert!((t - 1.00005).abs() < 1e-9, "{t}");
+        // A layer3_2 map at Q20: 64·8·8·4 bytes ≈ 181 µs.
+        let map = feature_map_bytes(LayerName::Layer3_2, 4);
+        assert_eq!(map, 16_384);
+        assert!((link.transfer_seconds(map) - 181.072e-6).abs() < 1e-8);
+    }
+
+    #[test]
+    fn first_fit_sharding_follows_network_order() {
+        let cluster = Cluster::homogeneous(&ARTY_Z7_20, 2, Interconnect::GIGABIT_ETHERNET);
+        // At Q20, layer1+layer2_2 (120 BRAM) fill board 0; layer3_2
+        // (140 BRAM = the whole fabric) moves to board 1 — the ISSUE's
+        // canonical example.
+        let shards = shard_placement(OffloadTarget::AllOde, &cluster, 16, 4).expect("shards");
+        assert_eq!(
+            shards,
+            vec![(0, OffloadTarget::Layer1And22), (1, OffloadTarget::Layer32)]
+        );
+        // One board cannot carry all three at 32-bit…
+        let one = Cluster::homogeneous(&ARTY_Z7_20, 1, Interconnect::GIGABIT_ETHERNET);
+        assert!(matches!(
+            shard_placement(OffloadTarget::AllOde, &one, 16, 4),
+            Err(EngineError::ShardInfeasible { boards: 1, .. })
+        ));
+        // …but can at 16-bit (footnote 2), with no second board needed.
+        let shards16 = shard_placement(OffloadTarget::AllOde, &one, 16, 2).expect("16-bit");
+        assert_eq!(shards16, vec![(0, OffloadTarget::AllOde)]);
+    }
+
+    #[test]
+    fn auto_plan_on_two_boards_offloads_everything() {
+        let spec = NetSpec::new(Variant::OdeNet, 20);
+        let plan = plan_cluster(&spec, &request(2)).expect("plans");
+        assert_eq!(plan.target(), OffloadTarget::AllOde);
+        assert_eq!(plan.shards().len(), 2);
+        assert_eq!(plan.board_of(LayerName::Layer1), Some(0));
+        assert_eq!(plan.board_of(LayerName::Layer3_2), Some(1));
+        // Both interconnect crossings (PS→board1 and board1→PS).
+        let crossings = plan
+            .timeline()
+            .iter()
+            .filter(|s| s.transfer_in > 0.0)
+            .count();
+        assert_eq!(crossings, 2);
+        assert!(plan.transfer_seconds() > 0.0 && plan.transfer_seconds() < 1e-3);
+    }
+
+    #[test]
+    fn single_board_timeline_matches_table5_total() {
+        // A 1-board cluster is the paper's system: the pipeline total
+        // must equal the plan-level Table 5 row (no interconnect).
+        let spec = NetSpec::new(Variant::ROdeNet3, 56);
+        let mut req = request(1);
+        req.cluster = Cluster::homogeneous(&PYNQ_Z2, 1, Interconnect::GIGABIT_ETHERNET);
+        let plan = plan_cluster(&spec, &req).expect("plans");
+        assert_eq!(plan.target(), OffloadTarget::Layer32);
+        assert_eq!(plan.transfer_seconds(), 0.0);
+        let row = crate::timing::paper_row(Variant::ROdeNet3, 56);
+        assert!(
+            (plan.total_seconds() - row.total_w_pl).abs() < 1e-9,
+            "pipeline {} vs table5 {}",
+            plan.total_seconds(),
+            row.total_w_pl
+        );
+        // conv1+overhead / layer1 / … merge into PS segments around the
+        // single PL stage: [PS, PL, PS].
+        assert_eq!(plan.timeline().len(), 3);
+        assert_eq!(plan.timeline()[1].layer, Some(LayerName::Layer3_2));
+    }
+
+    #[test]
+    fn software_only_cluster_is_one_ps_segment() {
+        let spec = NetSpec::new(Variant::ResNet, 20);
+        let plan = plan_cluster(&spec, &request(2)).expect("plans");
+        assert_eq!(plan.target(), OffloadTarget::None);
+        assert_eq!(plan.timeline().len(), 1);
+        let sw = PsModel::Calibrated.spec_seconds(&spec, &ARTY_Z7_20);
+        assert!((plan.total_seconds() - sw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_schedule_bounds() {
+        let spec = NetSpec::new(Variant::OdeNet, 20);
+        let plan = plan_cluster(&spec, &request(2)).expect("plans");
+        for images in [1usize, 2, 7, 32] {
+            let seq = plan.batch_seconds(images, Schedule::Sequential);
+            let pipe = plan.batch_seconds(images, Schedule::Pipelined);
+            let lb =
+                (images as f64 * bottleneck_seconds(plan.timeline())).max(plan.total_seconds());
+            assert!(pipe <= seq + 1e-9, "{images}: {pipe} ≤ {seq}");
+            assert!(pipe >= lb - 1e-9, "{images}: {pipe} ≥ {lb}");
+        }
+        // One image cannot pipeline with itself.
+        assert!((plan.batch_seconds(1, Schedule::Pipelined) - plan.total_seconds()).abs() < 1e-9);
+        // A deep batch must genuinely beat the additive bound.
+        assert!(
+            plan.pipeline_speedup(32) > 1.3,
+            "{}",
+            plan.pipeline_speedup(32)
+        );
+    }
+
+    #[test]
+    fn pipelined_latencies_never_beat_unloaded_latency() {
+        let spec = NetSpec::new(Variant::OdeNet, 20);
+        let plan = plan_cluster(&spec, &request(2)).expect("plans");
+        let run = pipelined_schedule(plan.timeline(), 8);
+        assert_eq!(run.latencies.len(), 8);
+        // Queueing can only stretch an image (even image 0's later
+        // segments may wait behind younger prefixes on the shared PS);
+        // a lone image pays exactly the unloaded latency.
+        for lat in &run.latencies {
+            assert!(*lat >= plan.total_seconds() - 1e-9, "{lat}");
+            assert!(*lat <= run.makespan + 1e-9);
+        }
+        let solo = pipelined_schedule(plan.timeline(), 1);
+        assert!((solo.latencies[0] - plan.total_seconds()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_target_that_cannot_shard_is_a_typed_error() {
+        let spec = NetSpec::new(Variant::OdeNet, 20);
+        let mut req = request(1);
+        req.offload = Offload::Target(OffloadTarget::AllOde);
+        let err = plan_cluster(&spec, &req).expect_err("one 32-bit board is too small");
+        assert_eq!(
+            err,
+            EngineError::ShardInfeasible {
+                target: OffloadTarget::AllOde,
+                boards: 1,
+                parallelism: 16
+            }
+        );
+    }
+
+    #[test]
+    fn describe_names_the_shards() {
+        let spec = NetSpec::new(Variant::OdeNet, 20);
+        let plan = plan_cluster(&spec, &request(2)).expect("plans");
+        let d = plan.describe();
+        assert!(d.contains("board0") && d.contains("board1"), "{d}");
+        assert!(d.contains("Arty"), "{d}");
+    }
+}

@@ -52,8 +52,13 @@
 //!   compute. Requires on-the-fly batch norm (the circuit has no
 //!   running statistics), enforced at build time.
 //!
-//! Future backends (multi-board sharding, alternate fabrics) implement
-//! [`Backend`] and plug in through
+//! A fourth backend lives in [`crate::cluster`]: configure
+//! [`EngineBuilder::cluster`] to shard the placement across several
+//! boards (per-board circuits, modelled interconnect hand-offs) and
+//! [`EngineBuilder::schedule`] to pipeline batches through the board
+//! chain — [`Engine::infer_batch_summary`] then reports the pipelined
+//! makespan alongside the per-image reports. Further backends
+//! (alternate fabrics) implement [`Backend`] and plug in through
 //! [`EngineBuilder::custom_backend`] without touching call sites.
 //!
 //! ## Batch-norm semantics (deployment parity)
@@ -67,6 +72,7 @@
 use crate::board::Board;
 #[cfg(test)]
 use crate::board::PYNQ_Z2;
+use crate::cluster::{plan_cluster, Cluster, ClusterPlan, ClusterRequest, Schedule, StageTiming};
 use crate::datapath::OdeBlockAccel;
 use crate::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
 use crate::planner::OffloadTarget;
@@ -124,12 +130,24 @@ pub enum EngineError {
         variant: Variant,
     },
     /// The explicit backend cannot honor the resolved placement (e.g.
-    /// [`BackendKind::PsSoftware`] with PL stages planned).
+    /// [`BackendKind::PsSoftware`] with PL stages planned, or a
+    /// non-hybrid backend requested together with a [`Cluster`]).
     BackendConflict {
         /// The conflicting backend.
         backend: &'static str,
         /// The resolved placement.
         target: OffloadTarget,
+    },
+    /// The placement's layers cannot be first-fit distributed over the
+    /// cluster's boards at the configured width and parallelism (see
+    /// [`crate::cluster::shard_placement`]).
+    ShardInfeasible {
+        /// The rejected overall placement.
+        target: OffloadTarget,
+        /// Boards the cluster offered.
+        boards: usize,
+        /// conv_x·n multiply–add units each shard was sized for.
+        parallelism: usize,
     },
     /// The backend cannot honor the requested batch-norm mode (the Q20
     /// circuit computes statistics on the fly; it has no running
@@ -177,6 +195,15 @@ impl core::fmt::Display for EngineError {
             EngineError::BackendConflict { backend, target } => {
                 write!(f, "backend `{backend}` cannot execute placement {target:?}")
             }
+            EngineError::ShardInfeasible {
+                target,
+                boards,
+                parallelism,
+            } => write!(
+                f,
+                "placement {target:?} cannot be sharded across {boards} board(s) at \
+                 conv_x{parallelism} (see zynq_sim::cluster)"
+            ),
             EngineError::BnModeConflict { backend } => write!(
                 f,
                 "backend `{backend}` computes batch-norm statistics on the fly; \
@@ -258,45 +285,81 @@ impl RunReport {
     }
 }
 
-/// Accumulated timing over a batch of [`RunReport`]s.
+/// Accumulated timing over a batch of [`RunReport`]s, plus the
+/// schedule's wall-clock and per-image latency distribution — one
+/// struct that makes [`Schedule::Sequential`] and
+/// [`Schedule::Pipelined`] directly comparable.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchSummary {
     /// Total images served.
     pub images: usize,
     /// Accumulated PS seconds (per-image × images).
     pub ps_seconds: f64,
-    /// Accumulated PL seconds.
+    /// Accumulated PL seconds (for cluster runs, incl. interconnect).
     pub pl_seconds: f64,
     /// Accumulated DMA words.
     pub dma_words: u64,
+    /// Modelled wall-clock seconds of the whole batch under the
+    /// schedule that produced the summary: additive
+    /// (`= total_seconds()`) for [`BatchSummary::from_runs`] and
+    /// sequential execution, the pipeline makespan for
+    /// [`Schedule::Pipelined`].
+    pub wall_seconds: f64,
+    /// Median per-image latency in seconds (lower median; `0.0` for an
+    /// empty batch). Under a pipelined schedule this includes queueing
+    /// behind the bottleneck resource.
+    pub latency_p50: f64,
+    /// Worst-case per-image latency in seconds.
+    pub latency_max: f64,
 }
 
 impl BatchSummary {
-    /// Fold a slice of reports into accumulated totals.
+    /// Fold a slice of reports into accumulated totals with additive
+    /// wall-clock (one image at a time — the single-board serving
+    /// model). Latency percentiles come from the per-image totals.
     pub fn from_runs(runs: &[RunReport]) -> Self {
         let mut s = BatchSummary::default();
+        let mut latencies: Vec<f64> = Vec::new();
         for r in runs {
             s.images += r.images;
             s.ps_seconds += r.ps_seconds * r.images as f64;
             s.pl_seconds += r.pl_seconds * r.images as f64;
             s.dma_words += r.dma_words * r.images as u64;
+            latencies.extend(std::iter::repeat_n(r.total_seconds(), r.images));
         }
+        s.wall_seconds = s.total_seconds();
+        (s.latency_p50, s.latency_max) = latency_percentiles(latencies);
         s
     }
 
-    /// Accumulated wall-clock seconds.
+    /// Accumulated execution seconds (PS + PL), schedule-independent.
     pub fn total_seconds(&self) -> f64 {
         self.ps_seconds + self.pl_seconds
     }
 
-    /// Modelled images per second (`0.0` for an empty summary — an
-    /// idle server has no throughput, not a near-infinite one).
+    /// Modelled images per second of the executed schedule (`0.0` for
+    /// an empty summary — an idle server has no throughput, not a
+    /// near-infinite one).
     pub fn throughput(&self) -> f64 {
         if self.images == 0 {
             return 0.0;
         }
-        self.images as f64 / self.total_seconds().max(f64::MIN_POSITIVE)
+        self.images as f64 / self.wall_seconds.max(f64::MIN_POSITIVE)
     }
+}
+
+/// `(p50, max)` of a latency sample — p50 is the lower median, matching
+/// the [`BatchSummary::latency_p50`] contract; zeros for an empty
+/// sample.
+pub(crate) fn latency_percentiles(mut latencies: Vec<f64>) -> (f64, f64) {
+    if latencies.is_empty() {
+        return (0.0, 0.0);
+    }
+    latencies.sort_by(f64::total_cmp);
+    (
+        latencies[(latencies.len() - 1) / 2],
+        latencies[latencies.len() - 1],
+    )
 }
 
 /// A whole-inference executor. Implementations own whatever pre-built
@@ -314,6 +377,14 @@ pub trait Backend: Send + Sync {
     fn offloaded(&self) -> &[LayerName];
     /// Execute one (possibly batched) input to logits + timing.
     fn infer(&self, x: &Tensor<f32>) -> Result<RunReport, EngineError>;
+    /// Fold a batch's reports into one [`BatchSummary`] under the
+    /// backend's batch schedule. The default is the additive
+    /// single-board model ([`BatchSummary::from_runs`]); backends with
+    /// their own scheduler (the cluster's pipelined mode) override the
+    /// wall-clock and latency fields.
+    fn summarize_batch(&self, runs: &[RunReport]) -> BatchSummary {
+        BatchSummary::from_runs(runs)
+    }
 }
 
 /// One pre-built PL stage: the simulated circuit holding the quantized
@@ -407,6 +478,61 @@ impl<S: Scalar> Backend for HybridBackend<'_, S> {
     }
 }
 
+/// Multi-board cluster backend: the PS stages run on the head board,
+/// each offloaded stage on its shard's PL fabric, feature maps crossing
+/// the modelled interconnect between boards. The numerics are the
+/// hybrid walk verbatim — sharding changes *where* and *when*, never
+/// the Q-format arithmetic — so logits are bit-identical to a
+/// single-board [`BackendKind::Hybrid`] with the same overall
+/// placement. `infer` reports per-image additive timing (interconnect
+/// hand-offs folded into `pl_seconds`); `summarize_batch` additionally
+/// runs the configured [`Schedule`] over the build-time stage pipeline.
+struct ClusterBackend<'n, S: Scalar> {
+    net: &'n Network,
+    pl_stages: Vec<PlStage<S>>,
+    offloaded: Vec<LayerName>,
+    bn: BnMode,
+    ps: PsModel,
+    head: Board,
+    schedule: Schedule,
+    timeline: Vec<StageTiming>,
+    transfer_seconds: f64,
+}
+
+impl<S: Scalar> Backend for ClusterBackend<'_, S> {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn offloaded(&self) -> &[LayerName] {
+        &self.offloaded
+    }
+
+    fn infer(&self, x: &Tensor<f32>) -> Result<RunReport, EngineError> {
+        let (logits, ps_seconds, pl_seconds, dma_words) =
+            hybrid_walk(self.net, x, &self.pl_stages, self.bn, &self.ps, &self.head);
+        Ok(RunReport {
+            logits,
+            images: x.shape().n,
+            ps_seconds,
+            pl_seconds: pl_seconds + self.transfer_seconds,
+            dma_words,
+            offloaded: self.offloaded.clone(),
+            backend: self.name(),
+        })
+    }
+
+    fn summarize_batch(&self, runs: &[RunReport]) -> BatchSummary {
+        let mut s = BatchSummary::from_runs(runs);
+        if self.schedule == Schedule::Pipelined && s.images > 0 {
+            let run = crate::cluster::pipelined_schedule(&self.timeline, s.images);
+            s.wall_seconds = run.makespan;
+            (s.latency_p50, s.latency_max) = latency_percentiles(run.latencies);
+        }
+        s
+    }
+}
+
 /// Fully-fixed-point backend: the whole network executes in the PL
 /// number system `S` via [`QuantNetwork`]; the offloaded stages
 /// additionally carry circuit timing, the rest PS timing (a
@@ -497,6 +623,8 @@ pub struct EngineBuilder<'n> {
     bn: BnMode,
     format: PlFormat,
     backend: BackendKind,
+    cluster: Option<Cluster>,
+    schedule: Schedule,
     custom: Option<Box<dyn Backend + 'n>>,
 }
 
@@ -554,6 +682,28 @@ impl<'n> EngineBuilder<'n> {
         self
     }
 
+    /// Deploy across a multi-board [`Cluster`] instead of the single
+    /// [`EngineBuilder::board`]: the placement is resolved against the
+    /// cluster's combined capacity and sharded board-by-board
+    /// ([`crate::cluster`]), and `build` produces the cluster backend.
+    /// Only [`BackendKind::Auto`] / [`BackendKind::Hybrid`] are
+    /// compatible — the PS stages always run in `f32` on the head
+    /// board. A one-board cluster is bit- and timing-identical to the
+    /// plain hybrid engine on that board.
+    pub fn cluster(mut self, cluster: Cluster) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Batch execution order for [`Engine::infer_batch_summary`]
+    /// (default: [`Schedule::Sequential`], the additive single-board
+    /// model). Only meaningful together with
+    /// [`EngineBuilder::cluster`].
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
     /// Plug in a caller-provided [`Backend`] (multi-board sharding,
     /// alternate fabrics, …). Placement planning and conflict checks
     /// are skipped — the backend owns its execution strategy.
@@ -583,15 +733,47 @@ impl<'n> EngineBuilder<'n> {
     /// want to execute it.
     ///
     /// A caller-provided [`EngineBuilder::custom_backend`] is ignored
-    /// here: plans describe the built-in execution paths.
+    /// here: plans describe the built-in execution paths. Likewise a
+    /// configured [`EngineBuilder::cluster`]: this is the single-board
+    /// plan; see [`EngineBuilder::plan_cluster`] for the sharded one.
     pub fn plan(&self) -> Result<DeploymentPlan, EngineError> {
         plan_deployment(&self.net.spec, &self.plan_request())
     }
 
-    /// Validate the configuration ([`EngineBuilder::plan`]) and
-    /// pre-quantize the offloaded blocks into the configured
-    /// [`PlFormat`] — once. All placement, resource, format, and mode
-    /// errors surface here, never inside `infer`.
+    /// The sharded-placement counterpart of [`EngineBuilder::plan`]:
+    /// resolve placement, per-board feasibility, the per-image stage
+    /// pipeline, and both batch-schedule makespans against the
+    /// configured cluster — zero numerics. Without a configured
+    /// [`EngineBuilder::cluster`] this plans a one-board cluster of
+    /// [`EngineBuilder::board`] (useful to compare the pipelined
+    /// schedule against the plain additive engine).
+    pub fn plan_cluster(&self) -> Result<ClusterPlan, EngineError> {
+        let cluster = self.cluster.clone().unwrap_or_else(|| {
+            Cluster::homogeneous(
+                &self.board,
+                1,
+                crate::cluster::Interconnect::GIGABIT_ETHERNET,
+            )
+        });
+        plan_cluster(
+            &self.net.spec,
+            &ClusterRequest {
+                cluster,
+                offload: self.offload,
+                bn: self.bn,
+                ps: self.ps,
+                pl: self.pl,
+                format: self.format,
+                schedule: self.schedule,
+            },
+        )
+    }
+
+    /// Validate the configuration ([`EngineBuilder::plan`] /
+    /// [`EngineBuilder::plan_cluster`]) and pre-quantize the offloaded
+    /// blocks into the configured [`PlFormat`] — once. All placement,
+    /// sharding, resource, format, and mode errors surface here, never
+    /// inside `infer`.
     pub fn build(self) -> Result<Engine<'n>, EngineError> {
         if let Some(custom) = self.custom {
             return Ok(Engine {
@@ -600,7 +782,71 @@ impl<'n> EngineBuilder<'n> {
                 bn: self.bn,
                 format: self.format,
                 plan: None,
+                cluster_plan: None,
                 backend: custom,
+            });
+        }
+
+        // Monomorphize `$build::<S>($($arg),*)` over every executable
+        // word width. The arms must stay in lockstep with
+        // `PlFormat::EXECUTABLE_WIDTHS` (the forward direction is
+        // pinned by `every_listed_executable_width_builds`).
+        macro_rules! dispatch_width {
+            ($format:expr, $build:ident($($arg:expr),*)) => {{
+                let q = $format.qformat().expect("validated by plan()");
+                match (q.total_bits, q.frac_bits) {
+                    (32, 12) => $build::<Fix<12>>($($arg),*),
+                    (32, 16) => $build::<Fix<16>>($($arg),*),
+                    (32, 20) => $build::<Fix<20>>($($arg),*),
+                    (32, 24) => $build::<Fix<24>>($($arg),*),
+                    (16, 6) => $build::<Fix16<6>>($($arg),*),
+                    (16, 8) => $build::<Fix16<8>>($($arg),*),
+                    (16, 10) => $build::<Fix16<10>>($($arg),*),
+                    (16, 12) => $build::<Fix16<12>>($($arg),*),
+                    (total_bits, frac_bits) => {
+                        debug_assert!(
+                            !$format.has_datapath(),
+                            "({total_bits},{frac_bits}) is in EXECUTABLE_WIDTHS but not dispatched"
+                        );
+                        return Err(EngineError::UnsupportedFormat {
+                            total_bits,
+                            frac_bits,
+                        });
+                    }
+                }
+            }};
+        }
+
+        if self.cluster.is_some() {
+            let cplan = self.plan_cluster()?;
+            // The cluster backend is the hybrid walk with per-board
+            // circuits; a backend that forbids PL stages (or replaces
+            // the PS numerics) cannot honor it.
+            match self.backend {
+                BackendKind::Auto | BackendKind::Hybrid => {}
+                BackendKind::PsSoftware => {
+                    return Err(EngineError::BackendConflict {
+                        backend: "ps-software",
+                        target: cplan.target(),
+                    });
+                }
+                BackendKind::PlBitExact => {
+                    return Err(EngineError::BackendConflict {
+                        backend: "pl-bit-exact",
+                        target: cplan.target(),
+                    });
+                }
+            }
+            let backend: Box<dyn Backend + 'n> =
+                dispatch_width!(self.format, build_cluster_backend(self.net, &cplan));
+            return Ok(Engine {
+                target: cplan.target(),
+                board: *cplan.cluster().head(),
+                bn: self.bn,
+                format: self.format,
+                plan: None,
+                cluster_plan: Some(cplan),
+                backend,
             });
         }
 
@@ -618,33 +864,7 @@ impl<'n> EngineBuilder<'n> {
                 board: self.board,
             }),
             BackendKind::Hybrid | BackendKind::PlBitExact => {
-                // Monomorphize the quantized datapath for the requested
-                // word format. `qformat()` validated in `plan()`.
-                let q = self.format.qformat().expect("validated by plan()");
-                match (q.total_bits, q.frac_bits) {
-                    (32, 12) => build_quant_backend::<Fix<12>>(self.net, &plan),
-                    (32, 16) => build_quant_backend::<Fix<16>>(self.net, &plan),
-                    (32, 20) => build_quant_backend::<Fix<20>>(self.net, &plan),
-                    (32, 24) => build_quant_backend::<Fix<24>>(self.net, &plan),
-                    (16, 6) => build_quant_backend::<Fix16<6>>(self.net, &plan),
-                    (16, 8) => build_quant_backend::<Fix16<8>>(self.net, &plan),
-                    (16, 10) => build_quant_backend::<Fix16<10>>(self.net, &plan),
-                    (16, 12) => build_quant_backend::<Fix16<12>>(self.net, &plan),
-                    (total_bits, frac_bits) => {
-                        // The match arms above must stay in lockstep
-                        // with the declared executable set (the forward
-                        // direction is pinned by
-                        // `every_listed_executable_width_builds`).
-                        debug_assert!(
-                            !self.format.has_datapath(),
-                            "({total_bits},{frac_bits}) is in EXECUTABLE_WIDTHS but not dispatched"
-                        );
-                        return Err(EngineError::UnsupportedFormat {
-                            total_bits,
-                            frac_bits,
-                        });
-                    }
-                }
+                dispatch_width!(self.format, build_quant_backend(self.net, &plan))
             }
             BackendKind::Auto => unreachable!("plan() resolves Auto"),
         };
@@ -654,9 +874,61 @@ impl<'n> EngineBuilder<'n> {
             bn: self.bn,
             format: self.format,
             plan: Some(plan),
+            cluster_plan: None,
             backend,
         })
     }
+}
+
+/// Pre-quantize — once — each sharded stage into its board's simulated
+/// circuit and assemble the cluster backend from the plan.
+fn build_cluster_backend<'n, S: Scalar>(
+    net: &'n Network,
+    plan: &ClusterPlan,
+) -> Box<dyn Backend + 'n> {
+    let offloaded: Vec<LayerName> = plan.target().layers().to_vec();
+    let parallelism = plan.pl_model().parallelism;
+    let pl_stages: Vec<PlStage<S>> = offloaded
+        .iter()
+        .map(|&layer| {
+            let stage = net
+                .stage(layer)
+                .expect("applicability check guarantees the stage exists");
+            debug_assert_eq!(
+                stage.blocks.len(),
+                1,
+                "single-instance checked at plan time"
+            );
+            let board = plan.board_of(layer).expect("offloaded layers are sharded");
+            PlStage {
+                layer,
+                accel: OdeBlockAccel::new(
+                    &stage.blocks[0],
+                    parallelism,
+                    &plan.cluster().boards()[board],
+                ),
+                execs: {
+                    let p = net.spec.plan(layer);
+                    if p.is_ode {
+                        p.execs
+                    } else {
+                        1
+                    }
+                },
+            }
+        })
+        .collect();
+    Box::new(ClusterBackend {
+        net,
+        pl_stages,
+        offloaded,
+        bn: plan.bn_mode(),
+        ps: *plan.ps_model(),
+        head: *plan.cluster().head(),
+        schedule: plan.schedule(),
+        timeline: plan.timeline().to_vec(),
+        transfer_seconds: plan.transfer_seconds(),
+    })
 }
 
 /// Pre-quantize — once — into the scalar type `S` and build the
@@ -728,6 +1000,7 @@ pub struct Engine<'n> {
     bn: BnMode,
     format: PlFormat,
     plan: Option<DeploymentPlan>,
+    cluster_plan: Option<ClusterPlan>,
     backend: Box<dyn Backend + 'n>,
 }
 
@@ -758,6 +1031,8 @@ impl<'n> Engine<'n> {
             bn: d.bn,
             format: d.format,
             backend: d.backend,
+            cluster: None,
+            schedule: Schedule::default(),
             custom: None,
         }
     }
@@ -769,9 +1044,16 @@ impl<'n> Engine<'n> {
     }
 
     /// The deployment plan the engine was built from (`None` for
-    /// custom backends — they own their execution strategy).
+    /// custom backends — they own their execution strategy — and for
+    /// cluster engines, which keep a [`Engine::cluster_plan`] instead).
     pub fn plan(&self) -> Option<&DeploymentPlan> {
         self.plan.as_ref()
+    }
+
+    /// The sharded cluster plan the engine was built from (`Some` only
+    /// when [`EngineBuilder::cluster`] was configured).
+    pub fn cluster_plan(&self) -> Option<&ClusterPlan> {
+        self.cluster_plan.as_ref()
     }
 
     /// The configuration's cached latency decomposition (its Table 5
@@ -852,6 +1134,22 @@ impl<'n> Engine<'n> {
             self.check_shape(x)?;
         }
         xs.iter().map(|x| self.backend.infer(x)).collect()
+    }
+
+    /// [`Engine::infer_batch`] plus the backend's batch schedule: the
+    /// per-image [`RunReport`]s (identical to `infer_batch`'s) and one
+    /// [`BatchSummary`] whose wall-clock reflects how the backend
+    /// actually orders the batch — additive for single-board engines
+    /// and [`Schedule::Sequential`] clusters, the event-driven pipeline
+    /// makespan for [`Schedule::Pipelined`], where board *k* starts
+    /// image *i+1* as soon as it finishes image *i*.
+    pub fn infer_batch_summary(
+        &self,
+        xs: &[Tensor<f32>],
+    ) -> Result<(Vec<RunReport>, BatchSummary), EngineError> {
+        let runs = self.infer_batch(xs)?;
+        let summary = self.backend.summarize_batch(&runs);
+        Ok((runs, summary))
     }
 }
 
@@ -995,6 +1293,12 @@ mod tests {
         assert!((summary.total_seconds() - 3.0 * single).abs() < 1e-12);
         assert!(summary.throughput() > 0.0);
         assert_eq!(summary.dma_words, 3 * runs[0].dma_words);
+        // The additive fold: wall-clock equals accumulated execution,
+        // and the timing model is input-independent, so every image
+        // shares one latency — p50 == max == the per-image total.
+        assert_eq!(summary.wall_seconds, summary.total_seconds());
+        assert_eq!(summary.latency_p50, single);
+        assert_eq!(summary.latency_max, single);
     }
 
     #[test]
@@ -1005,6 +1309,35 @@ mod tests {
         assert_eq!(s.images, 0);
         assert_eq!(s.throughput(), 0.0);
         assert_eq!(BatchSummary::from_runs(&[]).throughput(), 0.0);
+        // The latency percentiles keep the same guard: an empty batch
+        // has no distribution, not a NaN one.
+        assert_eq!(s.latency_p50, 0.0);
+        assert_eq!(s.latency_max, 0.0);
+        assert_eq!(BatchSummary::from_runs(&[]).latency_max, 0.0);
+    }
+
+    #[test]
+    fn summary_percentiles_track_mixed_latencies() {
+        // Synthetic reports with distinct latencies: p50 is the lower
+        // median, max the worst case, and throughput uses wall-clock.
+        let mk = |ps: f64| RunReport {
+            logits: Tensor::zeros(Shape4::new(1, 10, 1, 1)),
+            images: 1,
+            ps_seconds: ps,
+            pl_seconds: 0.0,
+            dma_words: 0,
+            offloaded: Vec::new(),
+            backend: "test",
+        };
+        let s = BatchSummary::from_runs(&[mk(0.3), mk(0.1), mk(0.2)]);
+        assert_eq!(s.latency_p50, 0.2);
+        assert_eq!(s.latency_max, 0.3);
+        assert!((s.wall_seconds - 0.6).abs() < 1e-12);
+        assert!((s.throughput() - 3.0 / 0.6).abs() < 1e-9);
+        // Even-sized batches take the LOWER median, as documented.
+        let even = BatchSummary::from_runs(&[mk(0.4), mk(0.2)]);
+        assert_eq!(even.latency_p50, 0.2);
+        assert_eq!(even.latency_max, 0.4);
     }
 
     #[test]
@@ -1135,6 +1468,109 @@ mod tests {
         assert_eq!(engine.backend_name(), "constant");
         let run = engine.infer(&image(4)).unwrap();
         assert_eq!(run.ps_seconds, 0.5);
+    }
+
+    #[test]
+    fn one_board_cluster_is_the_hybrid_engine() {
+        use crate::cluster::{Cluster, Interconnect, Schedule};
+        let net = net(Variant::ROdeNet3);
+        let hybrid = Engine::builder(&net).build().unwrap();
+        let cluster = Engine::builder(&net)
+            .cluster(Cluster::homogeneous(
+                &PYNQ_Z2,
+                1,
+                Interconnect::GIGABIT_ETHERNET,
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(cluster.backend_name(), "cluster");
+        assert_eq!(cluster.target(), hybrid.target());
+        let x = image(6);
+        let a = hybrid.infer(&x).unwrap();
+        let b = cluster.infer(&x).unwrap();
+        assert_eq!(a.logits.as_slice(), b.logits.as_slice(), "bit-identical");
+        assert_eq!(a.ps_seconds, b.ps_seconds);
+        assert_eq!(a.pl_seconds, b.pl_seconds, "no interconnect on one board");
+        assert_eq!(a.dma_words, b.dma_words);
+        // The sequential batch summary is the additive fold either way.
+        let xs: Vec<Tensor<f32>> = (0..2).map(image).collect();
+        let (_, s) = cluster.infer_batch_summary(&xs).unwrap();
+        assert_eq!(s.wall_seconds, s.total_seconds());
+        // A pipelined single board still overlaps PS and PL stages.
+        let pipelined = Engine::builder(&net)
+            .cluster(Cluster::homogeneous(
+                &PYNQ_Z2,
+                1,
+                Interconnect::GIGABIT_ETHERNET,
+            ))
+            .schedule(Schedule::Pipelined)
+            .build()
+            .unwrap();
+        let (_, p) = pipelined.infer_batch_summary(&xs).unwrap();
+        assert!(
+            p.wall_seconds < s.wall_seconds,
+            "{} < {}",
+            p.wall_seconds,
+            s.wall_seconds
+        );
+        assert!(p.latency_max >= p.latency_p50);
+    }
+
+    #[test]
+    fn cluster_rejects_non_hybrid_backends() {
+        use crate::cluster::{Cluster, Interconnect};
+        let net = net(Variant::ROdeNet3);
+        for (kind, name) in [
+            (BackendKind::PsSoftware, "ps-software"),
+            (BackendKind::PlBitExact, "pl-bit-exact"),
+        ] {
+            let err = Engine::builder(&net)
+                .cluster(Cluster::homogeneous(
+                    &PYNQ_Z2,
+                    2,
+                    Interconnect::GIGABIT_ETHERNET,
+                ))
+                .backend(kind)
+                .build()
+                .expect_err("only the hybrid walk runs on a cluster");
+            // The error names the *requested* backend, so the caller
+            // sees which setting to change.
+            assert!(
+                matches!(err, EngineError::BackendConflict { backend, .. } if backend == name),
+                "{kind:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_engine_keeps_its_plan() {
+        use crate::cluster::{Cluster, Interconnect};
+        let net = net(Variant::OdeNet);
+        let engine = Engine::builder(&net)
+            .cluster(Cluster::homogeneous(
+                &PYNQ_Z2,
+                2,
+                Interconnect::GIGABIT_ETHERNET,
+            ))
+            .build()
+            .unwrap();
+        assert!(engine.plan().is_none());
+        let plan = engine
+            .cluster_plan()
+            .expect("cluster engines keep a cluster plan");
+        assert_eq!(plan.target(), engine.target());
+        assert_eq!(
+            plan.target(),
+            OffloadTarget::AllOde,
+            "two boards fit everything"
+        );
+        let run = engine.infer(&image(8)).unwrap();
+        assert!(
+            (plan.total_seconds() - run.total_seconds()).abs() < 1e-9,
+            "plan {} vs run {}",
+            plan.total_seconds(),
+            run.total_seconds()
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@
 //! * [`engine`] — the deployment API: a builder-configured, validated
 //!   [`Engine`] built from a [`DeploymentPlan`], precision-polymorphic
 //!   over the PL word format, serving single or batched inference
-//!   through pluggable [`Backend`]s.
+//!   through pluggable [`Backend`]s;
+//! * [`cluster`] — multi-board scale-out: a [`Cluster`] of boards with
+//!   a modelled [`Interconnect`], sharded placements ([`ClusterPlan`]),
+//!   and an event-driven pipelined batch scheduler ([`Schedule`]) that
+//!   overlaps PS stages of image *i+1* with PL stages of image *i*.
 //!
 //! ```
 //! use zynq_sim::resources::{ode_block_resources};
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod board;
+pub mod cluster;
 pub mod datapath;
 pub mod engine;
 pub mod plan;
@@ -53,7 +58,8 @@ pub mod resources;
 pub mod system;
 pub mod timing;
 
-pub use board::{Board, PYNQ_Z2};
+pub use board::{Board, ARTY_Z7_20, PYNQ_Z2};
+pub use cluster::{plan_cluster, Cluster, ClusterPlan, ClusterRequest, Interconnect, Schedule};
 pub use datapath::{block_exec_cycles, conv_cycles, OdeBlockAccel};
 pub use engine::{
     Backend, BackendKind, BatchSummary, Engine, EngineBuilder, EngineError, Offload, RunReport,

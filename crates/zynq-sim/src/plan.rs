@@ -22,7 +22,7 @@
 use crate::board::{Board, PYNQ_Z2};
 use crate::engine::{BackendKind, EngineError, Offload};
 use crate::planner::{plan_offload_at, plan_offload_extended_at, OffloadTarget};
-use crate::resources::{bram36_at_width, dsp_slices_at_width, lut_ff};
+use crate::resources::{bram36_at_width, dsp_slices_at_width, modelled_lut_ff_at};
 use crate::timing::{table5_row_at, PlModel, PsModel, Table5Row};
 use qfixed::QFormat;
 use rodenet::{BnMode, LayerName, NetSpec};
@@ -153,9 +153,11 @@ pub struct PlannedStage {
     pub bram36: f64,
     /// DSP48E1 slices at the plan's word width.
     pub dsp: u32,
-    /// Look-up tables (32-bit characterization, width-conservative).
+    /// Look-up tables at the plan's word width (control base fixed,
+    /// datapath share scaled — see
+    /// [`crate::resources::modelled_lut_ff_at`]).
     pub lut: u32,
-    /// Flip-flops (32-bit characterization, width-conservative).
+    /// Flip-flops at the plan's word width.
     pub ff: u32,
     /// Modelled circuit seconds per inference (incl. DMA).
     pub pl_seconds: f64,
@@ -275,7 +277,7 @@ pub fn plan_deployment(spec: &NetSpec, req: &PlanRequest) -> Result<DeploymentPl
         .map(|&layer| {
             let plan = spec.plan(layer);
             let execs = if plan.is_ode { plan.execs } else { 1 };
-            let (lut, ff) = lut_ff(layer, req.pl.parallelism);
+            let (lut, ff) = modelled_lut_ff_at(layer, req.pl.parallelism, bytes);
             PlannedStage {
                 layer,
                 execs,

@@ -97,9 +97,10 @@ impl OffloadTarget {
     /// the PL word width as a parameter (`bytes_per_value`; 4 is the
     /// paper's 32-bit build, 2 the footnote-2 16-bit datapath). BRAM
     /// scales via [`crate::resources::bram36_at_width`], DSP via
-    /// [`crate::resources::dsp_slices_at_width`]; LUT/FF use the 32-bit
-    /// characterization either way (conservative — narrower adders can
-    /// only shrink them).
+    /// [`crate::resources::dsp_slices_at_width`], and LUT/FF via
+    /// [`crate::resources::modelled_lut_ff_at`] (control base fixed,
+    /// datapath share scaled by the operand width) — so a reduced-width
+    /// shard is not gated by the conservative 32-bit characterization.
     pub fn fits_at(&self, board: &Board, parallelism: usize, bytes_per_value: usize) -> bool {
         let mut bram36 = 0.0f64;
         let mut dsp = 0u32;
@@ -112,11 +113,43 @@ impl OffloadTarget {
             }
             bram36 += crate::resources::bram36_at_width(layer, parallelism, bytes_per_value);
             dsp += crate::resources::dsp_slices_at_width(parallelism, bytes_per_value);
-            let (l, f) = crate::resources::lut_ff(layer, parallelism);
+            let (l, f) = crate::resources::modelled_lut_ff_at(layer, parallelism, bytes_per_value);
             lut += l;
             ff += f;
         }
         bram36 <= board.bram36 as f64 && dsp <= board.dsp && lut <= board.lut && ff <= board.ff
+    }
+
+    /// The placement covering exactly `layers` (any order, duplicates
+    /// ignored), or `None` when the set contains a non-offloadable
+    /// layer. Inverse of [`OffloadTarget::layers`]; the cluster
+    /// sharder uses it to name the per-board slices of a placement.
+    pub fn from_layers(layers: &[LayerName]) -> Option<OffloadTarget> {
+        let has = |l: LayerName| layers.contains(&l);
+        if layers.iter().any(|l| {
+            !matches!(
+                l,
+                LayerName::Layer1 | LayerName::Layer2_2 | LayerName::Layer3_2
+            )
+        }) {
+            return None;
+        }
+        Some(
+            match (
+                has(LayerName::Layer1),
+                has(LayerName::Layer2_2),
+                has(LayerName::Layer3_2),
+            ) {
+                (false, false, false) => OffloadTarget::None,
+                (true, false, false) => OffloadTarget::Layer1,
+                (false, true, false) => OffloadTarget::Layer22,
+                (true, true, false) => OffloadTarget::Layer1And22,
+                (false, false, true) => OffloadTarget::Layer32,
+                (true, false, true) => OffloadTarget::Layer1And32,
+                (false, true, true) => OffloadTarget::Layer22And32,
+                (true, true, true) => OffloadTarget::AllOde,
+            },
+        )
     }
 
     /// Whether the placement matches the paper's policy for `spec`:
@@ -416,6 +449,19 @@ mod tests {
         let choice16 = plan_offload_at(&spec, &PYNQ_Z2, 16, &ps, &pl, 2);
         assert_eq!(choice32, OffloadTarget::Layer1And22);
         assert_eq!(choice16, OffloadTarget::AllOde);
+    }
+
+    #[test]
+    fn from_layers_inverts_layers() {
+        for t in OffloadTarget::ALL {
+            assert_eq!(OffloadTarget::from_layers(t.layers()), Some(t), "{t:?}");
+        }
+        assert_eq!(
+            OffloadTarget::from_layers(&[LayerName::Layer3_2, LayerName::Layer1]),
+            Some(OffloadTarget::Layer1And32),
+            "order-insensitive"
+        );
+        assert_eq!(OffloadTarget::from_layers(&[LayerName::Layer2_1]), None);
     }
 
     #[test]

@@ -168,19 +168,27 @@ pub fn characterized_lut_ff(layer: LayerName, parallelism: usize) -> Option<(u32
         .map(|(_, v)| *v)
 }
 
+/// `(lut_base, lut_per_mac, ff_base, ff_per_mac)` of the per-layer
+/// linear LUT/FF model, least-squares fitted on n ∈ {1, 4, 8}. The base
+/// terms are the width-independent control logic (FSMs, address
+/// generators); the per-MAC terms are datapath (operand registers,
+/// adder trees) and scale with the operand width.
+fn lut_ff_coeffs(layer: LayerName) -> (f64, f64, f64, f64) {
+    match layer {
+        LayerName::Layer1 => (1065.0, 463.3, 660.0, 174.7),
+        LayerName::Layer2_2 => (1038.0, 465.4, 661.6, 171.3),
+        LayerName::Layer3_2 => (1224.0, 459.5, 765.0, 161.7),
+        _ => panic!("no LUT/FF model for {layer}"),
+    }
+}
+
 /// Linear LUT/FF model per layer, least-squares fitted to the
 /// characterized points at n ≤ 8 (the region where synthesis scales
 /// linearly). Above 8 units synthesis goes superlinear (wider adder
 /// trees, control replication); a quadratic correction approximates the
 /// n = 16 jump. Used only for parallelism values outside Table 3.
 pub fn modelled_lut_ff(layer: LayerName, parallelism: usize) -> (u32, u32) {
-    // (lut_base, lut_per_mac, ff_base, ff_per_mac) fitted on n ∈ {1,4,8}.
-    let (lb, lm, fb, fm) = match layer {
-        LayerName::Layer1 => (1065.0, 463.3, 660.0, 174.7),
-        LayerName::Layer2_2 => (1038.0, 465.4, 661.6, 171.3),
-        LayerName::Layer3_2 => (1224.0, 459.5, 765.0, 161.7),
-        _ => panic!("no LUT/FF model for {layer}"),
-    };
+    let (lb, lm, fb, fm) = lut_ff_coeffs(layer);
     // Superlinear correction calibrated on the layer3_2 conv_x16 cell.
     let n = parallelism as f64;
     let extra = if n > 8.0 {
@@ -203,6 +211,30 @@ pub fn modelled_lut_ff(layer: LayerName, parallelism: usize) -> (u32, u32) {
 /// configuration is in Table 3, the linear model otherwise.
 pub fn lut_ff(layer: LayerName, parallelism: usize) -> (u32, u32) {
     characterized_lut_ff(layer, parallelism).unwrap_or_else(|| modelled_lut_ff(layer, parallelism))
+}
+
+/// Width-aware LUT/FF model: the 32-bit figure (characterized where
+/// Table 3 has the cell, modelled otherwise) split into a
+/// width-independent control base and a datapath share that scales
+/// linearly with the operand width. A Q16 multiply–add keeps its FSMs
+/// and address generators but halves its operand registers and adder
+/// trees, so a 16-bit circuit lands at `base + (lut32 − base) · 16/32`.
+/// At 4 bytes this returns [`lut_ff`] exactly (the planner's 32-bit
+/// behavior is pinned); wider analysis formats scale up symmetrically.
+pub fn modelled_lut_ff_at(
+    layer: LayerName,
+    parallelism: usize,
+    bytes_per_value: usize,
+) -> (u32, u32) {
+    let (lut32, ff32) = lut_ff(layer, parallelism);
+    if bytes_per_value == 4 {
+        return (lut32, ff32);
+    }
+    let (lb, _, fb, _) = lut_ff_coeffs(layer);
+    let scale = (bytes_per_value * 8) as f64 / 32.0;
+    let lut = lb + (lut32 as f64 - lb).max(0.0) * scale;
+    let ff = fb + (ff32 as f64 - fb).max(0.0) * scale;
+    (lut.round() as u32, ff.round() as u32)
 }
 
 /// Full resource report for one ODEBlock circuit.
@@ -439,6 +471,57 @@ mod tests {
             12 * 16 + 4,
             "64-bit needs 3×4 tiles"
         );
+    }
+
+    #[test]
+    fn width_aware_lut_ff_scales_datapath_only() {
+        for layer in [LayerName::Layer1, LayerName::Layer2_2, LayerName::Layer3_2] {
+            for n in [1usize, 8, 16] {
+                // The paper's width reproduces the characterized numbers.
+                assert_eq!(
+                    modelled_lut_ff_at(layer, n, 4),
+                    lut_ff(layer, n),
+                    "{layer} x{n}"
+                );
+                // Narrower words shrink, wider grow — monotone in width.
+                let (l16, f16) = modelled_lut_ff_at(layer, n, 2);
+                let (l32, f32v) = modelled_lut_ff_at(layer, n, 4);
+                let (l64, f64v) = modelled_lut_ff_at(layer, n, 8);
+                assert!(l16 < l32 && l32 < l64, "{layer} x{n} lut {l16}/{l32}/{l64}");
+                assert!(f16 < f32v && f32v < f64v, "{layer} x{n} ff");
+                // The control base never scales away: a 1-byte datapath
+                // still carries more than half the base logic.
+                let (l8, _) = modelled_lut_ff_at(layer, n, 1);
+                let (lb, _, _, _) = lut_ff_coeffs(layer);
+                assert!(l8 as f64 >= lb, "{layer} x{n}: {l8} under base {lb}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_bound_placement_unlocked_by_reduced_width() {
+        // The ROADMAP's LUT/FF-characterization item: a fabric with
+        // plenty of BRAM/DSP but few LUTs rejects layer1+layer2_2 at
+        // conv_x16/Q20 (17 838 LUTs characterized) yet admits it at Q16
+        // (the datapath share halves to ≈9 970) — reduced-width shards
+        // must not be gated by the conservative 32-bit table.
+        use crate::planner::OffloadTarget;
+        let mut lut_starved = PYNQ_Z2;
+        lut_starved.lut = 12_000;
+        let t = OffloadTarget::Layer1And22;
+        assert!(
+            !t.fits_at(&lut_starved, 16, 4),
+            "17 838 LUTs at 32-bit exceed the 12 000 budget"
+        );
+        assert!(
+            t.fits_at(&lut_starved, 16, 2),
+            "the halved datapath fits the same budget at 16-bit"
+        );
+        // And it is genuinely the LUT axis that flips: BRAM/DSP fit at
+        // both widths on this fabric.
+        let bram: f64 = t.layers().iter().map(|&l| bram36_at_width(l, 16, 4)).sum();
+        assert!(bram <= lut_starved.bram36 as f64);
+        assert!(2 * dsp_slices_at_width(16, 4) <= lut_starved.dsp);
     }
 
     #[test]

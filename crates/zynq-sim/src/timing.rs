@@ -157,6 +157,14 @@ impl PsModel {
         total
     }
 
+    /// PS cycles for one stage of `execs` block runs — the integer
+    /// counterpart of [`PsModel::stage_seconds`], for callers that
+    /// accumulate several stages into one segment before converting
+    /// (the cluster scheduler's merged PS segments).
+    pub fn stage_cycles(&self, layer: LayerName, is_ode: bool, execs: usize) -> u64 {
+        execs as u64 * self.block_exec_cycles(layer, is_ode)
+    }
+
     /// PS seconds for one stage of `execs` block runs.
     pub fn stage_seconds(
         &self,

@@ -1,0 +1,82 @@
+//! Multi-board cluster deployment: shard ODENet-20 across two Arty
+//! Z7-20 boards at the paper's Q20 word width — a placement no single
+//! XC7Z020 admits — and pipeline a batch through the board chain.
+//!
+//! ```text
+//! cargo run --release --example cluster_pipeline
+//! ```
+
+use odenet_suite::prelude::*;
+
+fn main() {
+    // 1. The full ODENet: all three shape-preserving layers are
+    //    single-instance ODE blocks — everything *wants* to be on a
+    //    PL, but at Q20 layer3_2 alone fills an entire XC7Z020.
+    let spec = NetSpec::new(Variant::OdeNet, 20).with_classes(100);
+    let net = Network::new(spec, 42);
+    println!("architecture : {}", spec.display_name());
+
+    // 2. Two Arty boards over gigabit Ethernet. Planning shards the
+    //    placement board-by-board (first-fit in network order) with
+    //    zero numerics, exactly like the single-board plan flow.
+    let two_boards = || Cluster::homogeneous(&ARTY_Z7_20, 2, Interconnect::GIGABIT_ETHERNET);
+    let plan = Engine::builder(&net)
+        .cluster(two_boards())
+        .plan_cluster()
+        .expect("two XC7Z020s carry what one cannot");
+    println!("plan         : {}", plan.describe());
+    for shard in plan.shards() {
+        let bram: f64 = shard.stages.iter().map(|s| s.bram36).sum();
+        println!(
+            "  board {}    : {:?} ({:.1} BRAM36)",
+            shard.board, shard.target, bram
+        );
+    }
+    println!(
+        "predicted    : {:.3}s/img ({:.3}ms on the wire) — no inference ran",
+        plan.total_seconds(),
+        plan.transfer_seconds() * 1e3,
+    );
+
+    // 3. Build the engine and serve a pipelined batch: board 1 works
+    //    on image i while board 0 and the head PS already run image
+    //    i+1. Logits are bit-identical to a single-board execution of
+    //    the same placement — sharding never touches the numerics.
+    let engine = Engine::builder(&net)
+        .cluster(two_boards())
+        .schedule(Schedule::Pipelined)
+        .build()
+        .expect("validated above");
+    println!("engine       : {}", engine.describe());
+
+    let ds = generate(&SynthConfig {
+        classes: 100,
+        per_class: 1,
+        hw: 32,
+        ..Default::default()
+    });
+    let xs: Vec<Tensor<f32>> = (0..16).map(|_| ds.images.item_tensor(0)).collect();
+    let (runs, pipelined) = engine.infer_batch_summary(&xs).expect("batch");
+    println!(
+        "batch of {}  : {:.2}s wall ({:.2} img/s), latency p50 {:.3}s / max {:.3}s",
+        runs.len(),
+        pipelined.wall_seconds,
+        pipelined.throughput(),
+        pipelined.latency_p50,
+        pipelined.latency_max,
+    );
+
+    // 4. The additive schedule on the same engine config, for contrast.
+    let sequential = Engine::builder(&net)
+        .cluster(two_boards())
+        .schedule(Schedule::Sequential)
+        .build()
+        .expect("same placement");
+    let (_, additive) = sequential.infer_batch_summary(&xs).expect("batch");
+    println!(
+        "vs sequential: {:.2}s wall ({:.2} img/s) — pipelining is {:.2}x",
+        additive.wall_seconds,
+        additive.throughput(),
+        pipelined.throughput() / additive.throughput(),
+    );
+}

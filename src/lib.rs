@@ -59,13 +59,16 @@ pub mod prelude {
         BnMode, GradMode, LayerName, NetSpec, Network, QuantNetwork, Variant, PAPER_DEPTHS,
     };
     pub use tensor::{Shape4, Tensor};
+    pub use zynq_sim::cluster::{
+        plan_cluster, Cluster, ClusterPlan, ClusterRequest, Interconnect, Schedule,
+    };
     pub use zynq_sim::engine::{
         Backend, BackendKind, BatchSummary, Engine, EngineBuilder, EngineError, Offload, RunReport,
     };
     pub use zynq_sim::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
     pub use zynq_sim::planner::{plan_offload, OffloadTarget};
     pub use zynq_sim::timing::{paper_row, PlModel, PsModel};
-    pub use zynq_sim::{ode_block_resources, HybridRun, OdeBlockAccel, PYNQ_Z2};
+    pub use zynq_sim::{ode_block_resources, HybridRun, OdeBlockAccel, ARTY_Z7_20, PYNQ_Z2};
     #[allow(deprecated)]
     pub use zynq_sim::{run_hybrid, run_hybrid_with};
 }

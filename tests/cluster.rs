@@ -1,0 +1,209 @@
+//! Acceptance suite for the multi-board cluster backend.
+//!
+//! The headline scenario (ISSUE 3): ODENet-20 sharded across **two
+//! simulated Arty Z7-20 boards at Q20** — a placement no single
+//! XC7Z020 admits at the paper's word width — must plan, validate, and
+//! infer with logits **bit-identical** to a single-board hybrid
+//! execution of the same placement, and the pipelined batch schedule
+//! must beat the additive one by a pinned margin. Plus the generic
+//! scheduler invariants (proptest): pipelining never loses to
+//! sequential execution and never beats the bottleneck bound.
+
+use odenet_suite::prelude::*;
+use proptest::prelude::*;
+use zynq_sim::cluster::{
+    bottleneck_seconds, per_image_seconds, pipelined_schedule, sequential_makespan, StageResource,
+    StageTiming,
+};
+use zynq_sim::ARTY_Z7_20;
+
+fn image(seed: u64) -> Tensor<f32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(Shape4::new(1, 3, 32, 32), |_, _, _, _| {
+        rng.random::<f32>() - 0.5
+    })
+}
+
+fn two_arty() -> Cluster {
+    Cluster::homogeneous(&ARTY_Z7_20, 2, Interconnect::GIGABIT_ETHERNET)
+}
+
+/// The acceptance scenario end to end: plan → shard → validate →
+/// infer, with the numerics checked against a single-board reference.
+#[test]
+fn odenet20_shards_across_two_arty_boards_at_q20() {
+    let spec = NetSpec::new(Variant::OdeNet, 20).with_classes(10);
+    let net = Network::new(spec, 2024);
+
+    // The AllOde placement is impossible on ONE board at Q20 (layer3_2
+    // alone is 100 % of a XC7Z020's BRAM, Table 3)…
+    let single = Engine::builder(&net)
+        .board(&ARTY_Z7_20)
+        .offload(Offload::Target(OffloadTarget::AllOde))
+        .build();
+    assert!(
+        matches!(single, Err(EngineError::InfeasiblePlacement { .. })),
+        "AllOde cannot fit one XC7Z020 at 32-bit"
+    );
+
+    // …but two boards shard it: layer1 + layer2_2 on board 0, layer3_2
+    // on board 1 — and Auto finds that without being told.
+    let engine = Engine::builder(&net)
+        .cluster(two_arty())
+        .build()
+        .expect("two boards carry what one cannot");
+    assert_eq!(engine.target(), OffloadTarget::AllOde);
+    let plan = engine
+        .cluster_plan()
+        .expect("cluster engines keep their plan");
+    assert_eq!(plan.shards().len(), 2);
+    assert_eq!(plan.shards()[0].target, OffloadTarget::Layer1And22);
+    assert_eq!(plan.shards()[1].target, OffloadTarget::Layer32);
+    // Per-board feasibility is real: each shard fits its own fabric.
+    for shard in plan.shards() {
+        let bram: f64 = shard.stages.iter().map(|s| s.bram36).sum();
+        assert!(
+            bram <= ARTY_Z7_20.bram36 as f64,
+            "board{}: {bram}",
+            shard.board
+        );
+    }
+
+    // Numerics: sharding changes *where*, never *what*. A single-board
+    // hybrid running the same AllOde placement (on a fictitious
+    // double-BRAM fabric, since no real XC7Z020 fits it at Q20)
+    // computes bit-identical logits.
+    let mut big = ARTY_Z7_20;
+    big.bram36 *= 2;
+    let reference = Engine::builder(&net)
+        .board(&big)
+        .offload(Offload::Target(OffloadTarget::AllOde))
+        .build()
+        .expect("the doubled fabric fits all three circuits");
+    for seed in 0..3u64 {
+        let x = image(seed);
+        let a = engine.infer(&x).expect("cluster runs");
+        let b = reference.infer(&x).expect("reference runs");
+        assert_eq!(
+            a.logits.as_slice(),
+            b.logits.as_slice(),
+            "seed {seed}: sharded logits must be bit-identical"
+        );
+        // Timing differs only by the modelled interconnect hand-offs.
+        assert!((a.total_seconds() - b.total_seconds() - plan.transfer_seconds()).abs() < 1e-12);
+        assert_eq!(a.dma_words, b.dma_words);
+    }
+}
+
+/// The pinned throughput claim: pipelining a batch of 32 through the
+/// two-board chain beats the additive schedule by at least 1.3×.
+#[test]
+fn pipelined_batch32_beats_sequential_by_1_3x() {
+    let spec = NetSpec::new(Variant::OdeNet, 20).with_classes(10);
+    let net = Network::new(spec, 7);
+    let sequential = Engine::builder(&net)
+        .cluster(two_arty())
+        .schedule(Schedule::Sequential)
+        .build()
+        .expect("builds");
+    let pipelined = Engine::builder(&net)
+        .cluster(two_arty())
+        .schedule(Schedule::Pipelined)
+        .build()
+        .expect("builds");
+
+    let xs: Vec<Tensor<f32>> = (0..32).map(image).collect();
+    let (runs_seq, seq) = sequential
+        .infer_batch_summary(&xs)
+        .expect("sequential batch");
+    let (runs_pipe, pipe) = pipelined.infer_batch_summary(&xs).expect("pipelined batch");
+
+    // Same per-image reports — the schedule reorders, never recomputes.
+    for (a, b) in runs_seq.iter().zip(&runs_pipe) {
+        assert_eq!(a.logits.as_slice(), b.logits.as_slice());
+    }
+    assert_eq!(seq.images, 32);
+    assert_eq!(pipe.images, 32);
+    // Sequential wall-clock is the additive fold; pipelined is the
+    // event-driven makespan.
+    assert_eq!(seq.wall_seconds, seq.total_seconds());
+    assert!(pipe.wall_seconds < seq.wall_seconds);
+    let ratio = pipe.throughput() / seq.throughput();
+    assert!(ratio >= 1.3, "pipelined/sequential throughput = {ratio:.3}");
+    // And the plan predicts the same gain without running an image.
+    let plan = pipelined.cluster_plan().unwrap();
+    assert!((plan.pipeline_speedup(32) - ratio).abs() < 0.05);
+    // Latency percentiles make the two schedules comparable: queueing
+    // stretches pipelined per-image latency even as throughput rises.
+    assert!(pipe.latency_p50 >= seq.latency_p50 - 1e-12);
+    assert!(pipe.latency_max >= pipe.latency_p50);
+}
+
+/// A reduced-width cluster: at Q16 one Arty already fits AllOde, so the
+/// second board adds nothing to the placement — but pipelining still
+/// overlaps the PS with the PL stages.
+#[test]
+fn sixteen_bit_cluster_needs_only_one_board() {
+    let spec = NetSpec::new(Variant::OdeNet, 20).with_classes(10);
+    let net = Network::new(spec, 5);
+    let engine = Engine::builder(&net)
+        .cluster(two_arty())
+        .pl_format(PlFormat::Q16 { frac: 10 })
+        .build()
+        .expect("16-bit builds");
+    let plan = engine.cluster_plan().unwrap();
+    assert_eq!(plan.target(), OffloadTarget::AllOde);
+    assert_eq!(plan.shards().len(), 1, "one board carries all three at Q16");
+    assert_eq!(plan.transfer_seconds(), 0.0, "no inter-board hand-off");
+}
+
+fn any_timeline() -> impl Strategy<Value = Vec<StageTiming>> {
+    prop::collection::vec((0usize..4, 0.001f64..0.5, 0.0f64..0.01), 1..8).prop_map(|stages| {
+        stages
+            .into_iter()
+            .map(|(r, seconds, transfer_in)| StageTiming {
+                resource: if r == 0 {
+                    StageResource::Ps
+                } else {
+                    StageResource::Pl(r - 1)
+                },
+                layer: None,
+                seconds,
+                transfer_in,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The scheduler invariants for arbitrary stage pipelines: the
+    /// event-driven pipelined makespan never exceeds the additive
+    /// schedule and never beats the bottleneck-resource lower bound
+    /// (nor the single-image latency).
+    #[test]
+    fn pipelined_makespan_within_bounds(timeline in any_timeline(), images in 1usize..12) {
+        let seq = sequential_makespan(&timeline, images);
+        let run = pipelined_schedule(&timeline, images);
+        let latency = per_image_seconds(&timeline);
+        let lower = (images as f64 * bottleneck_seconds(&timeline)).max(latency);
+        prop_assert!(run.makespan <= seq + 1e-9, "{} ≤ {}", run.makespan, seq);
+        prop_assert!(run.makespan >= lower - 1e-9, "{} ≥ {}", run.makespan, lower);
+        prop_assert_eq!(run.latencies.len(), images);
+        for lat in &run.latencies {
+            prop_assert!(*lat >= latency - 1e-9, "no image beats its own latency");
+            prop_assert!(*lat <= run.makespan + 1e-9);
+        }
+    }
+
+    /// Sequential makespan is exactly additive in the batch size.
+    #[test]
+    fn sequential_makespan_is_additive(timeline in any_timeline(), images in 0usize..12) {
+        let one = per_image_seconds(&timeline);
+        let all = sequential_makespan(&timeline, images);
+        prop_assert!((all - images as f64 * one).abs() < 1e-9);
+    }
+}

@@ -224,6 +224,72 @@ fn batch_matches_single_inference() {
     }
 }
 
+/// A one-board `Cluster` is the degenerate sharding: across the same
+/// placement × architecture × batch-norm matrix as the legacy
+/// equivalence test, the cluster backend must be **bit- and
+/// timing-identical** to the hybrid engine on that board — sharding
+/// machinery (timeline, hand-off accounting, per-board circuits) must
+/// add exactly nothing when there is nothing to shard.
+#[test]
+fn single_board_cluster_matches_hybrid_across_matrix() {
+    let one_board = || Cluster::homogeneous(&PYNQ_Z2, 1, Interconnect::GIGABIT_ETHERNET);
+    let mut deployable = 0usize;
+    for (vi, variant) in [Variant::ResNet, Variant::ROdeNet3, Variant::OdeNet]
+        .into_iter()
+        .enumerate()
+    {
+        let spec = NetSpec::new(variant, 20).with_classes(10);
+        let net = Network::new(spec, 3000 + vi as u64);
+        for target in OffloadTarget::ALL {
+            for bn in [BnMode::OnTheFly, BnMode::Running] {
+                let hybrid = Engine::builder(&net)
+                    .offload(Offload::Target(target))
+                    .bn_mode(bn)
+                    .build();
+                let cluster = Engine::builder(&net)
+                    .cluster(one_board())
+                    .offload(Offload::Target(target))
+                    .bn_mode(bn)
+                    .build();
+                match (hybrid, cluster) {
+                    (Ok(h), Ok(c)) => {
+                        deployable += 1;
+                        let x = image(40 + vi as u64);
+                        let a = h.infer(&x).expect("hybrid runs");
+                        let b = c.infer(&x).expect("cluster runs");
+                        assert_eq!(
+                            a.logits.as_slice(),
+                            b.logits.as_slice(),
+                            "{variant}/{target:?}/{bn:?}: logits"
+                        );
+                        assert_eq!(a.ps_seconds, b.ps_seconds, "{variant}/{target:?} PS");
+                        assert_eq!(a.pl_seconds, b.pl_seconds, "{variant}/{target:?} PL");
+                        assert_eq!(a.dma_words, b.dma_words, "{variant}/{target:?} DMA");
+                        assert_eq!(a.offloaded, b.offloaded);
+                        // The sequential batch summary folds identically.
+                        let xs = vec![x.clone(), image(41)];
+                        let (_, sh) = h.infer_batch_summary(&xs).unwrap();
+                        let (_, sc) = c.infer_batch_summary(&xs).unwrap();
+                        assert_eq!(sh.wall_seconds, sc.wall_seconds);
+                        assert_eq!(sh.latency_p50, sc.latency_p50);
+                    }
+                    (Err(_), Err(_)) => {}
+                    (h, c) => panic!(
+                        "{variant}/{target:?}/{bn:?}: hybrid {:?} vs cluster {:?} disagree",
+                        h.is_ok(),
+                        c.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+    assert_eq!(
+        deployable,
+        2 * (5 + 3 + 1),
+        "same deployable set as the legacy matrix"
+    );
+}
+
 /// §3.2 / Table 3 at conv_x32: the circuit misses the fabric (and the
 /// smaller layers cannot even instantiate 32 units) — the builder must
 /// reject every placement at that parallelism instead of asserting.
