@@ -19,7 +19,9 @@ use zynq_sim::cluster::{pipelined_schedule, sequential_makespan};
 use zynq_sim::engine::{Engine, Offload};
 use zynq_sim::plan::PlFormat;
 use zynq_sim::timing::{PlModel, PsModel};
-use zynq_sim::{plan_cluster, Cluster, ClusterRequest, Interconnect, Schedule, ARTY_Z7_20};
+use zynq_sim::{
+    plan_cluster, Cluster, ClusterRequest, Interconnect, Partitioner, Schedule, ARTY_Z7_20,
+};
 
 const BATCH: usize = 32;
 
@@ -32,6 +34,7 @@ fn two_board_request(schedule: Schedule) -> ClusterRequest {
         pl: PlModel::default(),
         format: PlFormat::Q20,
         schedule,
+        partitioner: Partitioner::FirstFit,
     }
 }
 

@@ -1,0 +1,59 @@
+//! Partitioner benches: what the placement search costs as the rack
+//! grows.
+//!
+//! `FirstFit` walks the layer list once per board (linear); the
+//! `BalancedMakespan` search enumerates boards^layers candidate
+//! assignments and scores each with the event-driven pipelined
+//! schedule of a 32-image reference batch — still trivial for lab-rack
+//! sizes (≤ 3 offloadable layers caps the exponent at 3), but the
+//! growth curve is worth watching: planning happens once per build,
+//! never per inference.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rodenet::{BnMode, NetSpec, Variant};
+use zynq_sim::engine::Offload;
+use zynq_sim::plan::PlFormat;
+use zynq_sim::planner::OffloadTarget;
+use zynq_sim::timing::{PlModel, PsModel};
+use zynq_sim::{
+    partition_placement, Cluster, ClusterRequest, Interconnect, Partitioner, Schedule, ARTY_Z7_20,
+};
+
+fn request(boards: usize, partitioner: Partitioner) -> ClusterRequest {
+    ClusterRequest {
+        cluster: Cluster::homogeneous(&ARTY_Z7_20, boards, Interconnect::GIGABIT_ETHERNET),
+        offload: Offload::Target(OffloadTarget::AllOde),
+        bn: BnMode::OnTheFly,
+        ps: PsModel::Calibrated,
+        pl: PlModel::default(),
+        format: PlFormat::Q16 { frac: 10 },
+        schedule: Schedule::Pipelined,
+        partitioner,
+    }
+}
+
+fn bench_partition_search(c: &mut Criterion) {
+    let spec = NetSpec::new(Variant::OdeNet, 56);
+    let mut g = c.benchmark_group("partition_search");
+    for boards in [1usize, 2, 4, 8] {
+        for partitioner in [Partitioner::FirstFit, Partitioner::BalancedMakespan] {
+            let req = request(boards, partitioner);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{partitioner:?}"), boards),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            partition_placement(&spec, OffloadTarget::AllOde, &req)
+                                .expect("AllOde fits one XC7Z020 at Q16"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition_search);
+criterion_main!(benches);

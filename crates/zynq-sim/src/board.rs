@@ -65,6 +65,26 @@ pub const ARTY_Z7_20: Board = Board {
     ff: 106_400,
 };
 
+/// The Digilent Arty Z7-10 — the entry-level sibling of the Z7-20 with
+/// the smaller Zynq XC7Z010 fabric (60 BRAM36, 80 DSP48E1) around the
+/// same 650 MHz dual Cortex-A9 PS. Heterogeneous racks pair it with an
+/// XC7Z020 board: the partitioner must place the heavy ODE stages on
+/// the bigger fabric, not wherever first-fit leaves them.
+pub const ARTY_Z7_10: Board = Board {
+    name: "Digilent Arty Z7-10",
+    os: "PYNQ Linux (Ubuntu 18.04)",
+    cpu: "ARM Cortex-A9 @ 650MHz",
+    ps_cores: 2,
+    ps_clock_hz: 650_000_000,
+    dram_bytes: 512 * 1024 * 1024,
+    fpga: "Xilinx Zynq XC7Z010-1CLG400C",
+    pl_clock_hz: 100_000_000,
+    bram36: 60,
+    dsp: 80,
+    lut: 17_600,
+    ff: 35_200,
+};
+
 impl Board {
     /// Bytes of a single BRAM36 (36 kbit = 4 608 bytes).
     pub const BRAM36_BYTES: usize = 4608;
@@ -117,6 +137,19 @@ mod tests {
         assert_eq!(ARTY_Z7_20.ps_clock_hz, PYNQ_Z2.ps_clock_hz);
         assert!(ARTY_Z7_20.fpga.contains("XC7Z020"));
         assert_ne!(ARTY_Z7_20.name, PYNQ_Z2.name);
+    }
+
+    #[test]
+    fn arty_z7_10_is_the_smaller_fabric() {
+        // XC7Z010: 60 BRAM36 / 80 DSP / 17.6k LUT / 35.2k FF — under
+        // half the XC7Z020 on every axis, same PS.
+        assert!(ARTY_Z7_10.fpga.contains("XC7Z010"));
+        assert_eq!(ARTY_Z7_10.bram36, 60);
+        assert_eq!(ARTY_Z7_10.dsp, 80);
+        assert_eq!(ARTY_Z7_10.lut, 17_600);
+        assert_eq!(ARTY_Z7_10.ff, 35_200);
+        assert_eq!(ARTY_Z7_10.ps_clock_hz, ARTY_Z7_20.ps_clock_hz);
+        assert_eq!(ARTY_Z7_10.pl_clock_hz, ARTY_Z7_20.pl_clock_hz);
     }
 
     #[test]

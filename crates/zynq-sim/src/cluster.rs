@@ -47,6 +47,7 @@
 
 use crate::board::Board;
 use crate::engine::{EngineError, Offload};
+use crate::partition::{partition_with, select_with, shard_infeasible, Partitioner};
 use crate::plan::{PlFormat, PlannedStage};
 use crate::planner::OffloadTarget;
 use crate::resources::{bram36_at_width, dsp_slices_at_width, modelled_lut_ff_at};
@@ -113,14 +114,13 @@ impl Cluster {
         &self.boards[0]
     }
 
-    /// Number of member boards.
+    /// Number of member boards — **always ≥ 1**: [`Cluster::new`]
+    /// rejects an empty board list, so a cluster deliberately carries
+    /// no `is_empty` (the honest implementation would be a hardcoded
+    /// `false`, which is worse than no method at all).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.boards.len()
-    }
-
-    /// Never true — [`Cluster::new`] requires at least one board.
-    pub fn is_empty(&self) -> bool {
-        false
     }
 
     /// The modelled board-to-board link.
@@ -211,17 +211,18 @@ pub struct BoardShard {
 /// network order (so feature maps flow forward through the board
 /// list). Every shard is checked with the width-aware
 /// [`OffloadTarget::fits_at`]; a layer that fits no remaining board
-/// makes the whole placement infeasible.
+/// makes the whole placement infeasible — the returned
+/// [`EngineError::ShardInfeasible`] names that layer and the board
+/// capacities consulted. This is [`Partitioner::FirstFit`]; see
+/// [`crate::partition`] for the cost-driven alternative.
 pub fn shard_placement(
     target: OffloadTarget,
     cluster: &Cluster,
     parallelism: usize,
     bytes_per_value: usize,
 ) -> Result<ShardAssignment, EngineError> {
-    let infeasible = || EngineError::ShardInfeasible {
-        target,
-        boards: cluster.len(),
-        parallelism,
+    let infeasible = |stuck: LayerName| {
+        shard_infeasible(target, cluster, parallelism, bytes_per_value, Some(stuck))
     };
     let mut shards: ShardAssignment = Vec::new();
     let mut board = 0usize;
@@ -230,7 +231,7 @@ pub fn shard_placement(
         loop {
             let mut candidate = current.clone();
             candidate.push(layer);
-            let t = OffloadTarget::from_layers(&candidate).ok_or_else(infeasible)?;
+            let t = OffloadTarget::from_layers(&candidate).ok_or_else(|| infeasible(layer))?;
             if t.fits_at(&cluster.boards()[board], parallelism, bytes_per_value) {
                 current = candidate;
                 break;
@@ -244,7 +245,7 @@ pub fn shard_placement(
             }
             board += 1;
             if board >= cluster.len() {
-                return Err(infeasible());
+                return Err(infeasible(layer));
             }
         }
     }
@@ -273,6 +274,11 @@ pub struct ClusterRequest {
     pub format: PlFormat,
     /// Batch execution order.
     pub schedule: Schedule,
+    /// Shard-assignment strategy (see [`crate::partition`]).
+    /// [`Partitioner::FirstFit`] reproduces the pre-partitioner greedy
+    /// behavior; [`Partitioner::BalancedMakespan`] searches for the
+    /// assignment minimizing the pipelined bottleneck busy time.
+    pub partitioner: Partitioner,
 }
 
 /// Everything the cluster builder decides, minus the engine: the
@@ -290,6 +296,7 @@ pub struct ClusterPlan {
     ps: PsModel,
     pl: PlModel,
     schedule: Schedule,
+    partitioner: Partitioner,
     timeline: Vec<StageTiming>,
 }
 
@@ -300,7 +307,11 @@ pub struct ClusterPlan {
 pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan, EngineError> {
     let bytes = req.format.bytes()?;
 
-    // 1. Resolve the overall placement at cluster capacity.
+    // 1. Resolve the overall placement at cluster capacity, splitting
+    //    it under the request's partitioner. The Auto loop is the same
+    //    cost path the single-board planner runs (see
+    //    `crate::partition::select_with` — one board is the 1-board
+    //    degenerate case of this search).
     let (target, shards) = match req.offload {
         Offload::Target(t) => {
             if !t.applicable_extended(spec) {
@@ -309,34 +320,11 @@ pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan,
                     variant: spec.variant,
                 });
             }
-            (
-                t,
-                shard_placement(t, &req.cluster, req.pl.parallelism, bytes)?,
-            )
+            (t, partition_with(spec, t, req, bytes)?)
         }
         Offload::Auto | Offload::AutoExtended => {
             let extended = req.offload == Offload::AutoExtended;
-            let mut best: Option<(f64, OffloadTarget, ShardAssignment)> = None;
-            for t in OffloadTarget::ALL {
-                let ok = if extended {
-                    t.applicable_extended(spec)
-                } else {
-                    t.applicable(spec)
-                };
-                if !ok {
-                    continue;
-                }
-                let Ok(shards) = shard_placement(t, &req.cluster, req.pl.parallelism, bytes) else {
-                    continue;
-                };
-                let timeline = build_timeline(spec, &shards, req, bytes);
-                let total = per_image_seconds(&timeline);
-                if best.as_ref().is_none_or(|(b, _, _)| total < *b) {
-                    best = Some((total, t, shards));
-                }
-            }
-            let (_, t, shards) = best.expect("OffloadTarget::None always shards");
-            (t, shards)
+            select_with(spec, req, bytes, extended)
         }
     };
 
@@ -383,6 +371,7 @@ pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan,
         ps: req.ps,
         pl: req.pl,
         schedule: req.schedule,
+        partitioner: req.partitioner,
         timeline,
     })
 }
@@ -392,7 +381,7 @@ pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan,
 /// before the single clock conversion), each offloaded layer becomes a
 /// PL stage on its board, and every hand-off between different boards
 /// pays the interconnect.
-fn build_timeline(
+pub(crate) fn build_timeline(
     spec: &NetSpec,
     shards: &[(usize, OffloadTarget)],
     req: &ClusterRequest,
@@ -628,6 +617,26 @@ impl ClusterPlan {
         self.schedule
     }
 
+    /// The shard-assignment strategy the plan was computed with.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Busy seconds per execution resource (head PS, each board's PL)
+    /// for one image — the per-board breakdown the partitioner
+    /// optimized (see [`crate::partition::resource_busy`]).
+    pub fn resource_busy(&self) -> Vec<(StageResource, f64)> {
+        crate::partition::resource_busy(&self.timeline)
+    }
+
+    /// The pipeline's bottleneck: the largest per-image busy time of
+    /// any single resource — what [`Partitioner::BalancedMakespan`]
+    /// drives down and what bounds pipelined throughput from above
+    /// (`images / makespan → 1 / bottleneck` for deep batches).
+    pub fn bottleneck_seconds(&self) -> f64 {
+        bottleneck_seconds(&self.timeline)
+    }
+
     /// The per-image stage pipeline (merged PS segments, PL stages,
     /// interconnect hand-offs) the batch schedules run over.
     pub fn timeline(&self) -> &[StageTiming] {
@@ -699,16 +708,26 @@ impl ClusterPlan {
             .map(|s| format!("board{}: {:?}", s.board, s.target))
             .collect::<Vec<_>>()
             .join(", ");
+        let boards = self.cluster.boards();
+        let rack = if boards.iter().all(|b| b.name == boards[0].name) {
+            format!("{}×{}", boards.len(), boards[0].name)
+        } else {
+            boards
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
+                .join(" + ")
+        };
         format!(
-            "{} · {} · {:?} over {}×{} ({}) · {:.3}s/img · {:?}",
+            "{} · {} · {:?} over {} ({}) · {:.3}s/img · {:?} · {:?}",
             self.spec.display_name(),
             self.format,
             self.target,
-            self.cluster.len(),
-            self.cluster.head().name,
+            rack,
             if shards.is_empty() { "all PS" } else { &shards },
             self.total_seconds(),
             self.schedule,
+            self.partitioner,
         )
     }
 }
@@ -728,6 +747,7 @@ mod tests {
             pl: PlModel::default(),
             format: PlFormat::Q20,
             schedule: Schedule::Pipelined,
+            partitioner: Partitioner::FirstFit,
         }
     }
 
@@ -866,8 +886,18 @@ mod tests {
             EngineError::ShardInfeasible {
                 target: OffloadTarget::AllOde,
                 boards: 1,
-                parallelism: 16
+                parallelism: 16,
+                stuck: Some(LayerName::Layer3_2),
+                stuck_bram36: 140.0,
+                board_bram36: vec![140],
             }
+        );
+        // The diagnostics are actionable: the report names the layer
+        // that got stuck and the capacities that were consulted.
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("layer3_2") && msg.contains("140"),
+            "actionable report: {msg}"
         );
     }
 

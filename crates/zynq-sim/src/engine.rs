@@ -74,6 +74,7 @@ use crate::board::Board;
 use crate::board::PYNQ_Z2;
 use crate::cluster::{plan_cluster, Cluster, ClusterPlan, ClusterRequest, Schedule, StageTiming};
 use crate::datapath::OdeBlockAccel;
+use crate::partition::Partitioner;
 use crate::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
 use crate::planner::OffloadTarget;
 use crate::timing::{PlModel, PsModel, Table5Row};
@@ -138,9 +139,11 @@ pub enum EngineError {
         /// The resolved placement.
         target: OffloadTarget,
     },
-    /// The placement's layers cannot be first-fit distributed over the
-    /// cluster's boards at the configured width and parallelism (see
-    /// [`crate::cluster::shard_placement`]).
+    /// The placement's layers cannot be distributed over the cluster's
+    /// boards at the configured width and parallelism under the
+    /// requested [`crate::partition::Partitioner`] (see
+    /// [`crate::cluster::shard_placement`] and
+    /// [`crate::partition::partition_placement`]).
     ShardInfeasible {
         /// The rejected overall placement.
         target: OffloadTarget,
@@ -148,6 +151,15 @@ pub enum EngineError {
         boards: usize,
         /// conv_x·n multiply–add units each shard was sized for.
         parallelism: usize,
+        /// The first layer that fit no remaining board (first-fit) or
+        /// no board on its own (balanced search); `None` when every
+        /// layer fits some board alone but no joint assignment exists.
+        stuck: Option<LayerName>,
+        /// BRAM36-equivalents the stuck layer demands at the plan's
+        /// word width (`0.0` when `stuck` is `None`).
+        stuck_bram36: f64,
+        /// BRAM36 capacity of every board consulted, in network order.
+        board_bram36: Vec<u32>,
     },
     /// The backend cannot honor the requested batch-norm mode (the Q20
     /// circuit computes statistics on the fly; it has no running
@@ -199,11 +211,31 @@ impl core::fmt::Display for EngineError {
                 target,
                 boards,
                 parallelism,
-            } => write!(
-                f,
-                "placement {target:?} cannot be sharded across {boards} board(s) at \
-                 conv_x{parallelism} (see zynq_sim::cluster)"
-            ),
+                stuck,
+                stuck_bram36,
+                board_bram36,
+            } => {
+                write!(
+                    f,
+                    "placement {target:?} cannot be sharded across {boards} board(s) at \
+                     conv_x{parallelism}"
+                )?;
+                match stuck {
+                    Some(layer) => write!(
+                        f,
+                        ": {layer} ({stuck_bram36} BRAM36 at this width) fits no remaining \
+                         board — per-board BRAM36 capacities {board_bram36:?}; feasibility \
+                         also weighs DSP/LUT/FF and the conv_x-parallelism bound"
+                    )?,
+                    None => write!(
+                        f,
+                        ": every layer fits some board alone, yet no joint assignment fits \
+                         the per-board fabrics (BRAM36 capacities {board_bram36:?}; \
+                         DSP/LUT/FF also checked)"
+                    )?,
+                }
+                write!(f, " (see zynq_sim::cluster)")
+            }
             EngineError::BnModeConflict { backend } => write!(
                 f,
                 "backend `{backend}` computes batch-norm statistics on the fly; \
@@ -625,6 +657,7 @@ pub struct EngineBuilder<'n> {
     backend: BackendKind,
     cluster: Option<Cluster>,
     schedule: Schedule,
+    partitioner: Partitioner,
     custom: Option<Box<dyn Backend + 'n>>,
 }
 
@@ -704,6 +737,22 @@ impl<'n> EngineBuilder<'n> {
         self
     }
 
+    /// Shard-assignment strategy for cluster deployments (default:
+    /// [`Partitioner::FirstFit`], the pre-partitioner greedy behavior).
+    /// [`Partitioner::BalancedMakespan`] searches every layer→board
+    /// assignment and keeps the one minimizing the pipelined
+    /// bottleneck busy time — on a heterogeneous rack it places the
+    /// heavy ODE stages on the bigger fabric instead of wherever
+    /// first-fit left them, raising [`Schedule::Pipelined`] batch
+    /// throughput without touching the numerics (logits are
+    /// bit-identical across partitioners for the same placement). On a
+    /// single board every strategy resolves to the same one-shard
+    /// assignment, so this only matters with [`EngineBuilder::cluster`].
+    pub fn partitioner(mut self, partitioner: Partitioner) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
     /// Plug in a caller-provided [`Backend`] (multi-board sharding,
     /// alternate fabrics, …). Placement planning and conflict checks
     /// are skipped — the backend owns its execution strategy.
@@ -765,6 +814,7 @@ impl<'n> EngineBuilder<'n> {
                 pl: self.pl,
                 format: self.format,
                 schedule: self.schedule,
+                partitioner: self.partitioner,
             },
         )
     }
@@ -1033,6 +1083,7 @@ impl<'n> Engine<'n> {
             backend: d.backend,
             cluster: None,
             schedule: Schedule::default(),
+            partitioner: Partitioner::default(),
             custom: None,
         }
     }

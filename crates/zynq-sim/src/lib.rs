@@ -33,7 +33,12 @@
 //! * [`cluster`] — multi-board scale-out: a [`Cluster`] of boards with
 //!   a modelled [`Interconnect`], sharded placements ([`ClusterPlan`]),
 //!   and an event-driven pipelined batch scheduler ([`Schedule`]) that
-//!   overlaps PS stages of image *i+1* with PL stages of image *i*.
+//!   overlaps PS stages of image *i+1* with PL stages of image *i*;
+//! * [`partition`] — the cost-driven partitioner layer: one placement
+//!   search ([`Partitioner`]) shared by the single-board planner and
+//!   the cluster sharder, from greedy first-fit to a balanced-makespan
+//!   search that puts heavy stages on the bigger fabric of a
+//!   heterogeneous rack.
 //!
 //! ```
 //! use zynq_sim::resources::{ode_block_resources};
@@ -51,6 +56,7 @@ pub mod board;
 pub mod cluster;
 pub mod datapath;
 pub mod engine;
+pub mod partition;
 pub mod plan;
 pub mod planner;
 pub mod power;
@@ -58,12 +64,13 @@ pub mod resources;
 pub mod system;
 pub mod timing;
 
-pub use board::{Board, ARTY_Z7_20, PYNQ_Z2};
+pub use board::{Board, ARTY_Z7_10, ARTY_Z7_20, PYNQ_Z2};
 pub use cluster::{plan_cluster, Cluster, ClusterPlan, ClusterRequest, Interconnect, Schedule};
 pub use datapath::{block_exec_cycles, conv_cycles, OdeBlockAccel};
 pub use engine::{
     Backend, BackendKind, BatchSummary, Engine, EngineBuilder, EngineError, Offload, RunReport,
 };
+pub use partition::{partition_placement, resource_busy, Partitioner};
 pub use plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest, PlannedStage};
 pub use planner::{plan_offload, OffloadTarget};
 pub use power::{EnergyReport, PowerModel};

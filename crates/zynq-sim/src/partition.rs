@@ -1,0 +1,546 @@
+//! Cost-driven placement partitioning — one search for boards and
+//! heterogeneous clusters.
+//!
+//! Before this layer existed, *where each layer lands* was decided in
+//! two disconnected places: [`crate::planner`]'s Auto loop picked the
+//! fastest feasible single-board placement from Table-5 rows, and
+//! [`crate::cluster::plan_cluster`] duplicated the same argmin over
+//! first-fit shard assignments. First-fit is blind to timing: on a
+//! heterogeneous rack (say an XC7Z020 head next to an
+//! [`crate::board::ARTY_Z7_10`]'s half-size XC7Z010 fabric) it happily
+//! crams every stage onto the first board that admits it and leaves the
+//! rest of the rack idle — the pipelined ceiling is then one board's
+//! busy time instead of the rack's.
+//!
+//! This module owns both decisions behind one cost model:
+//!
+//! * [`Partitioner`] — the shard-assignment strategy. `FirstFit` keeps
+//!   the greedy network-order behavior (the compatibility default);
+//!   `BalancedMakespan` enumerates **every** assignment of offloaded
+//!   layers to boards over the same width-aware
+//!   [`OffloadTarget::fits_at`] feasibility and
+//!   [`crate::cluster::StageTiming`] pipeline model, and keeps the one
+//!   minimizing the configured schedule's makespan of a
+//!   [`REFERENCE_BATCH`]-image batch (per-image latency breaks ties) —
+//!   under [`crate::cluster::Schedule::Pipelined`] that balances
+//!   per-board busy time so the bottleneck stage of the board pipeline
+//!   is as small as the rack allows; under
+//!   [`crate::cluster::Schedule::Sequential`] it minimizes per-image
+//!   latency (splitting buys nothing there, so the search avoids
+//!   needless interconnect hand-offs).
+//! * [`select_with`](crate::partition) (crate-internal) — the unified
+//!   Auto-selection loop: iterate all applicable placements, partition
+//!   each under the configured strategy, keep the best under the same
+//!   objective the partitioner used.
+//!   [`crate::planner::plan_offload_at`] calls it with a 1-board
+//!   cluster; [`crate::cluster::plan_cluster`] with the real one — a
+//!   single board is literally the degenerate case of the same search.
+//!
+//! The search space is assignments of layers to boards (no stage
+//! replication across boards yet — a bottleneck ODE stage still lives
+//! on exactly one fabric; recorded as the follow-on in the ROADMAP),
+//! and the cost model inherits the cluster scheduler's assumptions:
+//! the head PS runs every software stage, transfers occupy no compute
+//! resource. Like sharding itself, partitioning changes *where* and
+//! *when* stages run — never the Q-format numerics — so logits are
+//! bit-identical across partitioners for the same resolved placement.
+
+use crate::board::Board;
+use crate::cluster::{
+    build_timeline, per_image_seconds, pipelined_schedule, shard_placement, Cluster,
+    ClusterRequest, Interconnect, Schedule, ShardAssignment, StageResource, StageTiming,
+};
+use crate::engine::{EngineError, Offload};
+use crate::planner::OffloadTarget;
+use crate::timing::{PlModel, PsModel};
+use rodenet::{BnMode, LayerName, NetSpec};
+
+/// The batch size [`Partitioner::BalancedMakespan`] optimizes: large
+/// enough that the pipelined makespan is dominated by the bottleneck
+/// board's busy time (`makespan ≈ latency + (B−1)·bottleneck`), small
+/// enough that evaluating a candidate assignment stays trivial.
+pub const REFERENCE_BATCH: usize = 32;
+
+/// How placements are split across a cluster's boards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Partitioner {
+    /// Greedy first-fit in network order (the behavior before the
+    /// partitioner layer, kept as the compatibility default): each
+    /// layer joins the current board's shard until it no longer fits,
+    /// then the next board opens. Order-constrained — it can strand a
+    /// heavy stage on a small fabric, or cram everything onto the head
+    /// board and leave the rest of the rack idle.
+    #[default]
+    FirstFit,
+    /// Exhaustive search over all layer→board assignments (boards ^
+    /// layers candidates, at most 3 offloadable layers), each checked
+    /// with the width-aware [`OffloadTarget::fits_at`], scored by the
+    /// makespan of a [`REFERENCE_BATCH`]-image batch under the
+    /// request's configured [`Schedule`] — the event-driven pipeline
+    /// simulation for [`Schedule::Pipelined`], `B ×` per-image latency
+    /// for [`Schedule::Sequential`], where balancing busy time buys
+    /// nothing and the search instead avoids needless interconnect
+    /// hand-offs (ties: per-image latency, then enumeration order —
+    /// head-heavy first — for determinism). Never worse than
+    /// [`Partitioner::FirstFit`] at the reference batch under either
+    /// schedule: the first-fit assignment is in the search space.
+    BalancedMakespan,
+}
+
+/// Busy seconds per execution resource (the head PS and each board's
+/// PL) over one image's stage pipeline — the per-board breakdown
+/// [`Partitioner::BalancedMakespan`] balances. Resources carrying no
+/// work are omitted; interconnect hand-offs occupy no resource and are
+/// excluded (they delay readiness, not busyness).
+pub fn resource_busy(timeline: &[StageTiming]) -> Vec<(StageResource, f64)> {
+    let mut busy: Vec<(StageResource, f64)> = Vec::new();
+    for s in timeline {
+        match busy.iter_mut().find(|(r, _)| *r == s.resource) {
+            Some((_, b)) => *b += s.seconds,
+            None => busy.push((s.resource, s.seconds)),
+        }
+    }
+    busy.sort_by_key(|(r, _)| r.slot());
+    busy
+}
+
+/// Split `target`'s layers across the request's cluster under the
+/// request's [`Partitioner`]. The public entry point for callers that
+/// already resolved a placement; [`crate::cluster::plan_cluster`] goes
+/// through here for [`Offload::Target`](crate::engine::Offload).
+pub fn partition_placement(
+    spec: &NetSpec,
+    target: OffloadTarget,
+    req: &ClusterRequest,
+) -> Result<ShardAssignment, EngineError> {
+    let bytes = req.format.bytes()?;
+    partition_with(spec, target, req, bytes)
+}
+
+/// [`partition_placement`] with the word width already resolved.
+pub(crate) fn partition_with(
+    spec: &NetSpec,
+    target: OffloadTarget,
+    req: &ClusterRequest,
+    bytes: usize,
+) -> Result<ShardAssignment, EngineError> {
+    match req.partitioner {
+        Partitioner::FirstFit => shard_placement(target, &req.cluster, req.pl.parallelism, bytes),
+        Partitioner::BalancedMakespan => balanced_assignment(spec, target, req, bytes),
+    }
+}
+
+/// Makespan of a [`REFERENCE_BATCH`]-image batch over `timeline` under
+/// the schedule the deployment will actually run — the cost the
+/// balanced search minimizes. For [`Schedule::Sequential`] this is
+/// `B ×` per-image latency (balancing busy time buys nothing; avoiding
+/// interconnect hand-offs does), for [`Schedule::Pipelined`] the
+/// event-driven simulation.
+fn reference_makespan(timeline: &[StageTiming], schedule: Schedule) -> f64 {
+    match schedule {
+        Schedule::Sequential => REFERENCE_BATCH as f64 * per_image_seconds(timeline),
+        Schedule::Pipelined => pipelined_schedule(timeline, REFERENCE_BATCH).makespan,
+    }
+}
+
+/// The unified Auto-selection loop (see the module docs): one cost
+/// function for single boards and clusters. Iterates every applicable
+/// placement, partitions it under the request's strategy, and keeps
+/// the best — by per-image latency under [`Partitioner::FirstFit`]
+/// (the pre-partitioner behavior, pinned), by the configured
+/// schedule's reference-batch makespan (latency tie-break) under
+/// [`Partitioner::BalancedMakespan`], so the target-level choice and
+/// the assignment-level search optimize the same objective.
+/// [`OffloadTarget::None`] always partitions, so a selection exists.
+pub(crate) fn select_with(
+    spec: &NetSpec,
+    req: &ClusterRequest,
+    bytes: usize,
+    extended: bool,
+) -> (OffloadTarget, ShardAssignment) {
+    let mut best: Option<((f64, f64), OffloadTarget, ShardAssignment)> = None;
+    for t in OffloadTarget::ALL {
+        let ok = if extended {
+            t.applicable_extended(spec)
+        } else {
+            t.applicable(spec)
+        };
+        if !ok {
+            continue;
+        }
+        let Ok(shards) = partition_with(spec, t, req, bytes) else {
+            continue;
+        };
+        let timeline = build_timeline(spec, &shards, req, bytes);
+        let latency = per_image_seconds(&timeline);
+        let key = match req.partitioner {
+            Partitioner::FirstFit => (latency, latency),
+            Partitioner::BalancedMakespan => (reference_makespan(&timeline, req.schedule), latency),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|(b, _, _)| key.0 < b.0 || (key.0 == b.0 && key.1 < b.1))
+        {
+            best = Some((key, t, shards));
+        }
+    }
+    let (_, t, shards) = best.expect("OffloadTarget::None always partitions");
+    (t, shards)
+}
+
+/// [`select_with`] over a 1-board cluster — the planner's Auto loop.
+/// The interconnect is irrelevant (nothing crosses it on one board)
+/// and the word width travels as `bytes`, so the request's `format`
+/// field is a placeholder.
+pub(crate) fn select_single_board(
+    spec: &NetSpec,
+    board: &Board,
+    ps: &PsModel,
+    pl: &PlModel,
+    extended: bool,
+    bytes: usize,
+) -> OffloadTarget {
+    let req = ClusterRequest {
+        cluster: Cluster::homogeneous(board, 1, Interconnect::GIGABIT_ETHERNET),
+        offload: if extended {
+            Offload::AutoExtended
+        } else {
+            Offload::Auto
+        },
+        bn: BnMode::OnTheFly,
+        ps: *ps,
+        pl: *pl,
+        format: crate::plan::PlFormat::Q20,
+        schedule: Schedule::Sequential,
+        partitioner: Partitioner::FirstFit,
+    };
+    select_with(spec, &req, bytes, extended).0
+}
+
+/// Exhaustive balanced search (see [`Partitioner::BalancedMakespan`]).
+fn balanced_assignment(
+    spec: &NetSpec,
+    target: OffloadTarget,
+    req: &ClusterRequest,
+    bytes: usize,
+) -> Result<ShardAssignment, EngineError> {
+    let layers = target.layers();
+    if layers.is_empty() {
+        return Ok(ShardAssignment::new());
+    }
+    let boards = req.cluster.boards();
+    let n = boards.len();
+    let mut best: Option<(f64, f64, ShardAssignment)> = None;
+    // Candidate `code` encodes the board of layers[i] in base-n digit i
+    // (least significant first), so code 0 — everything on the head —
+    // is enumerated first and strict improvement keeps determinism.
+    for code in 0..n.pow(layers.len() as u32) {
+        let mut groups: Vec<Vec<LayerName>> = vec![Vec::new(); n];
+        let mut c = code;
+        for &layer in layers {
+            groups[c % n].push(layer);
+            c /= n;
+        }
+        let mut assignment = ShardAssignment::new();
+        let mut feasible = true;
+        for (b, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let t =
+                OffloadTarget::from_layers(group).expect("subsets of a placement are placements");
+            if !t.fits_at(&boards[b], req.pl.parallelism, bytes) {
+                feasible = false;
+                break;
+            }
+            assignment.push((b, t));
+        }
+        if !feasible {
+            continue;
+        }
+        // Cheap lower bound before paying for the schedule simulation:
+        // under either schedule, the busiest board alone needs
+        // ≥ B × its per-image PL busy.
+        let bound = REFERENCE_BATCH as f64
+            * assignment
+                .iter()
+                .map(|(b, t)| req.pl.placement_seconds_at(spec, t, &boards[*b], bytes))
+                .fold(0.0f64, f64::max);
+        if best.as_ref().is_some_and(|(m, _, _)| bound > *m) {
+            continue;
+        }
+        let timeline = build_timeline(spec, &assignment, req, bytes);
+        let makespan = reference_makespan(&timeline, req.schedule);
+        let latency = per_image_seconds(&timeline);
+        if best
+            .as_ref()
+            .is_none_or(|(m, l, _)| makespan < *m || (makespan == *m && latency < *l))
+        {
+            best = Some((makespan, latency, assignment));
+        }
+    }
+    best.map(|(_, _, a)| a).ok_or_else(|| {
+        // Diagnose holistically: the first layer no board fits alone is
+        // the definitive blocker; when every layer fits somewhere but
+        // no joint assignment exists, there is no single culprit.
+        let stuck = layers.iter().copied().find(|&layer| {
+            let alone = OffloadTarget::from_layers(&[layer]).expect("offloadable");
+            !boards
+                .iter()
+                .any(|b| alone.fits_at(b, req.pl.parallelism, bytes))
+        });
+        shard_infeasible(target, &req.cluster, req.pl.parallelism, bytes, stuck)
+    })
+}
+
+/// Build the enriched [`EngineError::ShardInfeasible`]: which layer got
+/// stuck, its BRAM36 demand at the word width, and the capacities that
+/// were consulted — so an infeasibility report is actionable instead of
+/// just naming the target.
+pub(crate) fn shard_infeasible(
+    target: OffloadTarget,
+    cluster: &Cluster,
+    parallelism: usize,
+    bytes: usize,
+    stuck: Option<LayerName>,
+) -> EngineError {
+    EngineError::ShardInfeasible {
+        target,
+        boards: cluster.len(),
+        parallelism,
+        stuck,
+        stuck_bram36: stuck.map_or(0.0, |l| {
+            crate::resources::bram36_at_width(l, parallelism, bytes)
+        }),
+        board_bram36: cluster.boards().iter().map(|b| b.bram36).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::{ARTY_Z7_10, ARTY_Z7_20, PYNQ_Z2};
+    use crate::cluster::bottleneck_seconds;
+    use crate::plan::PlFormat;
+    use rodenet::Variant;
+
+    fn request(boards: Vec<Board>, partitioner: Partitioner, format: PlFormat) -> ClusterRequest {
+        ClusterRequest {
+            cluster: Cluster::new(boards, Interconnect::GIGABIT_ETHERNET),
+            offload: Offload::Auto,
+            bn: BnMode::OnTheFly,
+            ps: PsModel::Calibrated,
+            pl: PlModel::default(),
+            format,
+            partitioner,
+            schedule: Schedule::Pipelined,
+        }
+    }
+
+    #[test]
+    fn first_fit_strategy_is_shard_placement() {
+        let spec = NetSpec::new(Variant::OdeNet, 20);
+        for boards in [1usize, 2, 3] {
+            let req = request(
+                vec![ARTY_Z7_20; boards],
+                Partitioner::FirstFit,
+                PlFormat::Q20,
+            );
+            for t in OffloadTarget::ALL {
+                let via_strategy = partition_placement(&spec, t, &req);
+                let direct = shard_placement(t, &req.cluster, 16, 4);
+                assert_eq!(via_strategy.is_ok(), direct.is_ok(), "{t:?} over {boards}");
+                if let (Ok(a), Ok(b)) = (via_strategy, direct) {
+                    assert_eq!(a, b, "{t:?} over {boards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_board_strategies_agree() {
+        // On a single board there is exactly one assignment per
+        // placement, so the strategies cannot diverge.
+        let spec = NetSpec::new(Variant::OdeNet, 56);
+        for format in [PlFormat::Q20, PlFormat::Q16 { frac: 10 }] {
+            let ff = request(vec![PYNQ_Z2], Partitioner::FirstFit, format);
+            let bal = request(vec![PYNQ_Z2], Partitioner::BalancedMakespan, format);
+            for t in OffloadTarget::ALL {
+                let a = partition_placement(&spec, t, &ff);
+                let b = partition_placement(&spec, t, &bal);
+                assert_eq!(a.is_ok(), b.is_ok(), "{t:?} {format}");
+                if let (Ok(a), Ok(b)) = (a, b) {
+                    assert_eq!(a, b, "{t:?} {format}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_splits_what_first_fit_crams() {
+        // At Q16 one XC7Z020 fits all three ODE circuits, so first-fit
+        // leaves the second board idle; the balanced search splits the
+        // stages and roughly halves the bottleneck busy time.
+        let spec = NetSpec::new(Variant::OdeNet, 56);
+        let q16 = PlFormat::Q16 { frac: 10 };
+        let ff = partition_placement(
+            &spec,
+            OffloadTarget::AllOde,
+            &request(vec![PYNQ_Z2, ARTY_Z7_20], Partitioner::FirstFit, q16),
+        )
+        .expect("first-fit shards");
+        assert_eq!(ff, vec![(0, OffloadTarget::AllOde)], "crammed on the head");
+        let req = request(
+            vec![PYNQ_Z2, ARTY_Z7_20],
+            Partitioner::BalancedMakespan,
+            q16,
+        );
+        let bal = partition_placement(&spec, OffloadTarget::AllOde, &req).expect("balanced");
+        assert_eq!(bal.len(), 2, "both boards carry work: {bal:?}");
+        let ff_tl = build_timeline(&spec, &ff, &req, 2);
+        let bal_tl = build_timeline(&spec, &bal, &req, 2);
+        assert!(
+            bottleneck_seconds(&bal_tl) < 0.75 * bottleneck_seconds(&ff_tl),
+            "balanced {} vs first-fit {}",
+            bottleneck_seconds(&bal_tl),
+            bottleneck_seconds(&ff_tl)
+        );
+    }
+
+    #[test]
+    fn balanced_respects_the_sequential_schedule() {
+        // Under Schedule::Sequential splitting buys nothing — it only
+        // adds interconnect hand-offs to every image. The search must
+        // keep the zero-transfer single-board assignment (identical to
+        // first-fit), not the busy-balanced split it would pick for
+        // the pipelined schedule.
+        let spec = NetSpec::new(Variant::OdeNet, 56);
+        let q16 = PlFormat::Q16 { frac: 10 };
+        let mut req = request(
+            vec![PYNQ_Z2, ARTY_Z7_20],
+            Partitioner::BalancedMakespan,
+            q16,
+        );
+        req.schedule = Schedule::Sequential;
+        let bal = partition_placement(&spec, OffloadTarget::AllOde, &req).expect("fits");
+        assert_eq!(
+            bal,
+            vec![(0, OffloadTarget::AllOde)],
+            "sequential: latency-minimal, no hand-offs"
+        );
+        // The same request pipelined splits across the rack.
+        req.schedule = Schedule::Pipelined;
+        let piped = partition_placement(&spec, OffloadTarget::AllOde, &req).expect("fits");
+        assert_eq!(piped.len(), 2, "pipelined: both boards carry work");
+    }
+
+    #[test]
+    fn balanced_rescues_order_constrained_first_fit() {
+        // First-fit is order-constrained: the head greedily takes
+        // layer1 + layer2_2, leaving layer3_2 for a board too small to
+        // hold it. The exhaustive search finds the feasible assignment
+        // (heavy pair on the head, layer1 on the small board).
+        let mut head = PYNQ_Z2;
+        head.bram36 = 100; // e.g. a base overlay reserving fabric
+        let mut small = ARTY_Z7_10;
+        small.bram36 = 45;
+        let spec = NetSpec::new(Variant::OdeNet, 56);
+        let q16 = PlFormat::Q16 { frac: 10 };
+        let err = partition_placement(
+            &spec,
+            OffloadTarget::AllOde,
+            &request(vec![head, small], Partitioner::FirstFit, q16),
+        )
+        .expect_err("first-fit strands layer3_2");
+        assert!(
+            matches!(
+                err,
+                EngineError::ShardInfeasible {
+                    stuck: Some(LayerName::Layer3_2),
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let bal = partition_placement(
+            &spec,
+            OffloadTarget::AllOde,
+            &request(vec![head, small], Partitioner::BalancedMakespan, q16),
+        )
+        .expect("a feasible assignment exists");
+        assert_eq!(
+            bal,
+            vec![(0, OffloadTarget::Layer22And32), (1, OffloadTarget::Layer1)]
+        );
+    }
+
+    #[test]
+    fn busy_breakdown_sums_the_timeline() {
+        let spec = NetSpec::new(Variant::OdeNet, 20);
+        let req = request(
+            vec![ARTY_Z7_20, ARTY_Z7_20],
+            Partitioner::FirstFit,
+            PlFormat::Q20,
+        );
+        let shards = partition_placement(&spec, OffloadTarget::AllOde, &req).expect("shards");
+        let timeline = build_timeline(&spec, &shards, &req, 4);
+        let busy = resource_busy(&timeline);
+        // PS + two PL fabrics, in slot order, summing to the execution
+        // share of the per-image latency (transfers excluded).
+        assert_eq!(busy.len(), 3);
+        assert_eq!(busy[0].0, StageResource::Ps);
+        assert_eq!(busy[1].0, StageResource::Pl(0));
+        assert_eq!(busy[2].0, StageResource::Pl(1));
+        let total: f64 = busy.iter().map(|(_, b)| b).sum();
+        let transfers: f64 = timeline.iter().map(|s| s.transfer_in).sum();
+        assert!((total + transfers - per_image_seconds(&timeline)).abs() < 1e-12);
+        let bneck = bottleneck_seconds(&timeline);
+        assert!((busy.iter().fold(0.0f64, |m, (_, b)| m.max(*b)) - bneck).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasibility_names_the_blocker_and_capacities() {
+        // One Arty at Q20 cannot take layer3_2 next to anything.
+        let spec = NetSpec::new(Variant::OdeNet, 20);
+        for partitioner in [Partitioner::FirstFit, Partitioner::BalancedMakespan] {
+            let err = partition_placement(
+                &spec,
+                OffloadTarget::AllOde,
+                &request(vec![ARTY_Z7_20], partitioner, PlFormat::Q20),
+            )
+            .expect_err("no single XC7Z020 fits AllOde at Q20");
+            // First-fit gives up on layer3_2 (the board is already
+            // full); the holistic diagnosis differs: layer3_2 *alone*
+            // fits, the combination does not.
+            match (partitioner, &err) {
+                (
+                    Partitioner::FirstFit,
+                    EngineError::ShardInfeasible {
+                        stuck,
+                        stuck_bram36,
+                        board_bram36,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(*stuck, Some(LayerName::Layer3_2));
+                    assert_eq!(*stuck_bram36, 140.0);
+                    assert_eq!(*board_bram36, vec![140]);
+                }
+                (
+                    Partitioner::BalancedMakespan,
+                    EngineError::ShardInfeasible {
+                        stuck,
+                        board_bram36,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(*stuck, None, "every layer fits some board alone");
+                    assert_eq!(*board_bram36, vec![140]);
+                }
+                _ => panic!("{partitioner:?}: unexpected {err:?}"),
+            }
+            let msg = format!("{err}");
+            assert!(msg.contains("140"), "capacities surface in Display: {msg}");
+        }
+    }
+}

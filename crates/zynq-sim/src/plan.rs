@@ -18,6 +18,12 @@
 //! BRAM/DSP feasibility check ([`OffloadTarget::fits_at`]) and the DMA
 //! share of the timing model, so a 16-bit plan can legally choose the
 //! layer3_2-sharing placements a 32-bit plan must reject.
+//!
+//! An [`crate::engine::Offload::Auto`] request resolves through the
+//! unified partitioner cost path ([`crate::partition`]) — the same
+//! search [`crate::cluster::plan_cluster`] runs, with this plan's
+//! board as a 1-board cluster — so single-board and sharded plans can
+//! never disagree about which placement is fastest.
 
 use crate::board::{Board, PYNQ_Z2};
 use crate::engine::{BackendKind, EngineError, Offload};

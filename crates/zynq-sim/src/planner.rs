@@ -6,6 +6,11 @@
 //! (layer3_2 occupies 100 % of BRAM, so nothing shares the fabric with
 //! it). The planner validates placements against the resource model and
 //! can pick the latency-optimal one for a given architecture.
+//!
+//! Since the partitioner refactor, the Auto selection here is the
+//! 1-board degenerate case of the cluster search: [`plan_offload_at`]
+//! and [`crate::cluster::plan_cluster`]'s `Auto` loop share one cost
+//! path in [`crate::partition`].
 
 use crate::board::Board;
 use crate::timing::{PlModel, PsModel};
@@ -102,21 +107,14 @@ impl OffloadTarget {
     /// datapath share scaled by the operand width) — so a reduced-width
     /// shard is not gated by the conservative 32-bit characterization.
     pub fn fits_at(&self, board: &Board, parallelism: usize, bytes_per_value: usize) -> bool {
-        let mut bram36 = 0.0f64;
-        let mut dsp = 0u32;
-        let mut lut = 0u32;
-        let mut ff = 0u32;
         for &layer in self.layers() {
             let (channels, _) = layer.geometry();
             if parallelism > channels {
                 return false;
             }
-            bram36 += crate::resources::bram36_at_width(layer, parallelism, bytes_per_value);
-            dsp += crate::resources::dsp_slices_at_width(parallelism, bytes_per_value);
-            let (l, f) = crate::resources::modelled_lut_ff_at(layer, parallelism, bytes_per_value);
-            lut += l;
-            ff += f;
         }
+        let (bram36, dsp, lut, ff) =
+            crate::resources::placement_resources_at(self.layers(), parallelism, bytes_per_value);
         bram36 <= board.bram36 as f64 && dsp <= board.dsp && lut <= board.lut && ff <= board.ff
     }
 
@@ -244,6 +242,15 @@ pub fn plan_offload_extended_at(
     plan_with(spec, board, parallelism, ps, pl, true, bytes_per_value)
 }
 
+/// The shared Auto-selection engine: a single board is planned as the
+/// 1-board degenerate case of the cluster cost model, so this and
+/// [`crate::cluster::plan_cluster`]'s `Auto` loop literally run the
+/// same code path ([`crate::partition::select_with`]) — one cost
+/// function decides placements everywhere. Every in-tree caller
+/// derives `parallelism` and `pl` from the same [`PlModel`]; should
+/// they ever disagree, `parallelism` wins for both feasibility and
+/// timing (coherent, unlike the pre-refactor split of feasibility at
+/// `parallelism` but timing at `pl.parallelism`).
 #[allow(clippy::too_many_arguments)]
 fn plan_with(
     spec: &NetSpec,
@@ -254,32 +261,12 @@ fn plan_with(
     extended: bool,
     bytes_per_value: usize,
 ) -> OffloadTarget {
-    let mut best = OffloadTarget::None;
-    let mut best_time = f64::INFINITY;
-    for target in OffloadTarget::ALL {
-        let ok = if extended {
-            target.applicable_extended(spec)
-        } else {
-            target.applicable(spec)
-        };
-        if !target.fits_at(board, parallelism, bytes_per_value) || !ok {
-            continue;
-        }
-        let row = crate::timing::table5_row_at(
-            spec.variant,
-            spec.n,
-            &target,
-            ps,
-            pl,
-            board,
-            bytes_per_value,
-        );
-        if row.total_w_pl < best_time {
-            best_time = row.total_w_pl;
-            best = target;
-        }
-    }
-    best
+    let model = if pl.parallelism == parallelism {
+        *pl
+    } else {
+        PlModel { parallelism }
+    };
+    crate::partition::select_single_board(spec, board, ps, &model, extended, bytes_per_value)
 }
 
 #[cfg(test)]
@@ -462,6 +449,50 @@ mod tests {
             "order-insensitive"
         );
         assert_eq!(OffloadTarget::from_layers(&[LayerName::Layer2_1]), None);
+    }
+
+    #[test]
+    fn unified_cost_path_preserves_single_board_auto_selections() {
+        // The Auto loop now runs through the cluster cost model (one
+        // board == 1-board cluster). Pin that every selection matches
+        // the direct Table-5 argmin the planner used before the
+        // unification, across variants × depths × widths × policies.
+        let ps = PsModel::Calibrated;
+        let pl = PlModel::default();
+        for v in Variant::ALL {
+            for n in rodenet::PAPER_DEPTHS {
+                let spec = NetSpec::new(v, n);
+                for bytes in [2usize, 4] {
+                    for extended in [false, true] {
+                        let mut best = OffloadTarget::None;
+                        let mut best_time = f64::INFINITY;
+                        for target in OffloadTarget::ALL {
+                            let ok = if extended {
+                                target.applicable_extended(&spec)
+                            } else {
+                                target.applicable(&spec)
+                            };
+                            if !ok || !target.fits_at(&PYNQ_Z2, 16, bytes) {
+                                continue;
+                            }
+                            let row = crate::timing::table5_row_at(
+                                v, n, &target, &ps, &pl, &PYNQ_Z2, bytes,
+                            );
+                            if row.total_w_pl < best_time {
+                                best_time = row.total_w_pl;
+                                best = target;
+                            }
+                        }
+                        let unified = if extended {
+                            plan_offload_extended_at(&spec, &PYNQ_Z2, 16, &ps, &pl, bytes)
+                        } else {
+                            plan_offload_at(&spec, &PYNQ_Z2, 16, &ps, &pl, bytes)
+                        };
+                        assert_eq!(unified, best, "{v}-{n} at {bytes} bytes (ext {extended})");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

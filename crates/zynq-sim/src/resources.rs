@@ -288,6 +288,30 @@ pub fn bram36_at_width(layer: LayerName, parallelism: usize, bytes_per_value: us
         / 2.0
 }
 
+/// Aggregate `(BRAM36, DSP, LUT, FF)` demand of a multi-circuit
+/// placement at an arbitrary parameter width — the totals a board must
+/// offer to carry every circuit in `layers` simultaneously. The single
+/// summation behind [`crate::planner::OffloadTarget::fits_at`] and the
+/// partitioner's shard-infeasibility diagnostics.
+pub fn placement_resources_at(
+    layers: &[LayerName],
+    parallelism: usize,
+    bytes_per_value: usize,
+) -> (f64, u32, u32, u32) {
+    let mut bram36 = 0.0f64;
+    let mut dsp = 0u32;
+    let mut lut = 0u32;
+    let mut ff = 0u32;
+    for &layer in layers {
+        bram36 += bram36_at_width(layer, parallelism, bytes_per_value);
+        dsp += dsp_slices_at_width(parallelism, bytes_per_value);
+        let (l, f) = modelled_lut_ff_at(layer, parallelism, bytes_per_value);
+        lut += l;
+        ff += f;
+    }
+    (bram36, dsp, lut, ff)
+}
+
 /// Maximum PL clock the conv_x·n circuit closes timing at, in Hz.
 ///
 /// The paper reports that conv_x32 alone fails the 100 MHz constraint; the
@@ -522,6 +546,22 @@ mod tests {
         let bram: f64 = t.layers().iter().map(|&l| bram36_at_width(l, 16, 4)).sum();
         assert!(bram <= lut_starved.bram36 as f64);
         assert!(2 * dsp_slices_at_width(16, 4) <= lut_starved.dsp);
+    }
+
+    #[test]
+    fn placement_totals_sum_the_circuits() {
+        use rodenet::LayerName::{Layer1, Layer2_2};
+        let (b1, d1, l1, f1) = placement_resources_at(&[Layer1], 16, 4);
+        let (b2, d2, l2, f2) = placement_resources_at(&[Layer2_2], 16, 4);
+        let (b, d, l, f) = placement_resources_at(&[Layer1, Layer2_2], 16, 4);
+        assert_eq!(b, b1 + b2);
+        assert_eq!((d, l, f), (d1 + d2, l1 + l2, f1 + f2));
+        assert_eq!(b1, bram36_at_width(Layer1, 16, 4));
+        assert_eq!(
+            placement_resources_at(&[], 16, 4),
+            (0.0, 0, 0, 0),
+            "a software placement demands nothing"
+        );
     }
 
     #[test]

@@ -216,6 +216,31 @@ impl PlModel {
         crate::datapath::stage_cycles_at(layer, self.parallelism, execs, bytes_per_value) as f64
             / clock as f64
     }
+
+    /// Per-image PL busy seconds of one board carrying every layer of
+    /// `target` for `spec` (each ODE stage repeats its solver steps,
+    /// plain stages run once; DMA included). This is the per-board
+    /// term the partitioner's balanced search drives down — and a
+    /// cheap lower bound on any schedule's makespan share for that
+    /// board ([`crate::partition::Partitioner::BalancedMakespan`]
+    /// prunes candidates with it before simulating).
+    pub fn placement_seconds_at(
+        &self,
+        spec: &NetSpec,
+        target: &OffloadTarget,
+        board: &Board,
+        bytes_per_value: usize,
+    ) -> f64 {
+        target
+            .layers()
+            .iter()
+            .map(|&layer| {
+                let plan = spec.plan(layer);
+                let execs = if plan.is_ode { plan.execs } else { 1 };
+                self.stage_seconds_at(layer, execs, board, bytes_per_value)
+            })
+            .sum()
+    }
 }
 
 /// One row of Table 5.
@@ -448,6 +473,41 @@ mod tests {
         let r = row(Variant::ROdeNet3, 56);
         let s = speedup_vs_resnet(&r, &PsModel::Calibrated, &PYNQ_Z2);
         assert!((s - 2.67).abs() < 0.1, "{s}");
+    }
+
+    #[test]
+    fn placement_seconds_sum_the_stages() {
+        // One board carrying a multi-layer placement is busy for the
+        // sum of its stage times — identical to the "Target w/ PL"
+        // cells of the Table 5 row for the same placement.
+        let pl = PlModel::default();
+        let spec = NetSpec::new(Variant::OdeNet, 56);
+        for target in [
+            OffloadTarget::None,
+            OffloadTarget::Layer1,
+            OffloadTarget::Layer1And22,
+            OffloadTarget::AllOde,
+        ] {
+            let busy = pl.placement_seconds_at(&spec, &target, &PYNQ_Z2, 2);
+            let row = table5_row_at(
+                spec.variant,
+                spec.n,
+                &target,
+                &PsModel::Calibrated,
+                &pl,
+                &PYNQ_Z2,
+                2,
+            );
+            let expect: f64 = row.targets_w_pl.iter().sum();
+            assert!(
+                (busy - expect).abs() < 1e-12,
+                "{target:?}: {busy} vs {expect}"
+            );
+        }
+        assert_eq!(
+            pl.placement_seconds_at(&spec, &OffloadTarget::None, &PYNQ_Z2, 2),
+            0.0
+        );
     }
 
     #[test]

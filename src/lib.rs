@@ -65,10 +65,13 @@ pub mod prelude {
     pub use zynq_sim::engine::{
         Backend, BackendKind, BatchSummary, Engine, EngineBuilder, EngineError, Offload, RunReport,
     };
+    pub use zynq_sim::partition::{partition_placement, resource_busy, Partitioner};
     pub use zynq_sim::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
     pub use zynq_sim::planner::{plan_offload, OffloadTarget};
     pub use zynq_sim::timing::{paper_row, PlModel, PsModel};
-    pub use zynq_sim::{ode_block_resources, HybridRun, OdeBlockAccel, ARTY_Z7_20, PYNQ_Z2};
+    pub use zynq_sim::{
+        ode_block_resources, HybridRun, OdeBlockAccel, ARTY_Z7_10, ARTY_Z7_20, PYNQ_Z2,
+    };
     #[allow(deprecated)]
     pub use zynq_sim::{run_hybrid, run_hybrid_with};
 }
