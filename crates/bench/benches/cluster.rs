@@ -32,7 +32,7 @@ fn two_board_request(schedule: Schedule) -> ClusterRequest {
         bn: BnMode::OnTheFly,
         ps: PsModel::Calibrated,
         pl: PlModel::default(),
-        format: PlFormat::Q20,
+        precision: PlFormat::Q20.into(),
         schedule,
         partitioner: Partitioner::FirstFit,
     }

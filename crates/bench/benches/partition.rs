@@ -26,7 +26,7 @@ fn request(boards: usize, partitioner: Partitioner) -> ClusterRequest {
         bn: BnMode::OnTheFly,
         ps: PsModel::Calibrated,
         pl: PlModel::default(),
-        format: PlFormat::Q16 { frac: 10 },
+        precision: PlFormat::Q16 { frac: 10 }.into(),
         schedule: Schedule::Pipelined,
         partitioner,
     }

@@ -1,0 +1,93 @@
+//! Precision-policy benches: what resolving each policy costs at build
+//! time.
+//!
+//! `Uniform`/`PerStage` are table lookups (nanoseconds); `Calibrated`
+//! runs a float forward per sample image to measure activation
+//! envelopes — the zero-training calibration pass. Both happen once
+//! per engine build, never per inference, but the calibration cost
+//! scales with the sample size and is worth watching: a serving stack
+//! that rebuilds engines on config changes pays it each time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rodenet::{BnMode, NetSpec, Network, Variant};
+use tensor::{Shape4, Tensor};
+use zynq_sim::plan::PlFormat;
+use zynq_sim::precision::{Precision, StageFormats};
+use zynq_sim::Engine;
+
+fn image(seed: u64) -> Tensor<f32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(Shape4::new(1, 3, 32, 32), |_, _, _, _| {
+        rng.random::<f32>() - 0.5
+    })
+}
+
+fn bench_policy_resolution(c: &mut Criterion) {
+    let net = Network::new(NetSpec::new(Variant::OdeNet, 20).with_classes(10), 3);
+    let mut g = c.benchmark_group("precision_resolve");
+
+    let uniform = Precision::Uniform(PlFormat::Q20);
+    g.bench_function("uniform", |b| {
+        b.iter(|| black_box(uniform.resolve(&net, BnMode::OnTheFly).unwrap()))
+    });
+
+    let table = StageFormats::uniform(PlFormat::Q20)
+        .with(rodenet::LayerName::Layer1, PlFormat::Q16 { frac: 10 });
+    let per_stage = Precision::PerStage(table);
+    g.bench_function("per_stage", |b| {
+        b.iter(|| black_box(per_stage.resolve(&net, BnMode::OnTheFly).unwrap()))
+    });
+
+    // The calibration pass scales with the sample: one float forward
+    // (plus per-stage envelope folds) per image.
+    for samples in [1usize, 2, 4] {
+        let policy = Precision::Calibrated {
+            total_bits: 16,
+            headroom_bits: 1,
+            sample: (0..samples as u64).map(image).collect(),
+        };
+        g.bench_with_input(BenchmarkId::new("calibrated", samples), &(), |b, _| {
+            b.iter(|| black_box(policy.resolve(&net, BnMode::OnTheFly).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mixed_build_and_infer(c: &mut Criterion) {
+    use zynq_sim::engine::Offload;
+    use zynq_sim::planner::OffloadTarget;
+    let net = Network::new(NetSpec::new(Variant::OdeNet, 20).with_classes(10), 4);
+    let mixed = StageFormats::uniform(PlFormat::Q20)
+        .with(rodenet::LayerName::Layer3_2, PlFormat::Q16 { frac: 10 });
+    let mut g = c.benchmark_group("precision_engine");
+    g.bench_function("build_mixed_l1q20_l32q16", |b| {
+        b.iter(|| {
+            black_box(
+                Engine::builder(&net)
+                    .offload(Offload::Target(OffloadTarget::Layer1And32))
+                    .precision(Precision::PerStage(mixed))
+                    .build()
+                    .unwrap(),
+            )
+        })
+    });
+    let engine = Engine::builder(&net)
+        .offload(Offload::Target(OffloadTarget::Layer1And32))
+        .precision(Precision::PerStage(mixed))
+        .build()
+        .unwrap();
+    let x = image(9);
+    g.bench_function("infer_mixed_l1q20_l32q16", |b| {
+        b.iter(|| black_box(engine.infer(&x).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_resolution,
+    bench_mixed_build_and_infer
+);
+criterion_main!(benches);

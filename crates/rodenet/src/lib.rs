@@ -14,7 +14,10 @@
 //! * [`model`] — the assembled [`Network`] with inference and training
 //!   passes (unrolled or adjoint gradients through the ODE solver);
 //! * [`train`] — SGD with L2 regularization and the paper's step
-//!   learning-rate schedule, plus dataset-agnostic training loops.
+//!   learning-rate schedule, plus dataset-agnostic training loops;
+//! * [`calibrate`] — zero-training activation-range measurement per
+//!   offloadable stage, feeding per-stage fixed-point format selection
+//!   in the deployment layer.
 //!
 //! The FPGA-side execution of these networks lives in the `zynq-sim`
 //! crate, which consumes [`block::QuantBlock`] for bit-exact Q20
@@ -36,6 +39,7 @@
 
 pub mod arch;
 pub mod block;
+pub mod calibrate;
 pub mod init;
 pub mod io;
 pub mod model;
@@ -45,6 +49,7 @@ pub mod train;
 
 pub use arch::{LayerName, LayerPlan, NetSpec, Variant, PAPER_DEPTHS};
 pub use block::{BnMode, QuantBlock, ResBlock};
+pub use calibrate::{stage_ranges, StageRange, OFFLOADABLE_LAYERS};
 pub use model::{GradMode, Network, ParamSlice};
 pub use quant::QuantNetwork;
 pub use train::{train_epochs, train_epochs_with, EpochStats, Sgd, SgdConfig, TrainConfig};

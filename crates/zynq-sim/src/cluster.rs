@@ -50,6 +50,7 @@ use crate::engine::{EngineError, Offload};
 use crate::partition::{partition_with, select_with, shard_infeasible, Partitioner};
 use crate::plan::{PlFormat, PlannedStage};
 use crate::planner::OffloadTarget;
+use crate::precision::StageFormats;
 use crate::resources::{bram36_at_width, dsp_slices_at_width, modelled_lut_ff_at};
 use crate::timing::{PlModel, PsModel};
 use rodenet::{BnMode, LayerName, NetSpec};
@@ -221,9 +222,28 @@ pub fn shard_placement(
     parallelism: usize,
     bytes_per_value: usize,
 ) -> Result<ShardAssignment, EngineError> {
-    let infeasible = |stuck: LayerName| {
-        shard_infeasible(target, cluster, parallelism, bytes_per_value, Some(stuck))
-    };
+    shard_placement_with(
+        target,
+        cluster,
+        parallelism,
+        &crate::planner::uniform_for_bytes(bytes_per_value),
+    )
+}
+
+/// [`shard_placement`] with **per-stage** word widths: every
+/// first-fit feasibility probe prices each layer at its own resolved
+/// format, so a mixed placement (layer1 at Q16 next to layer3_2 at
+/// Q20) shards exactly as it will deploy. A degenerate format is a
+/// typed [`EngineError::UnsupportedFormat`], never a panic.
+pub fn shard_placement_with(
+    target: OffloadTarget,
+    cluster: &Cluster,
+    parallelism: usize,
+    formats: &StageFormats,
+) -> Result<ShardAssignment, EngineError> {
+    formats.validate()?;
+    let infeasible =
+        |stuck: LayerName| shard_infeasible(target, cluster, parallelism, formats, Some(stuck));
     let mut shards: ShardAssignment = Vec::new();
     let mut board = 0usize;
     let mut current: Vec<LayerName> = Vec::new();
@@ -232,7 +252,7 @@ pub fn shard_placement(
             let mut candidate = current.clone();
             candidate.push(layer);
             let t = OffloadTarget::from_layers(&candidate).ok_or_else(|| infeasible(layer))?;
-            if t.fits_at(&cluster.boards()[board], parallelism, bytes_per_value) {
+            if t.fits_with(&cluster.boards()[board], parallelism, formats) {
                 current = candidate;
                 break;
             }
@@ -270,8 +290,10 @@ pub struct ClusterRequest {
     pub ps: PsModel,
     /// PL circuit configuration (applied on every board).
     pub pl: PlModel,
-    /// PL word format (applied on every board).
-    pub format: PlFormat,
+    /// Resolved per-stage PL word formats (each stage carries its own
+    /// width to whichever board it shards onto;
+    /// `PlFormat::Q20.into()` for a uniform build).
+    pub precision: StageFormats,
     /// Batch execution order.
     pub schedule: Schedule,
     /// Shard-assignment strategy (see [`crate::partition`]).
@@ -291,7 +313,7 @@ pub struct ClusterPlan {
     cluster: Cluster,
     target: OffloadTarget,
     shards: Vec<BoardShard>,
-    format: PlFormat,
+    formats: StageFormats,
     bn: BnMode,
     ps: PsModel,
     pl: PlModel,
@@ -305,7 +327,7 @@ pub struct ClusterPlan {
 /// of a cluster engine build, exactly as [`crate::plan::plan_deployment`]
 /// is for a single board.
 pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan, EngineError> {
-    let bytes = req.format.bytes()?;
+    req.precision.validate()?;
 
     // 1. Resolve the overall placement at cluster capacity, splitting
     //    it under the request's partitioner. The Auto loop is the same
@@ -320,15 +342,15 @@ pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan,
                     variant: spec.variant,
                 });
             }
-            (t, partition_with(spec, t, req, bytes)?)
+            (t, partition_with(spec, t, req)?)
         }
         Offload::Auto | Offload::AutoExtended => {
             let extended = req.offload == Offload::AutoExtended;
-            select_with(spec, req, bytes, extended)
+            select_with(spec, req, extended)
         }
     };
 
-    let timeline = build_timeline(spec, &shards, req, bytes);
+    let timeline = build_timeline(spec, &shards, req);
     let shards = shards
         .into_iter()
         .map(|(board, t)| BoardShard {
@@ -340,9 +362,11 @@ pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan,
                 .map(|&layer| {
                     let plan = spec.plan(layer);
                     let execs = if plan.is_ode { plan.execs } else { 1 };
+                    let bytes = req.precision.bytes_of(layer);
                     let (lut, ff) = modelled_lut_ff_at(layer, req.pl.parallelism, bytes);
                     PlannedStage {
                         layer,
+                        format: req.precision.format_of(layer),
                         execs,
                         bram36: bram36_at_width(layer, req.pl.parallelism, bytes),
                         dsp: dsp_slices_at_width(req.pl.parallelism, bytes),
@@ -366,7 +390,7 @@ pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan,
         cluster: req.cluster.clone(),
         target,
         shards,
-        format: req.format,
+        formats: req.precision,
         bn: req.bn,
         ps: req.ps,
         pl: req.pl,
@@ -385,7 +409,6 @@ pub(crate) fn build_timeline(
     spec: &NetSpec,
     shards: &[(usize, OffloadTarget)],
     req: &ClusterRequest,
-    bytes: usize,
 ) -> Vec<StageTiming> {
     let head = req.cluster.head();
     let board_of = |layer: LayerName| -> Option<usize> {
@@ -426,9 +449,12 @@ pub(crate) fn build_timeline(
             timeline.push(StageTiming {
                 resource: StageResource::Pl(board),
                 layer: Some(layer),
-                seconds: req
-                    .pl
-                    .stage_seconds_at(layer, execs, &req.cluster.boards()[board], bytes),
+                seconds: req.pl.stage_seconds_at(
+                    layer,
+                    execs,
+                    &req.cluster.boards()[board],
+                    req.precision.bytes_of(layer),
+                ),
                 transfer_in: 0.0,
             });
         } else {
@@ -450,7 +476,7 @@ pub(crate) fn build_timeline(
             timeline[i].transfer_in = req
                 .cluster
                 .interconnect()
-                .transfer_seconds(feature_map_bytes(layer, bytes));
+                .transfer_seconds(feature_map_bytes(layer, req.precision.bytes_of(layer)));
         }
     }
     timeline
@@ -592,9 +618,21 @@ impl ClusterPlan {
             .map(|s| s.board)
     }
 
-    /// The PL word format the plan was computed for.
+    /// The *base* PL word format of the plan's precision table — it
+    /// silently under-reports a mixed table, which is why it is
+    /// deprecated in favor of [`ClusterPlan::precision`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ClusterPlan::precision()` — the precision surface is per-stage now"
+    )]
     pub fn pl_format(&self) -> PlFormat {
-        self.format
+        self.formats.base()
+    }
+
+    /// The resolved per-stage PL word-format table the plan was
+    /// computed for.
+    pub fn precision(&self) -> &StageFormats {
+        &self.formats
     }
 
     /// The PS-side batch-norm statistics mode.
@@ -721,7 +759,7 @@ impl ClusterPlan {
         format!(
             "{} · {} · {:?} over {} ({}) · {:.3}s/img · {:?} · {:?}",
             self.spec.display_name(),
-            self.format,
+            self.formats,
             self.target,
             rack,
             if shards.is_empty() { "all PS" } else { &shards },
@@ -745,7 +783,7 @@ mod tests {
             bn: BnMode::OnTheFly,
             ps: PsModel::Calibrated,
             pl: PlModel::default(),
-            format: PlFormat::Q20,
+            precision: PlFormat::Q20.into(),
             schedule: Schedule::Pipelined,
             partitioner: Partitioner::FirstFit,
         }

@@ -10,7 +10,7 @@
 //! Engine::builder(&net)            // the trained f32 network
 //!     .board(&PYNQ_Z2)             // which device (default PYNQ-Z2)
 //!     .offload(Offload::Auto)      // planner-chosen PL placement
-//!     .pl_format(PlFormat::Q20)    // PL word width (runtime parameter)
+//!     .precision(Precision::Uniform(PlFormat::Q20)) // per-stage word widths
 //!     .ps_model(PsModel::Calibrated)
 //!     .pl_model(PlModel::default())
 //!     .bn_mode(BnMode::OnTheFly)   // PS-side batch-norm statistics
@@ -30,12 +30,16 @@
 //! Configuration mistakes surface as [`EngineError`] values instead of
 //! asserts deep inside an inference call.
 //!
-//! The PL word format is a runtime builder parameter
-//! ([`EngineBuilder::pl_format`]): the paper's Q20, any 16-bit
-//! Q(15−n).n, or a custom [`qfixed::QFormat`]. Every backend below is
-//! generic over the format; at 16 bits the planner may legally choose
-//! placements that share the fabric with layer3_2 (footnote 2: "more
-//! layers in PL").
+//! The PL word format is a runtime builder parameter, resolved **per
+//! stage** ([`EngineBuilder::precision`]): one uniform format (the
+//! paper's Q20, any 16-bit Q(15−n).n, or a custom
+//! [`qfixed::QFormat`]), an explicit per-stage table, or a calibrated
+//! policy that measures activation ranges on a sample batch and picks
+//! each stage's `frac` itself. Each offloaded stage quantizes at its
+//! own DMA boundary into its own format, so a deployment can run
+//! layer1 at Q16 next to layer3_2 at Q20; at reduced widths the
+//! planner may legally choose placements that share the fabric with
+//! layer3_2 (footnote 2: "more layers in PL").
 //!
 //! Execution is dispatched through the [`Backend`] trait, with three
 //! built-in implementations:
@@ -77,9 +81,10 @@ use crate::datapath::OdeBlockAccel;
 use crate::partition::Partitioner;
 use crate::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
 use crate::planner::OffloadTarget;
+use crate::precision::{Precision, StageFormats};
 use crate::timing::{PlModel, PsModel, Table5Row};
-use qfixed::{Fix, Fix16, Q20};
-use rodenet::{BnMode, LayerName, Network, QuantNetwork, Variant};
+use qfixed::{Fix, Fix16};
+use rodenet::{BnMode, LayerName, Network, QuantNetwork, ResBlock, Variant};
 use tensor::{Scalar, Shape4, Tensor};
 
 /// How the engine chooses the PL placement.
@@ -171,13 +176,41 @@ pub enum EngineError {
     /// The requested PL word format is degenerate (`frac ≥ total bits`,
     /// or outside 2–64 bits), or — at build time — not one of the
     /// widths the engine can instantiate a datapath for (see
-    /// [`EngineBuilder::pl_format`]; any structurally valid format
+    /// [`EngineBuilder::precision`]; any structurally valid format
     /// still *plans*).
     UnsupportedFormat {
         /// Requested storage bits.
         total_bits: u32,
         /// Requested fractional bits.
         frac_bits: u32,
+        /// The stage whose per-stage override carries the offending
+        /// format, when the precision policy is per-stage (`None` when
+        /// the policy is uniform — every stage is equally affected).
+        stage: Option<LayerName>,
+    },
+    /// [`Precision::Calibrated`] was configured with an empty sample
+    /// batch — there is no activation envelope to measure.
+    CalibrationEmpty,
+    /// Calibration measured an activation envelope too wide for every
+    /// executable `frac` of the requested width at the requested
+    /// headroom (the stage would saturate; widen `total_bits` or relax
+    /// `headroom_bits`).
+    CalibrationRange {
+        /// The stage whose envelope overflows.
+        layer: LayerName,
+        /// The measured max |value| (activations and parameters).
+        max_abs: f64,
+        /// The requested storage bits.
+        total_bits: u32,
+        /// The requested integer-bit margin.
+        headroom_bits: u32,
+    },
+    /// The backend executes the whole network in one number system
+    /// (the fully-fixed-point path), but the precision policy resolved
+    /// to per-stage formats.
+    MixedPrecisionUnsupported {
+        /// The conflicting backend.
+        backend: &'static str,
     },
     /// The input tensor is not CIFAR-shaped.
     ShapeMismatch {
@@ -244,7 +277,14 @@ impl core::fmt::Display for EngineError {
             EngineError::UnsupportedFormat {
                 total_bits,
                 frac_bits,
+                stage,
             } => {
+                if let Some(layer) = stage {
+                    // A per-stage policy: name the stage whose override
+                    // is broken, so the caller knows which entry of the
+                    // table to fix.
+                    write!(f, "stage {layer}: ")?;
+                }
                 let degenerate = PlFormat::Custom(qfixed::QFormat {
                     total_bits: *total_bits,
                     frac_bits: *frac_bits,
@@ -272,6 +312,26 @@ impl core::fmt::Display for EngineError {
                     )
                 }
             }
+            EngineError::CalibrationEmpty => f.write_str(
+                "Precision::Calibrated needs at least one sample input to measure \
+                 activation ranges from",
+            ),
+            EngineError::CalibrationRange {
+                layer,
+                max_abs,
+                total_bits,
+                headroom_bits,
+            } => write!(
+                f,
+                "calibration: stage {layer}'s envelope (max |value| {max_abs:.3}) plus \
+                 {headroom_bits} headroom bit(s) exceeds every executable {total_bits}-bit \
+                 fraction — widen total_bits or relax headroom_bits"
+            ),
+            EngineError::MixedPrecisionUnsupported { backend } => write!(
+                f,
+                "backend `{backend}` runs the whole network in one number system; \
+                 a per-stage precision policy needs the hybrid backend"
+            ),
             EngineError::ShapeMismatch { got } => write!(
                 f,
                 "input must be shaped (N\u{2265}1, 3, H\u{2265}4, W\u{2265}4), got {got:?}"
@@ -419,24 +479,141 @@ pub trait Backend: Send + Sync {
     }
 }
 
-/// One pre-built PL stage: the simulated circuit holding the quantized
-/// block, plus how often the stage executes per inference.
-struct PlStage<S: Scalar> {
-    layer: LayerName,
-    accel: OdeBlockAccel<S>,
-    execs: usize,
+/// Monomorphized circuits over every executable word width, behind one
+/// enum so *different stages of one engine can run in different
+/// formats* (the per-stage precision policy). The variants must stay
+/// in lockstep with [`PlFormat::EXECUTABLE_WIDTHS`] — pinned by
+/// `every_listed_executable_width_builds`.
+macro_rules! any_accel {
+    ($(($variant:ident, $ty:ty, $total:literal, $frac:literal)),+ $(,)?) => {
+        /// One stage's simulated circuit in whichever executable width
+        /// its format resolved to.
+        enum AnyAccel {
+            $($variant(OdeBlockAccel<$ty>),)+
+        }
+
+        impl AnyAccel {
+            /// Quantize `block` into the circuit for `q`, or `None`
+            /// when no monomorphized datapath exists for that width.
+            fn build(
+                block: &ResBlock,
+                parallelism: usize,
+                board: &Board,
+                q: qfixed::QFormat,
+            ) -> Option<Self> {
+                match (q.total_bits, q.frac_bits) {
+                    $(($total, $frac) => {
+                        Some(AnyAccel::$variant(OdeBlockAccel::new(block, parallelism, board)))
+                    })+
+                    _ => None,
+                }
+            }
+
+            /// Run the stage at the f32 DMA boundary: quantize the
+            /// feature map into the stage's format, execute on the
+            /// circuit, dequantize on the way out. Returns the output
+            /// map and the modelled circuit seconds (incl. DMA).
+            fn run_stage(&self, z: &Tensor<f32>, execs: usize) -> (Tensor<f32>, f64) {
+                match self {
+                    $(AnyAccel::$variant(accel) => {
+                        let zq: Tensor<$ty> = Tensor::from_f32_tensor(z);
+                        let run = accel.run_stage(&zq, execs);
+                        (run.output.to_f32(), run.seconds)
+                    })+
+                }
+            }
+        }
+    };
 }
 
-/// Shared PS+PL walk used by the software and hybrid backends: stages
-/// in `pl_stages` run on their pre-built circuits in the PL number
-/// system `S`, everything else runs as `f32` software with `bn`
-/// statistics. At `S = Q20` this mirrors the execution order of the
-/// original `run_hybrid_with` loop exactly, so logits and timing are
+any_accel!(
+    (F32x12, Fix<12>, 32, 12),
+    (F32x16, Fix<16>, 32, 16),
+    (F32x20, Fix<20>, 32, 20),
+    (F32x24, Fix<24>, 32, 24),
+    (F16x6, Fix16<6>, 16, 6),
+    (F16x8, Fix16<8>, 16, 8),
+    (F16x10, Fix16<10>, 16, 10),
+    (F16x12, Fix16<12>, 16, 12),
+);
+
+/// One pre-built PL stage: the simulated circuit holding the quantized
+/// block in the stage's own word format, how often the stage executes
+/// per inference, and the stage's DMA word width.
+struct PlStage {
+    layer: LayerName,
+    accel: AnyAccel,
+    execs: usize,
+    /// Storage bytes per value of this stage's format (its DMA width).
+    bytes: usize,
+}
+
+/// Pre-quantize — once — each offloaded stage of `layers` into its
+/// *own* format's circuit. `board_of` names the fabric carrying each
+/// stage (constant for a single board, the shard map for a cluster).
+/// A stage whose format has no monomorphized datapath is a typed
+/// [`EngineError::UnsupportedFormat`] naming that stage when the
+/// policy is per-stage.
+fn build_pl_stages(
+    net: &Network,
+    layers: &[LayerName],
+    formats: &StageFormats,
+    parallelism: usize,
+    board_of: impl Fn(LayerName) -> Board,
+) -> Result<Vec<PlStage>, EngineError> {
+    layers
+        .iter()
+        .map(|&layer| {
+            let stage = net
+                .stage(layer)
+                .expect("applicability check guarantees the stage exists");
+            debug_assert_eq!(
+                stage.blocks.len(),
+                1,
+                "single-instance checked at plan time"
+            );
+            let q = formats
+                .format_of(layer)
+                .qformat()
+                .expect("validated by plan()");
+            let accel = AnyAccel::build(&stage.blocks[0], parallelism, &board_of(layer), q).ok_or(
+                EngineError::UnsupportedFormat {
+                    total_bits: q.total_bits,
+                    frac_bits: q.frac_bits,
+                    // A uniform policy affects every stage equally;
+                    // only a per-stage table names the culprit.
+                    stage: if formats.uniform_format().is_some() {
+                        None
+                    } else {
+                        Some(layer)
+                    },
+                },
+            )?;
+            Ok(PlStage {
+                layer,
+                accel,
+                execs: if stage.plan.is_ode {
+                    stage.plan.execs
+                } else {
+                    1
+                },
+                bytes: q.bytes(),
+            })
+        })
+        .collect()
+}
+
+/// Shared PS+PL walk used by the software, hybrid, and cluster
+/// backends: stages in `pl_stages` run on their pre-built circuits —
+/// each in its *own* word format, quantized at its DMA boundary —
+/// everything else runs as `f32` software with `bn` statistics. With a
+/// uniform Q20 table this mirrors the execution order of the original
+/// `run_hybrid_with` loop exactly, so logits and timing are
 /// bit-identical to the legacy path.
-fn hybrid_walk<S: Scalar>(
+fn hybrid_walk(
     net: &Network,
     x: &Tensor<f32>,
-    pl_stages: &[PlStage<S>],
+    pl_stages: &[PlStage],
     bn: BnMode,
     ps: &PsModel,
     board: &Board,
@@ -455,11 +632,10 @@ fn hybrid_walk<S: Scalar>(
         let on_pl = pl_stages.iter().find(|p| p.layer == stage.name);
         for block in &stage.blocks {
             if let Some(pl_stage) = on_pl {
-                let zq: Tensor<S> = Tensor::from_f32_tensor(&z);
-                let run = pl_stage.accel.run_stage(&zq, pl_stage.execs);
-                dma_words += crate::datapath::dma_words_at(stage.name, S::BYTES);
-                pl_seconds += run.seconds;
-                z = run.output.to_f32();
+                let (out, seconds) = pl_stage.accel.run_stage(&z, pl_stage.execs);
+                dma_words += crate::datapath::dma_words_at(stage.name, pl_stage.bytes);
+                pl_seconds += seconds;
+                z = out;
             } else {
                 z = if stage.plan.is_ode {
                     block.ode_forward(&z, stage.plan.execs, bn)
@@ -476,17 +652,17 @@ fn hybrid_walk<S: Scalar>(
 }
 
 /// PS software / hybrid backend (they differ only in `pl_stages`).
-struct HybridBackend<'n, S: Scalar> {
+struct HybridBackend<'n> {
     name: &'static str,
     net: &'n Network,
-    pl_stages: Vec<PlStage<S>>,
+    pl_stages: Vec<PlStage>,
     offloaded: Vec<LayerName>,
     bn: BnMode,
     ps: PsModel,
     board: Board,
 }
 
-impl<S: Scalar> Backend for HybridBackend<'_, S> {
+impl Backend for HybridBackend<'_> {
     fn name(&self) -> &'static str {
         self.name
     }
@@ -519,9 +695,9 @@ impl<S: Scalar> Backend for HybridBackend<'_, S> {
 /// placement. `infer` reports per-image additive timing (interconnect
 /// hand-offs folded into `pl_seconds`); `summarize_batch` additionally
 /// runs the configured [`Schedule`] over the build-time stage pipeline.
-struct ClusterBackend<'n, S: Scalar> {
+struct ClusterBackend<'n> {
     net: &'n Network,
-    pl_stages: Vec<PlStage<S>>,
+    pl_stages: Vec<PlStage>,
     offloaded: Vec<LayerName>,
     bn: BnMode,
     ps: PsModel,
@@ -531,7 +707,7 @@ struct ClusterBackend<'n, S: Scalar> {
     transfer_seconds: f64,
 }
 
-impl<S: Scalar> Backend for ClusterBackend<'_, S> {
+impl Backend for ClusterBackend<'_> {
     fn name(&self) -> &'static str {
         "cluster"
     }
@@ -653,7 +829,7 @@ pub struct EngineBuilder<'n> {
     ps: PsModel,
     pl: PlModel,
     bn: BnMode,
-    format: PlFormat,
+    precision: Precision,
     backend: BackendKind,
     cluster: Option<Cluster>,
     schedule: Schedule,
@@ -693,19 +869,37 @@ impl<'n> EngineBuilder<'n> {
         self
     }
 
-    /// PL datapath word format (default: [`PlFormat::Q20`], the
-    /// paper's 32-bit build).
+    /// One PL datapath word format for every stage — the pre-policy
+    /// spelling of [`EngineBuilder::precision`] with
+    /// [`Precision::Uniform`], kept as a delegating shim.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `.precision(Precision::Uniform(format))` — the precision \
+                surface is per-stage now"
+    )]
+    pub fn pl_format(self, format: PlFormat) -> Self {
+        self.precision(Precision::Uniform(format))
+    }
+
+    /// Per-stage PL word-format policy (default:
+    /// [`Precision::Uniform`] at [`PlFormat::Q20`], the paper's 32-bit
+    /// build).
     ///
-    /// The width threads through placement feasibility, the DMA share
-    /// of the timing model, and the number system the offloaded
-    /// circuits execute in. Any structurally valid format *plans*
-    /// ([`EngineBuilder::plan`]); **executing** additionally requires a
-    /// width the engine has a monomorphized datapath for — 32-bit with
+    /// Each stage's width threads through placement feasibility, the
+    /// DMA share of the timing model, the partitioner's makespan cost,
+    /// cluster sharding, and the number system that stage's circuit
+    /// executes in — so a deployment can put layer1 at Q16 next to
+    /// layer3_2 at Q20 ([`Precision::PerStage`]), or let
+    /// [`Precision::Calibrated`] pick each `frac` from measured
+    /// activation ranges. Any structurally valid format *plans*
+    /// ([`EngineBuilder::plan`]); **executing** additionally requires
+    /// widths the engine has monomorphized datapaths for — 32-bit with
     /// 12/16/20/24 fractional bits, or 16-bit with 6/8/10/12 — else
     /// [`EngineBuilder::build`] returns
-    /// [`EngineError::UnsupportedFormat`].
-    pub fn pl_format(mut self, format: PlFormat) -> Self {
-        self.format = format;
+    /// [`EngineError::UnsupportedFormat`] (naming the stage when the
+    /// policy is per-stage).
+    pub fn precision(mut self, precision: impl Into<Precision>) -> Self {
+        self.precision = precision.into();
         self
     }
 
@@ -755,38 +949,53 @@ impl<'n> EngineBuilder<'n> {
 
     /// Plug in a caller-provided [`Backend`] (multi-board sharding,
     /// alternate fabrics, …). Placement planning and conflict checks
-    /// are skipped — the backend owns its execution strategy.
+    /// are skipped — the backend owns its execution strategy. The
+    /// precision policy is still resolved (a [`Precision::Calibrated`]
+    /// policy runs its measurement pass) purely so
+    /// [`Engine::precision`] can report the table; pair a custom
+    /// backend with `Uniform`/`PerStage` if that startup cost matters.
     pub fn custom_backend(mut self, backend: Box<dyn Backend + 'n>) -> Self {
         self.custom = Some(backend);
         self
     }
 
-    /// The [`PlanRequest`] equivalent of this builder's configuration.
-    fn plan_request(&self) -> PlanRequest {
-        PlanRequest {
+    /// Resolve the precision policy into the per-stage format table
+    /// ([`Precision::resolve`] — a pure lookup for
+    /// `Uniform`/`PerStage`, the calibration measurement pass for
+    /// `Calibrated`).
+    fn resolve_precision(&self) -> Result<StageFormats, EngineError> {
+        self.precision.resolve(self.net, self.bn)
+    }
+
+    /// The [`PlanRequest`] equivalent of this builder's configuration,
+    /// with the precision policy already resolved.
+    fn plan_request(&self) -> Result<PlanRequest, EngineError> {
+        Ok(PlanRequest {
             board: self.board,
             offload: self.offload,
             backend: self.backend,
             bn: self.bn,
             ps: self.ps,
             pl: self.pl,
-            format: self.format,
-        }
+            precision: self.resolve_precision()?,
+        })
     }
 
     /// Resolve placement, backend, width-aware feasibility, and the
     /// full input-independent timing decomposition — **without running
-    /// any numerics or quantizing any weight**. The returned
-    /// [`DeploymentPlan`] answers latency/resource/DMA queries on its
-    /// own; pass the same builder to [`EngineBuilder::build`] when you
-    /// want to execute it.
+    /// any numerics or quantizing any weight** (one exception: a
+    /// [`Precision::Calibrated`] policy runs its float measurement
+    /// pass on the sample batch here, since the chosen formats gate
+    /// feasibility). The returned [`DeploymentPlan`] answers
+    /// latency/resource/DMA queries on its own; pass the same builder
+    /// to [`EngineBuilder::build`] when you want to execute it.
     ///
     /// A caller-provided [`EngineBuilder::custom_backend`] is ignored
     /// here: plans describe the built-in execution paths. Likewise a
     /// configured [`EngineBuilder::cluster`]: this is the single-board
     /// plan; see [`EngineBuilder::plan_cluster`] for the sharded one.
     pub fn plan(&self) -> Result<DeploymentPlan, EngineError> {
-        plan_deployment(&self.net.spec, &self.plan_request())
+        plan_deployment(&self.net.spec, &self.plan_request()?)
     }
 
     /// The sharded-placement counterpart of [`EngineBuilder::plan`]:
@@ -812,7 +1021,7 @@ impl<'n> EngineBuilder<'n> {
                 bn: self.bn,
                 ps: self.ps,
                 pl: self.pl,
-                format: self.format,
+                precision: self.resolve_precision()?,
                 schedule: self.schedule,
                 partitioner: self.partitioner,
             },
@@ -820,17 +1029,17 @@ impl<'n> EngineBuilder<'n> {
     }
 
     /// Validate the configuration ([`EngineBuilder::plan`] /
-    /// [`EngineBuilder::plan_cluster`]) and pre-quantize the offloaded
-    /// blocks into the configured [`PlFormat`] — once. All placement,
-    /// sharding, resource, format, and mode errors surface here, never
-    /// inside `infer`.
-    pub fn build(self) -> Result<Engine<'n>, EngineError> {
-        if let Some(custom) = self.custom {
+    /// [`EngineBuilder::plan_cluster`]) and pre-quantize each offloaded
+    /// block into its stage's resolved format — once. All placement,
+    /// sharding, resource, format, calibration, and mode errors surface
+    /// here, never inside `infer`.
+    pub fn build(mut self) -> Result<Engine<'n>, EngineError> {
+        if let Some(custom) = self.custom.take() {
             return Ok(Engine {
                 target: OffloadTarget::None,
                 board: self.board,
                 bn: self.bn,
-                format: self.format,
+                formats: self.resolve_precision()?,
                 plan: None,
                 cluster_plan: None,
                 backend: custom,
@@ -838,9 +1047,12 @@ impl<'n> EngineBuilder<'n> {
         }
 
         // Monomorphize `$build::<S>($($arg),*)` over every executable
-        // word width. The arms must stay in lockstep with
-        // `PlFormat::EXECUTABLE_WIDTHS` (the forward direction is
-        // pinned by `every_listed_executable_width_builds`).
+        // word width — the *uniform* dispatch, used by the backends
+        // that run the whole network in one number system. The arms
+        // must stay in lockstep with `PlFormat::EXECUTABLE_WIDTHS`
+        // (the forward direction is pinned by
+        // `every_listed_executable_width_builds`); the per-stage
+        // hybrid path dispatches through `AnyAccel` instead.
         macro_rules! dispatch_width {
             ($format:expr, $build:ident($($arg:expr),*)) => {{
                 let q = $format.qformat().expect("validated by plan()");
@@ -861,6 +1073,7 @@ impl<'n> EngineBuilder<'n> {
                         return Err(EngineError::UnsupportedFormat {
                             total_bits,
                             frac_bits,
+                            stage: None,
                         });
                     }
                 }
@@ -887,13 +1100,35 @@ impl<'n> EngineBuilder<'n> {
                     });
                 }
             }
-            let backend: Box<dyn Backend + 'n> =
-                dispatch_width!(self.format, build_cluster_backend(self.net, &cplan));
+            let formats = *cplan.precision();
+            require_uniform_datapath(&formats)?;
+            let offloaded: Vec<LayerName> = cplan.target().layers().to_vec();
+            let pl_stages = build_pl_stages(
+                self.net,
+                &offloaded,
+                &formats,
+                cplan.pl_model().parallelism,
+                |layer| {
+                    let board = cplan.board_of(layer).expect("offloaded layers are sharded");
+                    cplan.cluster().boards()[board]
+                },
+            )?;
+            let backend: Box<dyn Backend + 'n> = Box::new(ClusterBackend {
+                net: self.net,
+                pl_stages,
+                offloaded,
+                bn: cplan.bn_mode(),
+                ps: *cplan.ps_model(),
+                head: *cplan.cluster().head(),
+                schedule: cplan.schedule(),
+                timeline: cplan.timeline().to_vec(),
+                transfer_seconds: cplan.transfer_seconds(),
+            });
             return Ok(Engine {
                 target: cplan.target(),
                 board: *cplan.cluster().head(),
                 bn: self.bn,
-                format: self.format,
+                formats,
                 plan: None,
                 cluster_plan: Some(cplan),
                 backend,
@@ -901,10 +1136,10 @@ impl<'n> EngineBuilder<'n> {
         }
 
         let plan = self.plan()?;
+        let formats = *plan.precision();
         let backend: Box<dyn Backend + 'n> = match plan.backend_kind() {
-            // The software path never touches the PL number system; the
-            // scalar parameter is irrelevant (instantiated at Q20).
-            BackendKind::PsSoftware => Box::new(HybridBackend::<Q20> {
+            // The software path never touches the PL number system.
+            BackendKind::PsSoftware => Box::new(HybridBackend {
                 name: "ps-software",
                 net: self.net,
                 pl_stages: Vec::new(),
@@ -913,8 +1148,35 @@ impl<'n> EngineBuilder<'n> {
                 ps: self.ps,
                 board: self.board,
             }),
-            BackendKind::Hybrid | BackendKind::PlBitExact => {
-                dispatch_width!(self.format, build_quant_backend(self.net, &plan))
+            BackendKind::Hybrid => {
+                require_uniform_datapath(&formats)?;
+                let target = plan.target();
+                let pl_stages = build_pl_stages(
+                    self.net,
+                    target.layers(),
+                    &formats,
+                    plan.pl_model().parallelism,
+                    |_| *plan.board(),
+                )?;
+                Box::new(HybridBackend {
+                    name: "hybrid",
+                    net: self.net,
+                    pl_stages,
+                    offloaded: target.layers().to_vec(),
+                    bn: plan.bn_mode(),
+                    ps: *plan.ps_model(),
+                    board: *plan.board(),
+                })
+            }
+            BackendKind::PlBitExact => {
+                // The fully-fixed-point network is one number system;
+                // a per-stage table cannot be honored.
+                let Some(uniform) = formats.uniform_format() else {
+                    return Err(EngineError::MixedPrecisionUnsupported {
+                        backend: "pl-bit-exact",
+                    });
+                };
+                dispatch_width!(uniform, build_bit_exact_backend(self.net, &plan))
             }
             BackendKind::Auto => unreachable!("plan() resolves Auto"),
         };
@@ -922,7 +1184,7 @@ impl<'n> EngineBuilder<'n> {
             target: plan.target(),
             board: self.board,
             bn: self.bn,
-            format: self.format,
+            formats,
             plan: Some(plan),
             cluster_plan: None,
             backend,
@@ -930,113 +1192,41 @@ impl<'n> EngineBuilder<'n> {
     }
 }
 
-/// Pre-quantize — once — each sharded stage into its board's simulated
-/// circuit and assemble the cluster backend from the plan.
-fn build_cluster_backend<'n, S: Scalar>(
-    net: &'n Network,
-    plan: &ClusterPlan,
-) -> Box<dyn Backend + 'n> {
-    let offloaded: Vec<LayerName> = plan.target().layers().to_vec();
-    let parallelism = plan.pl_model().parallelism;
-    let pl_stages: Vec<PlStage<S>> = offloaded
-        .iter()
-        .map(|&layer| {
-            let stage = net
-                .stage(layer)
-                .expect("applicability check guarantees the stage exists");
-            debug_assert_eq!(
-                stage.blocks.len(),
-                1,
-                "single-instance checked at plan time"
-            );
-            let board = plan.board_of(layer).expect("offloaded layers are sharded");
-            PlStage {
-                layer,
-                accel: OdeBlockAccel::new(
-                    &stage.blocks[0],
-                    parallelism,
-                    &plan.cluster().boards()[board],
-                ),
-                execs: {
-                    let p = net.spec.plan(layer);
-                    if p.is_ode {
-                        p.execs
-                    } else {
-                        1
-                    }
-                },
-            }
-        })
-        .collect();
-    Box::new(ClusterBackend {
-        net,
-        pl_stages,
-        offloaded,
-        bn: plan.bn_mode(),
-        ps: *plan.ps_model(),
-        head: *plan.cluster().head(),
-        schedule: plan.schedule(),
-        timeline: plan.timeline().to_vec(),
-        transfer_seconds: plan.transfer_seconds(),
-    })
+/// A *uniform* policy in a format without a datapath is rejected at
+/// build even when nothing is offloaded — the engine was configured to
+/// execute in that number system, and it cannot (the pre-policy
+/// behavior, pinned by the builder-misuse matrix). Per-stage tables
+/// are checked stage-by-stage instead: only formats that actually
+/// reach a circuit need a datapath.
+fn require_uniform_datapath(formats: &StageFormats) -> Result<(), EngineError> {
+    if let Some(u) = formats.uniform_format() {
+        if !u.has_datapath() {
+            let q = u.qformat()?;
+            return Err(EngineError::UnsupportedFormat {
+                total_bits: q.total_bits,
+                frac_bits: q.frac_bits,
+                stage: None,
+            });
+        }
+    }
+    Ok(())
 }
 
-/// Pre-quantize — once — into the scalar type `S` and build the
-/// executing backend the plan resolved. The hybrid backend gets one
-/// simulated circuit per offloaded stage; the fully-fixed-point backend
-/// gets the whole quantized network (its offloaded stages execute
-/// straight out of it, so no second weight copy is built).
-fn build_quant_backend<'n, S: Scalar>(
+/// Quantize — once — the whole network into the scalar type `S` and
+/// build the fully-fixed-point backend (its offloaded stages execute
+/// straight out of the quantized network, so no second weight copy is
+/// built).
+fn build_bit_exact_backend<'n, S: Scalar>(
     net: &'n Network,
     plan: &DeploymentPlan,
 ) -> Box<dyn Backend + 'n> {
-    let target = plan.target();
-    let offloaded: Vec<LayerName> = target.layers().to_vec();
-    let ps = *plan.ps_model();
-    let pl = *plan.pl_model();
-    let board = *plan.board();
-    match plan.backend_kind() {
-        BackendKind::Hybrid => {
-            let pl_stages: Vec<PlStage<S>> = target
-                .layers()
-                .iter()
-                .map(|&layer| {
-                    let stage = net
-                        .stage(layer)
-                        .expect("applicability check guarantees the stage exists");
-                    debug_assert_eq!(stage.blocks.len(), 1, "single-instance checked above");
-                    PlStage {
-                        layer,
-                        accel: OdeBlockAccel::new(&stage.blocks[0], pl.parallelism, &board),
-                        execs: if stage.plan.is_ode {
-                            stage.plan.execs
-                        } else {
-                            1
-                        },
-                    }
-                })
-                .collect();
-            Box::new(HybridBackend {
-                name: "hybrid",
-                net,
-                pl_stages,
-                offloaded,
-                bn: plan.bn_mode(),
-                ps,
-                board,
-            })
-        }
-        BackendKind::PlBitExact => Box::new(PlBitExactBackend {
-            qnet: net.quantize::<S>(),
-            offloaded,
-            ps,
-            pl,
-            board,
-        }),
-        BackendKind::PsSoftware | BackendKind::Auto => {
-            unreachable!("caller dispatches only quantized backends")
-        }
-    }
+    Box::new(PlBitExactBackend {
+        qnet: net.quantize::<S>(),
+        offloaded: plan.target().layers().to_vec(),
+        ps: *plan.ps_model(),
+        pl: *plan.pl_model(),
+        board: *plan.board(),
+    })
 }
 
 /// A validated, pre-quantized inference engine over a trained network.
@@ -1048,7 +1238,7 @@ pub struct Engine<'n> {
     target: OffloadTarget,
     board: Board,
     bn: BnMode,
-    format: PlFormat,
+    formats: StageFormats,
     plan: Option<DeploymentPlan>,
     cluster_plan: Option<ClusterPlan>,
     backend: Box<dyn Backend + 'n>,
@@ -1060,7 +1250,7 @@ impl core::fmt::Debug for Engine<'_> {
             .field("target", &self.target)
             .field("board", &self.board.name)
             .field("bn", &self.bn)
-            .field("format", &self.format)
+            .field("precision", &self.formats)
             .field("backend", &self.backend.name())
             .finish()
     }
@@ -1079,7 +1269,7 @@ impl<'n> Engine<'n> {
             ps: d.ps,
             pl: d.pl,
             bn: d.bn,
-            format: d.format,
+            precision: d.precision.into(),
             backend: d.backend,
             cluster: None,
             schedule: Schedule::default(),
@@ -1117,9 +1307,22 @@ impl<'n> Engine<'n> {
         self.plan.as_ref().map(|p| p.table5())
     }
 
-    /// The PL word format the engine executes in.
+    /// The base PL word format. For a per-stage policy this is only
+    /// the table's base; prefer [`Engine::precision`], which reports
+    /// every stage's resolved format.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::precision()` — the precision surface is per-stage now"
+    )]
     pub fn pl_format(&self) -> PlFormat {
-        self.format
+        self.formats.base()
+    }
+
+    /// The resolved per-stage PL word-format table the engine executes
+    /// with (for [`Precision::Calibrated`], the formats the
+    /// measurement pass chose).
+    pub fn precision(&self) -> &StageFormats {
+        &self.formats
     }
 
     /// The layers running on the PL fabric.
@@ -1151,7 +1354,7 @@ impl<'n> Engine<'n> {
             self.target,
             self.offloaded().len(),
             if self.offloaded().len() == 1 { "" } else { "s" },
-            self.format,
+            self.formats,
         )
     }
 
@@ -1395,10 +1598,13 @@ mod tests {
     fn sixteen_bit_engine_builds_and_infers() {
         let net = net(Variant::ROdeNet3);
         let engine = Engine::builder(&net)
-            .pl_format(PlFormat::Q16 { frac: 10 })
+            .precision(Precision::Uniform(PlFormat::Q16 { frac: 10 }))
             .build()
             .expect("16-bit datapath builds");
-        assert_eq!(engine.pl_format(), PlFormat::Q16 { frac: 10 });
+        assert_eq!(
+            engine.precision().uniform_format(),
+            Some(PlFormat::Q16 { frac: 10 })
+        );
         assert_eq!(engine.target(), OffloadTarget::Layer32);
         let run = engine.infer(&image(9)).expect("runs");
         assert!(run.logits.as_slice().iter().all(|v| v.is_finite()));
@@ -1412,25 +1618,26 @@ mod tests {
         let net = net(Variant::ROdeNet3);
         // A supported custom width executes…
         let ok = Engine::builder(&net)
-            .pl_format(PlFormat::Custom(QFormat::new(32, 16)))
+            .precision(PlFormat::Custom(QFormat::new(32, 16)))
             .build()
             .expect("Q15.16 has a datapath");
         assert!(ok.infer(&image(2)).is_ok());
         // …an analysis-only width is a typed error, not a panic.
         let err = Engine::builder(&net)
-            .pl_format(PlFormat::Custom(QFormat::new(8, 4)))
+            .precision(PlFormat::Custom(QFormat::new(8, 4)))
             .build()
             .expect_err("no 8-bit datapath");
         assert_eq!(
             err,
             EngineError::UnsupportedFormat {
                 total_bits: 8,
-                frac_bits: 4
+                frac_bits: 4,
+                stage: None
             }
         );
         // But the same configuration still *plans* (resource analysis).
         let plan = Engine::builder(&net)
-            .pl_format(PlFormat::Custom(QFormat::new(8, 4)))
+            .precision(PlFormat::Custom(QFormat::new(8, 4)))
             .plan()
             .expect("8-bit plans fine");
         assert!(plan.bram36_used() < 140.0);
@@ -1439,16 +1646,24 @@ mod tests {
     #[test]
     fn every_listed_executable_width_builds() {
         // `PlFormat::EXECUTABLE_WIDTHS` is the single source of truth;
-        // the dispatch match in `build()` must cover every entry.
+        // BOTH monomorphization sites — the per-stage `any_accel!`
+        // enum (hybrid path) and the uniform `dispatch_width!` match
+        // (fully-fixed-point path) — must cover every entry.
         let net = net(Variant::ROdeNet3);
         for &(total, frac) in PlFormat::EXECUTABLE_WIDTHS {
             let format = PlFormat::Custom(qfixed::QFormat::new(total, frac));
             assert!(format.has_datapath(), "({total},{frac}) is listed");
             let engine = Engine::builder(&net)
-                .pl_format(format)
+                .precision(format)
                 .build()
                 .unwrap_or_else(|e| panic!("({total},{frac}) listed as executable: {e}"));
             engine.infer(&image(1)).expect("listed widths serve");
+            let bit_exact = Engine::builder(&net)
+                .precision(format)
+                .backend(BackendKind::PlBitExact)
+                .build()
+                .unwrap_or_else(|e| panic!("({total},{frac}) must dispatch PlBitExact: {e}"));
+            bit_exact.infer(&image(1)).expect("listed widths serve");
         }
         assert!(!PlFormat::Custom(qfixed::QFormat::new(24, 12)).has_datapath());
     }

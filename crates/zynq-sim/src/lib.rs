@@ -26,10 +26,15 @@
 //!   resolves placement, width-aware resources, and the cached Table 5
 //!   timing for any PL word format ([`PlFormat`]) before a single
 //!   weight is quantized;
+//! * [`precision`] — per-stage word-format policies: one uniform
+//!   format, an explicit [`StageFormats`] table (layer1 at Q16 next to
+//!   layer3_2 at Q20), or [`Precision::Calibrated`], which measures
+//!   per-stage activation envelopes on a sample batch and picks each
+//!   `frac` itself;
 //! * [`engine`] — the deployment API: a builder-configured, validated
 //!   [`Engine`] built from a [`DeploymentPlan`], precision-polymorphic
-//!   over the PL word format, serving single or batched inference
-//!   through pluggable [`Backend`]s;
+//!   per stage over the PL word format, serving single or batched
+//!   inference through pluggable [`Backend`]s;
 //! * [`cluster`] — multi-board scale-out: a [`Cluster`] of boards with
 //!   a modelled [`Interconnect`], sharded placements ([`ClusterPlan`]),
 //!   and an event-driven pipelined batch scheduler ([`Schedule`]) that
@@ -60,6 +65,7 @@ pub mod partition;
 pub mod plan;
 pub mod planner;
 pub mod power;
+pub mod precision;
 pub mod resources;
 pub mod system;
 pub mod timing;
@@ -74,6 +80,7 @@ pub use partition::{partition_placement, resource_busy, Partitioner};
 pub use plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest, PlannedStage};
 pub use planner::{plan_offload, OffloadTarget};
 pub use power::{EnergyReport, PowerModel};
+pub use precision::{Precision, StageFormats};
 pub use resources::{ode_block_resources, ResourceReport};
 pub use system::HybridRun;
 #[allow(deprecated)]

@@ -47,11 +47,12 @@
 
 use crate::board::Board;
 use crate::cluster::{
-    build_timeline, per_image_seconds, pipelined_schedule, shard_placement, Cluster,
+    build_timeline, per_image_seconds, pipelined_schedule, shard_placement_with, Cluster,
     ClusterRequest, Interconnect, Schedule, ShardAssignment, StageResource, StageTiming,
 };
 use crate::engine::{EngineError, Offload};
 use crate::planner::OffloadTarget;
+use crate::precision::StageFormats;
 use crate::timing::{PlModel, PsModel};
 use rodenet::{BnMode, LayerName, NetSpec};
 
@@ -113,20 +114,21 @@ pub fn partition_placement(
     target: OffloadTarget,
     req: &ClusterRequest,
 ) -> Result<ShardAssignment, EngineError> {
-    let bytes = req.format.bytes()?;
-    partition_with(spec, target, req, bytes)
+    req.precision.validate()?;
+    partition_with(spec, target, req)
 }
 
-/// [`partition_placement`] with the word width already resolved.
+/// [`partition_placement`] with the precision table already validated.
 pub(crate) fn partition_with(
     spec: &NetSpec,
     target: OffloadTarget,
     req: &ClusterRequest,
-    bytes: usize,
 ) -> Result<ShardAssignment, EngineError> {
     match req.partitioner {
-        Partitioner::FirstFit => shard_placement(target, &req.cluster, req.pl.parallelism, bytes),
-        Partitioner::BalancedMakespan => balanced_assignment(spec, target, req, bytes),
+        Partitioner::FirstFit => {
+            shard_placement_with(target, &req.cluster, req.pl.parallelism, &req.precision)
+        }
+        Partitioner::BalancedMakespan => balanced_assignment(spec, target, req),
     }
 }
 
@@ -155,7 +157,6 @@ fn reference_makespan(timeline: &[StageTiming], schedule: Schedule) -> f64 {
 pub(crate) fn select_with(
     spec: &NetSpec,
     req: &ClusterRequest,
-    bytes: usize,
     extended: bool,
 ) -> (OffloadTarget, ShardAssignment) {
     let mut best: Option<((f64, f64), OffloadTarget, ShardAssignment)> = None;
@@ -168,10 +169,10 @@ pub(crate) fn select_with(
         if !ok {
             continue;
         }
-        let Ok(shards) = partition_with(spec, t, req, bytes) else {
+        let Ok(shards) = partition_with(spec, t, req) else {
             continue;
         };
-        let timeline = build_timeline(spec, &shards, req, bytes);
+        let timeline = build_timeline(spec, &shards, req);
         let latency = per_image_seconds(&timeline);
         let key = match req.partitioner {
             Partitioner::FirstFit => (latency, latency),
@@ -189,16 +190,15 @@ pub(crate) fn select_with(
 }
 
 /// [`select_with`] over a 1-board cluster — the planner's Auto loop.
-/// The interconnect is irrelevant (nothing crosses it on one board)
-/// and the word width travels as `bytes`, so the request's `format`
-/// field is a placeholder.
+/// The interconnect is irrelevant (nothing crosses it on one board);
+/// the per-stage word widths travel in `formats`.
 pub(crate) fn select_single_board(
     spec: &NetSpec,
     board: &Board,
     ps: &PsModel,
     pl: &PlModel,
     extended: bool,
-    bytes: usize,
+    formats: &StageFormats,
 ) -> OffloadTarget {
     let req = ClusterRequest {
         cluster: Cluster::homogeneous(board, 1, Interconnect::GIGABIT_ETHERNET),
@@ -210,11 +210,11 @@ pub(crate) fn select_single_board(
         bn: BnMode::OnTheFly,
         ps: *ps,
         pl: *pl,
-        format: crate::plan::PlFormat::Q20,
+        precision: *formats,
         schedule: Schedule::Sequential,
         partitioner: Partitioner::FirstFit,
     };
-    select_with(spec, &req, bytes, extended).0
+    select_with(spec, &req, extended).0
 }
 
 /// Exhaustive balanced search (see [`Partitioner::BalancedMakespan`]).
@@ -222,7 +222,6 @@ fn balanced_assignment(
     spec: &NetSpec,
     target: OffloadTarget,
     req: &ClusterRequest,
-    bytes: usize,
 ) -> Result<ShardAssignment, EngineError> {
     let layers = target.layers();
     if layers.is_empty() {
@@ -249,7 +248,7 @@ fn balanced_assignment(
             }
             let t =
                 OffloadTarget::from_layers(group).expect("subsets of a placement are placements");
-            if !t.fits_at(&boards[b], req.pl.parallelism, bytes) {
+            if !t.fits_with(&boards[b], req.pl.parallelism, &req.precision) {
                 feasible = false;
                 break;
             }
@@ -264,12 +263,15 @@ fn balanced_assignment(
         let bound = REFERENCE_BATCH as f64
             * assignment
                 .iter()
-                .map(|(b, t)| req.pl.placement_seconds_at(spec, t, &boards[*b], bytes))
+                .map(|(b, t)| {
+                    req.pl
+                        .placement_seconds_with(spec, t, &boards[*b], &req.precision)
+                })
                 .fold(0.0f64, f64::max);
         if best.as_ref().is_some_and(|(m, _, _)| bound > *m) {
             continue;
         }
-        let timeline = build_timeline(spec, &assignment, req, bytes);
+        let timeline = build_timeline(spec, &assignment, req);
         let makespan = reference_makespan(&timeline, req.schedule);
         let latency = per_image_seconds(&timeline);
         if best
@@ -287,9 +289,15 @@ fn balanced_assignment(
             let alone = OffloadTarget::from_layers(&[layer]).expect("offloadable");
             !boards
                 .iter()
-                .any(|b| alone.fits_at(b, req.pl.parallelism, bytes))
+                .any(|b| alone.fits_with(b, req.pl.parallelism, &req.precision))
         });
-        shard_infeasible(target, &req.cluster, req.pl.parallelism, bytes, stuck)
+        shard_infeasible(
+            target,
+            &req.cluster,
+            req.pl.parallelism,
+            &req.precision,
+            stuck,
+        )
     })
 }
 
@@ -301,7 +309,7 @@ pub(crate) fn shard_infeasible(
     target: OffloadTarget,
     cluster: &Cluster,
     parallelism: usize,
-    bytes: usize,
+    formats: &StageFormats,
     stuck: Option<LayerName>,
 ) -> EngineError {
     EngineError::ShardInfeasible {
@@ -310,7 +318,7 @@ pub(crate) fn shard_infeasible(
         parallelism,
         stuck,
         stuck_bram36: stuck.map_or(0.0, |l| {
-            crate::resources::bram36_at_width(l, parallelism, bytes)
+            crate::resources::bram36_at_width(l, parallelism, formats.bytes_of(l))
         }),
         board_bram36: cluster.boards().iter().map(|b| b.bram36).collect(),
     }
@@ -331,7 +339,7 @@ mod tests {
             bn: BnMode::OnTheFly,
             ps: PsModel::Calibrated,
             pl: PlModel::default(),
-            format,
+            precision: format.into(),
             partitioner,
             schedule: Schedule::Pipelined,
         }
@@ -348,7 +356,7 @@ mod tests {
             );
             for t in OffloadTarget::ALL {
                 let via_strategy = partition_placement(&spec, t, &req);
-                let direct = shard_placement(t, &req.cluster, 16, 4);
+                let direct = crate::cluster::shard_placement(t, &req.cluster, 16, 4);
                 assert_eq!(via_strategy.is_ok(), direct.is_ok(), "{t:?} over {boards}");
                 if let (Ok(a), Ok(b)) = (via_strategy, direct) {
                     assert_eq!(a, b, "{t:?} over {boards}");
@@ -397,8 +405,8 @@ mod tests {
         );
         let bal = partition_placement(&spec, OffloadTarget::AllOde, &req).expect("balanced");
         assert_eq!(bal.len(), 2, "both boards carry work: {bal:?}");
-        let ff_tl = build_timeline(&spec, &ff, &req, 2);
-        let bal_tl = build_timeline(&spec, &bal, &req, 2);
+        let ff_tl = build_timeline(&spec, &ff, &req);
+        let bal_tl = build_timeline(&spec, &bal, &req);
         assert!(
             bottleneck_seconds(&bal_tl) < 0.75 * bottleneck_seconds(&ff_tl),
             "balanced {} vs first-fit {}",
@@ -483,7 +491,7 @@ mod tests {
             PlFormat::Q20,
         );
         let shards = partition_placement(&spec, OffloadTarget::AllOde, &req).expect("shards");
-        let timeline = build_timeline(&spec, &shards, &req, 4);
+        let timeline = build_timeline(&spec, &shards, &req);
         let busy = resource_busy(&timeline);
         // PS + two PL fabrics, in slot order, summing to the execution
         // share of the per-image latency (transfers excluded).

@@ -12,12 +12,15 @@
 //! [`crate::engine::EngineBuilder::plan`] (from a builder), inspect it,
 //! and only then pay for an [`crate::engine::Engine`].
 //!
-//! The PL word width is a first-class plan parameter ([`PlFormat`]):
-//! the paper's footnote 2 observes that reduced bit widths "can
-//! implement more layers in PL part", and the width flows through the
-//! BRAM/DSP feasibility check ([`OffloadTarget::fits_at`]) and the DMA
-//! share of the timing model, so a 16-bit plan can legally choose the
-//! layer3_2-sharing placements a 32-bit plan must reject.
+//! The PL word width is a first-class plan parameter, resolved **per
+//! stage** ([`PlFormat`] entries in a
+//! [`crate::precision::StageFormats`] table): the paper's footnote 2
+//! observes that reduced bit widths "can implement more layers in PL
+//! part", and each stage's width flows through the BRAM/DSP
+//! feasibility check ([`OffloadTarget::fits_with`]) and the DMA share
+//! of the timing model, so a 16-bit plan can legally choose the
+//! layer3_2-sharing placements a 32-bit plan must reject — and a mixed
+//! plan can pair a Q20 layer1 with a Q16 layer3_2 on one fabric.
 //!
 //! An [`crate::engine::Offload::Auto`] request resolves through the
 //! unified partitioner cost path ([`crate::partition`]) — the same
@@ -27,9 +30,10 @@
 
 use crate::board::{Board, PYNQ_Z2};
 use crate::engine::{BackendKind, EngineError, Offload};
-use crate::planner::{plan_offload_at, plan_offload_extended_at, OffloadTarget};
+use crate::planner::{plan_offload_extended_with, plan_offload_with, OffloadTarget};
+use crate::precision::StageFormats;
 use crate::resources::{bram36_at_width, dsp_slices_at_width, modelled_lut_ff_at};
-use crate::timing::{table5_row_at, PlModel, PsModel, Table5Row};
+use crate::timing::{table5_row_with, PlModel, PsModel, Table5Row};
 use qfixed::QFormat;
 use rodenet::{BnMode, LayerName, NetSpec};
 
@@ -40,7 +44,7 @@ use rodenet::{BnMode, LayerName, NetSpec};
 /// selectable binary point; [`PlFormat::Custom`] admits any
 /// [`QFormat`] for planning/analysis (execution additionally requires
 /// one of the widths the engine can instantiate — see
-/// [`crate::engine::EngineBuilder::pl_format`]).
+/// [`crate::engine::EngineBuilder::precision`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum PlFormat {
     /// The paper's 32-bit Q11.20 datapath.
@@ -58,12 +62,21 @@ pub enum PlFormat {
 impl PlFormat {
     /// The `(total_bits, frac_bits)` pair this format describes, before
     /// any validity checking.
-    fn bits(&self) -> (u32, u32) {
+    pub(crate) fn bits(&self) -> (u32, u32) {
         match *self {
             PlFormat::Q20 => (32, 20),
             PlFormat::Q16 { frac } => (16, frac),
             PlFormat::Custom(f) => (f.total_bits, f.frac_bits),
         }
+    }
+
+    /// Whether two formats describe the same bit layout, regardless of
+    /// how they are spelled — `Q20`, `Q16 { frac }`, and
+    /// `Custom(QFormat)` can all name the same width (calibration
+    /// always emits `Custom`), and policy-level comparisons must not
+    /// depend on the spelling.
+    pub fn same_layout(&self, other: &PlFormat) -> bool {
+        self.bits() == other.bits()
     }
 
     /// Whether the described bit layout is structurally invalid
@@ -85,6 +98,7 @@ impl PlFormat {
             return Err(EngineError::UnsupportedFormat {
                 total_bits: total,
                 frac_bits: frac,
+                stage: None,
             });
         }
         Ok(QFormat::new(total, frac))
@@ -138,7 +152,7 @@ pub struct DeploymentPlan {
     spec: NetSpec,
     board: Board,
     target: OffloadTarget,
-    format: PlFormat,
+    formats: StageFormats,
     backend: BackendKind,
     bn: BnMode,
     ps: PsModel,
@@ -148,11 +162,15 @@ pub struct DeploymentPlan {
 }
 
 /// One offloaded stage of a [`DeploymentPlan`]: placement + width-aware
-/// resources + input-independent timing.
+/// resources + input-independent timing, all at the **stage's own**
+/// resolved word format.
 #[derive(Clone, Debug)]
 pub struct PlannedStage {
     /// The offloaded layer.
     pub layer: LayerName,
+    /// The word format this stage deploys in (per-stage policies give
+    /// different stages different formats).
+    pub format: PlFormat,
     /// Block executions per inference (ODE steps, or 1 for plain blocks).
     pub execs: usize,
     /// BRAM36-equivalents at the plan's word width.
@@ -173,9 +191,13 @@ pub struct PlannedStage {
 
 /// The configuration a [`DeploymentPlan`] is computed from — the same
 /// knobs as [`crate::engine::EngineBuilder`], minus the network (plans
-/// are weight-free). `Default` is the paper's deployment: PYNQ-Z2,
-/// planner-chosen placement, calibrated PS model, conv_x16, Q20,
-/// on-the-fly batch norm.
+/// are weight-free, which is also why this carries the *resolved*
+/// [`StageFormats`] table rather than a
+/// [`crate::precision::Precision`] policy: resolving
+/// `Precision::Calibrated` needs weights, so the engine builder does
+/// it before constructing the request). `Default` is the paper's
+/// deployment: PYNQ-Z2, planner-chosen placement, calibrated PS model,
+/// conv_x16, uniform Q20, on-the-fly batch norm.
 #[derive(Clone, Copy, Debug)]
 pub struct PlanRequest {
     /// Target device.
@@ -190,8 +212,9 @@ pub struct PlanRequest {
     pub ps: PsModel,
     /// PL circuit configuration.
     pub pl: PlModel,
-    /// PL word format.
-    pub format: PlFormat,
+    /// Resolved per-stage PL word formats (`PlFormat::Q20.into()` for
+    /// the paper's uniform build).
+    pub precision: StageFormats,
 }
 
 impl Default for PlanRequest {
@@ -203,7 +226,7 @@ impl Default for PlanRequest {
             bn: BnMode::OnTheFly,
             ps: PsModel::Calibrated,
             pl: PlModel::default(),
-            format: PlFormat::Q20,
+            precision: StageFormats::uniform(PlFormat::Q20),
         }
     }
 }
@@ -216,25 +239,25 @@ impl Default for PlanRequest {
 /// question); executability is checked when an engine is built from
 /// the same configuration.
 pub fn plan_deployment(spec: &NetSpec, req: &PlanRequest) -> Result<DeploymentPlan, EngineError> {
-    let bytes = req.format.bytes()?;
+    req.precision.validate()?;
 
-    // 1. Resolve the placement at the requested word width.
+    // 1. Resolve the placement at the requested per-stage word widths.
     let target = match req.offload {
-        Offload::Auto => plan_offload_at(
+        Offload::Auto => plan_offload_with(
             spec,
             &req.board,
             req.pl.parallelism,
             &req.ps,
             &req.pl,
-            bytes,
+            &req.precision,
         ),
-        Offload::AutoExtended => plan_offload_extended_at(
+        Offload::AutoExtended => plan_offload_extended_with(
             spec,
             &req.board,
             req.pl.parallelism,
             &req.ps,
             &req.pl,
-            bytes,
+            &req.precision,
         ),
         Offload::Target(t) => {
             if !t.applicable_extended(spec) {
@@ -243,7 +266,7 @@ pub fn plan_deployment(spec: &NetSpec, req: &PlanRequest) -> Result<DeploymentPl
                     variant: spec.variant,
                 });
             }
-            if !t.fits_at(&req.board, req.pl.parallelism, bytes) {
+            if !t.fits_with(&req.board, req.pl.parallelism, &req.precision) {
                 return Err(EngineError::InfeasiblePlacement {
                     target: t,
                     parallelism: req.pl.parallelism,
@@ -276,16 +299,19 @@ pub fn plan_deployment(spec: &NetSpec, req: &PlanRequest) -> Result<DeploymentPl
         });
     }
 
-    // 3. Per-stage width-aware resources + timing, and the cached row.
+    // 3. Per-stage width-aware resources + timing — each stage at its
+    //    own resolved word width — and the cached row.
     let stages = target
         .layers()
         .iter()
         .map(|&layer| {
             let plan = spec.plan(layer);
             let execs = if plan.is_ode { plan.execs } else { 1 };
+            let bytes = req.precision.bytes_of(layer);
             let (lut, ff) = modelled_lut_ff_at(layer, req.pl.parallelism, bytes);
             PlannedStage {
                 layer,
+                format: req.precision.format_of(layer),
                 execs,
                 bram36: bram36_at_width(layer, req.pl.parallelism, bytes),
                 dsp: dsp_slices_at_width(req.pl.parallelism, bytes),
@@ -296,21 +322,21 @@ pub fn plan_deployment(spec: &NetSpec, req: &PlanRequest) -> Result<DeploymentPl
             }
         })
         .collect();
-    let timing = table5_row_at(
+    let timing = table5_row_with(
         spec.variant,
         spec.n,
         &target,
         &req.ps,
         &req.pl,
         &req.board,
-        bytes,
+        &req.precision,
     );
 
     Ok(DeploymentPlan {
         spec: *spec,
         board: req.board,
         target,
-        format: req.format,
+        formats: req.precision,
         backend,
         bn: req.bn,
         ps: req.ps,
@@ -336,9 +362,22 @@ impl DeploymentPlan {
         self.target
     }
 
-    /// The PL word format the plan was computed for.
+    /// The *base* PL word format of the plan's precision table — it
+    /// silently under-reports a mixed table, which is why it is
+    /// deprecated in favor of [`DeploymentPlan::precision`] (every
+    /// stage's format) or [`PlannedStage::format`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DeploymentPlan::precision()` — the precision surface is per-stage now"
+    )]
     pub fn pl_format(&self) -> PlFormat {
-        self.format
+        self.formats.base()
+    }
+
+    /// The resolved per-stage PL word-format table the plan was
+    /// computed for.
+    pub fn precision(&self) -> &StageFormats {
+        &self.formats
     }
 
     /// The resolved (never `Auto`) backend kind.
@@ -410,7 +449,7 @@ impl DeploymentPlan {
         format!(
             "{} · {} · {:?} ({} PL stage{}, {:.1} BRAM36) · {:.3}s/img",
             self.spec.display_name(),
-            self.format,
+            self.formats,
             self.target,
             self.stages.len(),
             if self.stages.len() == 1 { "" } else { "s" },
@@ -442,7 +481,7 @@ mod tests {
     fn sixteen_bit_plan_admits_layer32_combos() {
         let spec = NetSpec::new(Variant::OdeNet, 20);
         let req = PlanRequest {
-            format: PlFormat::Q16 { frac: 10 },
+            precision: PlFormat::Q16 { frac: 10 }.into(),
             ..PlanRequest::default()
         };
         let plan = plan_deployment(&spec, &req).expect("16-bit plans");
@@ -473,7 +512,7 @@ mod tests {
             let err = plan_deployment(
                 &spec,
                 &PlanRequest {
-                    format,
+                    precision: format.into(),
                     ..PlanRequest::default()
                 },
             )
@@ -490,14 +529,14 @@ mod tests {
         // Analysis-only widths plan fine (engines reject them at build).
         let spec = NetSpec::new(Variant::OdeNet, 20);
         let req = PlanRequest {
-            format: PlFormat::Custom(QFormat::new(8, 4)),
+            precision: PlFormat::Custom(QFormat::new(8, 4)).into(),
             ..PlanRequest::default()
         };
         let plan = plan_deployment(&spec, &req).expect("8-bit analysis plan");
         let plan16 = plan_deployment(
             &spec,
             &PlanRequest {
-                format: PlFormat::Q16 { frac: 10 },
+                precision: PlFormat::Q16 { frac: 10 }.into(),
                 ..PlanRequest::default()
             },
         )

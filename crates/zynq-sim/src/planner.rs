@@ -13,6 +13,7 @@
 //! path in [`crate::partition`].
 
 use crate::board::Board;
+use crate::precision::StageFormats;
 use crate::timing::{PlModel, PsModel};
 use rodenet::{LayerName, NetSpec, Variant};
 
@@ -107,6 +108,30 @@ impl OffloadTarget {
     /// datapath share scaled by the operand width) — so a reduced-width
     /// shard is not gated by the conservative 32-bit characterization.
     pub fn fits_at(&self, board: &Board, parallelism: usize, bytes_per_value: usize) -> bool {
+        let pairs: Vec<(LayerName, usize)> = self
+            .layers()
+            .iter()
+            .map(|&l| (l, bytes_per_value))
+            .collect();
+        self.fits_pairs(board, parallelism, &pairs)
+    }
+
+    /// Per-stage-width feasibility: like [`OffloadTarget::fits_at`]
+    /// but every layer is priced at its **own** word format from the
+    /// resolved precision table — so a mixed deployment (layer1 at
+    /// Q16 next to layer3_2 at Q20) is admitted exactly when the sum
+    /// of its differently-sized circuits fits the fabric.
+    ///
+    /// # Panics
+    ///
+    /// On a degenerate format in `formats` — callers that accept
+    /// untrusted tables should [`StageFormats::validate`] first, as
+    /// every planning entry point does.
+    pub fn fits_with(&self, board: &Board, parallelism: usize, formats: &StageFormats) -> bool {
+        self.fits_pairs(board, parallelism, &formats.bytes_for(self.layers()))
+    }
+
+    fn fits_pairs(&self, board: &Board, parallelism: usize, pairs: &[(LayerName, usize)]) -> bool {
         for &layer in self.layers() {
             let (channels, _) = layer.geometry();
             if parallelism > channels {
@@ -114,7 +139,7 @@ impl OffloadTarget {
             }
         }
         let (bram36, dsp, lut, ff) =
-            crate::resources::placement_resources_at(self.layers(), parallelism, bytes_per_value);
+            crate::resources::placement_resources_mixed(pairs, parallelism);
         bram36 <= board.bram36 as f64 && dsp <= board.dsp && lut <= board.lut && ff <= board.ff
     }
 
@@ -200,7 +225,15 @@ pub fn plan_offload(
     ps: &PsModel,
     pl: &PlModel,
 ) -> OffloadTarget {
-    plan_with(spec, board, parallelism, ps, pl, false, 4)
+    plan_with(
+        spec,
+        board,
+        parallelism,
+        ps,
+        pl,
+        false,
+        &uniform_for_bytes(4),
+    )
 }
 
 /// Like [`plan_offload`] but also considers once-executed plain blocks
@@ -213,7 +246,15 @@ pub fn plan_offload_extended(
     ps: &PsModel,
     pl: &PlModel,
 ) -> OffloadTarget {
-    plan_with(spec, board, parallelism, ps, pl, true, 4)
+    plan_with(
+        spec,
+        board,
+        parallelism,
+        ps,
+        pl,
+        true,
+        &uniform_for_bytes(4),
+    )
 }
 
 /// Width-aware [`plan_offload`]: feasibility and DMA timing both see
@@ -227,7 +268,15 @@ pub fn plan_offload_at(
     pl: &PlModel,
     bytes_per_value: usize,
 ) -> OffloadTarget {
-    plan_with(spec, board, parallelism, ps, pl, false, bytes_per_value)
+    plan_with(
+        spec,
+        board,
+        parallelism,
+        ps,
+        pl,
+        false,
+        &uniform_for_bytes(bytes_per_value),
+    )
 }
 
 /// Width-aware [`plan_offload_extended`].
@@ -239,7 +288,60 @@ pub fn plan_offload_extended_at(
     pl: &PlModel,
     bytes_per_value: usize,
 ) -> OffloadTarget {
-    plan_with(spec, board, parallelism, ps, pl, true, bytes_per_value)
+    plan_with(
+        spec,
+        board,
+        parallelism,
+        ps,
+        pl,
+        true,
+        &uniform_for_bytes(bytes_per_value),
+    )
+}
+
+/// Per-stage-width [`plan_offload`]: feasibility and the DMA share of
+/// the cost model price every candidate stage at its **own** resolved
+/// format, so the latency-optimal placement can mix widths (the
+/// precision-policy planning entry point).
+///
+/// # Panics
+///
+/// On a degenerate format in `formats` — [`StageFormats::validate`]
+/// first (the `plan_deployment`/`plan_cluster` entry points do).
+pub fn plan_offload_with(
+    spec: &NetSpec,
+    board: &Board,
+    parallelism: usize,
+    ps: &PsModel,
+    pl: &PlModel,
+    formats: &StageFormats,
+) -> OffloadTarget {
+    plan_with(spec, board, parallelism, ps, pl, false, formats)
+}
+
+/// Per-stage-width [`plan_offload_extended`].
+pub fn plan_offload_extended_with(
+    spec: &NetSpec,
+    board: &Board,
+    parallelism: usize,
+    ps: &PsModel,
+    pl: &PlModel,
+    formats: &StageFormats,
+) -> OffloadTarget {
+    plan_with(spec, board, parallelism, ps, pl, true, formats)
+}
+
+/// A synthetic uniform format table carrying the right storage width
+/// for the byte-level compatibility entry points (only `bytes` reaches
+/// the resource/DMA models, so the binary point is arbitrary).
+pub(crate) fn uniform_for_bytes(bytes_per_value: usize) -> StageFormats {
+    use crate::plan::PlFormat;
+    let format = match bytes_per_value {
+        4 => PlFormat::Q20,
+        2 => PlFormat::Q16 { frac: 8 },
+        b => PlFormat::Custom(qfixed::QFormat::new(8 * b as u32, 4 * b as u32)),
+    };
+    StageFormats::uniform(format)
 }
 
 /// The shared Auto-selection engine: a single board is planned as the
@@ -259,14 +361,14 @@ fn plan_with(
     ps: &PsModel,
     pl: &PlModel,
     extended: bool,
-    bytes_per_value: usize,
+    formats: &StageFormats,
 ) -> OffloadTarget {
     let model = if pl.parallelism == parallelism {
         *pl
     } else {
         PlModel { parallelism }
     };
-    crate::partition::select_single_board(spec, board, ps, &model, extended, bytes_per_value)
+    crate::partition::select_single_board(spec, board, ps, &model, extended, formats)
 }
 
 #[cfg(test)]

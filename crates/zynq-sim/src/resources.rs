@@ -298,11 +298,24 @@ pub fn placement_resources_at(
     parallelism: usize,
     bytes_per_value: usize,
 ) -> (f64, u32, u32, u32) {
+    let pairs: Vec<(LayerName, usize)> = layers.iter().map(|&l| (l, bytes_per_value)).collect();
+    placement_resources_mixed(&pairs, parallelism)
+}
+
+/// [`placement_resources_at`] with a **per-circuit** parameter width:
+/// each `(layer, bytes_per_value)` pair is priced at its own word
+/// format — the mixed-precision generalization the per-stage policies
+/// feasibility-check against. The uniform entry point above is the
+/// all-stages-same-bytes special case.
+pub fn placement_resources_mixed(
+    stages: &[(LayerName, usize)],
+    parallelism: usize,
+) -> (f64, u32, u32, u32) {
     let mut bram36 = 0.0f64;
     let mut dsp = 0u32;
     let mut lut = 0u32;
     let mut ff = 0u32;
-    for &layer in layers {
+    for &(layer, bytes_per_value) in stages {
         bram36 += bram36_at_width(layer, parallelism, bytes_per_value);
         dsp += dsp_slices_at_width(parallelism, bytes_per_value);
         let (l, f) = modelled_lut_ff_at(layer, parallelism, bytes_per_value);

@@ -14,6 +14,7 @@
 
 use crate::board::{Board, PYNQ_Z2};
 use crate::planner::OffloadTarget;
+use crate::precision::StageFormats;
 use crate::resources::timing_closure_hz;
 use rodenet::{LayerName, NetSpec, Variant};
 
@@ -231,13 +232,37 @@ impl PlModel {
         board: &Board,
         bytes_per_value: usize,
     ) -> f64 {
+        self.placement_seconds_by(spec, target, board, |_| bytes_per_value)
+    }
+
+    /// [`PlModel::placement_seconds_at`] with **per-stage** word
+    /// widths: each stage's DMA share is priced at its own resolved
+    /// format, so the partitioner's cost model sees mixed-precision
+    /// deployments exactly as they will run.
+    pub fn placement_seconds_with(
+        &self,
+        spec: &NetSpec,
+        target: &OffloadTarget,
+        board: &Board,
+        formats: &StageFormats,
+    ) -> f64 {
+        self.placement_seconds_by(spec, target, board, |layer| formats.bytes_of(layer))
+    }
+
+    fn placement_seconds_by(
+        &self,
+        spec: &NetSpec,
+        target: &OffloadTarget,
+        board: &Board,
+        bytes_of: impl Fn(LayerName) -> usize,
+    ) -> f64 {
         target
             .layers()
             .iter()
             .map(|&layer| {
                 let plan = spec.plan(layer);
                 let execs = if plan.is_ode { plan.execs } else { 1 };
-                self.stage_seconds_at(layer, execs, board, bytes_per_value)
+                self.stage_seconds_at(layer, execs, board, bytes_of(layer))
             })
             .sum()
     }
@@ -290,6 +315,38 @@ pub fn table5_row_at(
     board: &Board,
     bytes_per_value: usize,
 ) -> Table5Row {
+    table5_row_by(variant, n, offload, ps, pl, board, |_| bytes_per_value)
+}
+
+/// [`table5_row`] with **per-stage** word widths from a resolved
+/// precision table: each offloaded stage's "Target w/ PL" cell pays
+/// its own format's DMA share, so a mixed deployment's cached latency
+/// decomposition prices every stage at the width it will execute in.
+#[allow(clippy::too_many_arguments)]
+pub fn table5_row_with(
+    variant: Variant,
+    n: usize,
+    offload: &OffloadTarget,
+    ps: &PsModel,
+    pl: &PlModel,
+    board: &Board,
+    formats: &StageFormats,
+) -> Table5Row {
+    table5_row_by(variant, n, offload, ps, pl, board, |layer| {
+        formats.bytes_of(layer)
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn table5_row_by(
+    variant: Variant,
+    n: usize,
+    offload: &OffloadTarget,
+    ps: &PsModel,
+    pl: &PlModel,
+    board: &Board,
+    bytes_of: impl Fn(LayerName) -> usize,
+) -> Table5Row {
     let spec = NetSpec::new(variant, n);
     let total_wo_pl = ps.spec_seconds(&spec, board);
     let mut targets_wo_pl = Vec::new();
@@ -302,7 +359,7 @@ pub fn table5_row_at(
             "only single-instance (ODE) layers are offloaded in the paper"
         );
         let wo = ps.stage_seconds(layer, plan.is_ode, plan.execs, board);
-        let w = pl.stage_seconds_at(layer, plan.execs, board, bytes_per_value);
+        let w = pl.stage_seconds_at(layer, plan.execs, board, bytes_of(layer));
         ratio_pct.push(100.0 * wo / total_wo_pl);
         targets_wo_pl.push(wo);
         targets_w_pl.push(w);

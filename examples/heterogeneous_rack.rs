@@ -26,7 +26,7 @@ fn main() {
     let build = |partitioner: Partitioner| {
         Engine::builder(&net)
             .cluster(rack())
-            .pl_format(PlFormat::Q16 { frac: 10 })
+            .precision(PlFormat::Q16 { frac: 10 })
             .schedule(Schedule::Pipelined)
             .partitioner(partitioner)
             .build()

@@ -98,7 +98,7 @@ fn main() {
         PlFormat::Q16 { frac: 12 },
         PlFormat::Q16 { frac: 10 },
     ] {
-        match Engine::builder(&net).pl_format(format).plan() {
+        match Engine::builder(&net).precision(format).plan() {
             Ok(plan) => println!(
                 "  {:<16} plans {:?}: {:.1} BRAM36, {:.3}s per image",
                 format.to_string(),

@@ -1,0 +1,118 @@
+//! Mixed-precision deployment: give each ODE stage its own PL word
+//! format.
+//!
+//! Three acts:
+//!
+//! 1. an explicit per-stage table ([`Precision::PerStage`]) places
+//!    layer1 at the paper's Q20 next to a Q16 layer3_2 on one PYNQ-Z2
+//!    — a pairing uniform Q20 can never fit (64 + 140 BRAM36 > 140);
+//! 2. the same idea across a heterogeneous rack: layer1 at Q16 on the
+//!    half-size XC7Z010, layer3_2 at Q20 on the XC7Z020;
+//! 3. [`Precision::Calibrated`] picks each stage's `frac` from
+//!    activation ranges measured on a sample batch — no training, no
+//!    labels, just a forward pass and an integer-bit headroom margin.
+//!
+//! ```text
+//! cargo run --release --example mixed_precision
+//! ```
+
+use odenet_suite::prelude::*;
+use zynq_sim::{ARTY_Z7_10, ARTY_Z7_20};
+
+fn main() {
+    let net = Network::new(NetSpec::new(Variant::OdeNet, 20).with_classes(10), 7);
+    let image = Tensor::<f32>::zeros(Shape4::new(1, 3, 32, 32));
+    let q16 = PlFormat::Q16 { frac: 10 };
+
+    // ---- Act 1: one board, two widths -------------------------------
+    let target = Offload::Target(OffloadTarget::Layer1And32);
+    let uniform = Engine::builder(&net).offload(target).build();
+    println!(
+        "uniform Q20, layer1+layer3_2 on one XC7Z020: {}",
+        uniform
+            .map(|_| "ok".into())
+            .unwrap_or_else(|e| format!("rejected — {e}"))
+    );
+
+    let mixed = StageFormats::uniform(PlFormat::Q20).with(LayerName::Layer3_2, q16);
+    let engine = Engine::builder(&net)
+        .offload(target)
+        .precision(Precision::PerStage(mixed))
+        .build()
+        .expect("the mixed pair fits: 64 + 70 BRAM36");
+    println!("mixed table : {}", engine.describe());
+    let plan = engine.plan().expect("built-in backend");
+    for s in plan.stages() {
+        println!(
+            "  {:<9} {:>16}  {:>5.1} BRAM36  {:>3} DSP  {:>6} DMA words",
+            s.layer.name(),
+            s.format.to_string(),
+            s.bram36,
+            s.dsp,
+            s.dma_words
+        );
+    }
+    let run = engine.infer(&image).expect("serves");
+    println!(
+        "  -> {:.3}s/img, {} DMA words (plan predicted {:.3}s, {})",
+        run.total_seconds(),
+        run.dma_words,
+        plan.total_seconds(),
+        plan.dma_words()
+    );
+
+    // ---- Act 2: a rack, each stage on the fabric its width fits -----
+    let rack = Cluster::new(vec![ARTY_Z7_10, ARTY_Z7_20], Interconnect::GIGABIT_ETHERNET);
+    let table = StageFormats::uniform(PlFormat::Q20).with(LayerName::Layer1, q16);
+    let engine = Engine::builder(&net)
+        .cluster(rack)
+        .offload(target)
+        .precision(Precision::PerStage(table))
+        .build()
+        .expect("layer1@Q16 fits the XC7Z010, layer3_2@Q20 the XC7Z020");
+    let cplan = engine.cluster_plan().expect("cluster plan");
+    println!("\nrack        : {}", cplan.describe());
+    for shard in cplan.shards() {
+        for s in &shard.stages {
+            println!(
+                "  board{} {:<9} {:>16}  {:>5.1} BRAM36",
+                shard.board,
+                s.layer.name(),
+                s.format.to_string(),
+                s.bram36
+            );
+        }
+    }
+
+    // ---- Act 3: let measurement pick the fracs ----------------------
+    let sample: Vec<Tensor<f32>> = (0..4)
+        .map(|i| {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(100 + i);
+            Tensor::from_fn(Shape4::new(1, 3, 32, 32), |_, _, _, _| {
+                rng.random::<f32>() - 0.5
+            })
+        })
+        .collect();
+    let engine = Engine::builder(&net)
+        .precision(Precision::Calibrated {
+            total_bits: 16,
+            headroom_bits: 1,
+            sample,
+        })
+        .build()
+        .expect("calibration resolves executable 16-bit formats");
+    println!("\ncalibrated  : {}", engine.describe());
+    println!(
+        "  measured activation envelopes chose: {}",
+        engine.precision()
+    );
+    let run = engine.infer(&image).expect("serves");
+    println!(
+        "  -> target {:?}, {} DMA words/img (Q20 uniform would pay {})",
+        engine.target(),
+        run.dma_words,
+        2 * run.dma_words
+    );
+}

@@ -46,7 +46,7 @@ fn main() {
     let builder = Engine::builder(&net)
         .board(&PYNQ_Z2)
         .offload(Offload::Auto)
-        .pl_format(PlFormat::Q20) // the runtime word-width dial
+        .precision(Precision::Uniform(PlFormat::Q20)) // the per-stage word-width dial
         .ps_model(PsModel::Calibrated)
         .pl_model(PlModel::default())
         .bn_mode(BnMode::OnTheFly);
@@ -114,12 +114,12 @@ fn main() {
     //    planner keep MORE layers on the PL than Q20 ever could.
     let net16 = Network::new(NetSpec::new(Variant::OdeNet, 20).with_classes(100), 42);
     let plan16 = Engine::builder(&net16)
-        .pl_format(PlFormat::Q16 { frac: 10 })
+        .precision(PlFormat::Q16 { frac: 10 })
         .plan()
         .expect("16-bit plans");
     println!(
         "16-bit bonus : ODENet-20 at {} places {:?} — infeasible at Q20",
-        plan16.pl_format(),
+        plan16.precision(),
         plan16.target(),
     );
 }

@@ -68,6 +68,7 @@ pub mod prelude {
     pub use zynq_sim::partition::{partition_placement, resource_busy, Partitioner};
     pub use zynq_sim::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
     pub use zynq_sim::planner::{plan_offload, OffloadTarget};
+    pub use zynq_sim::precision::{Precision, StageFormats};
     pub use zynq_sim::timing::{paper_row, PlModel, PsModel};
     pub use zynq_sim::{
         ode_block_resources, HybridRun, OdeBlockAccel, ARTY_Z7_10, ARTY_Z7_20, PYNQ_Z2,

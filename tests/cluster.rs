@@ -150,7 +150,7 @@ fn sixteen_bit_cluster_needs_only_one_board() {
     let net = Network::new(spec, 5);
     let engine = Engine::builder(&net)
         .cluster(two_arty())
-        .pl_format(PlFormat::Q16 { frac: 10 })
+        .precision(PlFormat::Q16 { frac: 10 })
         .build()
         .expect("16-bit builds");
     let plan = engine.cluster_plan().unwrap();
@@ -175,7 +175,7 @@ fn balanced_partitioner_beats_first_fit_by_1_15x_on_two_board_rack() {
     let build = |partitioner: Partitioner| {
         Engine::builder(&net)
             .cluster(rack())
-            .pl_format(PlFormat::Q16 { frac: 10 })
+            .precision(PlFormat::Q16 { frac: 10 })
             .schedule(Schedule::Pipelined)
             .partitioner(partitioner)
             .build()
@@ -244,7 +244,7 @@ fn balanced_puts_heavy_stages_on_the_big_fabric() {
         bn: BnMode::OnTheFly,
         ps: PsModel::Calibrated,
         pl: PlModel::default(),
-        format: PlFormat::Q16 { frac: 10 },
+        precision: PlFormat::Q16 { frac: 10 }.into(),
         schedule: Schedule::Pipelined,
         partitioner,
     };
@@ -282,7 +282,7 @@ fn heterogeneous_rack_order_never_changes_logits() {
     big.bram36 *= 2;
     let reference = Engine::builder(&net)
         .board(&big)
-        .pl_format(q16)
+        .precision(q16)
         .offload(Offload::Target(OffloadTarget::AllOde))
         .build()
         .expect("reference fits");
@@ -291,7 +291,7 @@ fn heterogeneous_rack_order_never_changes_logits() {
         for partitioner in [Partitioner::FirstFit, Partitioner::BalancedMakespan] {
             let engine = Engine::builder(&net)
                 .cluster(Cluster::new(boards.clone(), Interconnect::GIGABIT_ETHERNET))
-                .pl_format(q16)
+                .precision(q16)
                 .offload(Offload::Target(OffloadTarget::AllOde))
                 .partitioner(partitioner)
                 .build()
@@ -397,7 +397,7 @@ proptest! {
             bn: BnMode::OnTheFly,
             ps: PsModel::Calibrated,
             pl: PlModel::default(),
-            format,
+            precision: format.into(),
             schedule,
             partitioner,
         };

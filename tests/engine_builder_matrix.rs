@@ -62,7 +62,7 @@ fn full_matrix_is_total_and_typed() {
             for bn in [BnMode::OnTheFly, BnMode::Running] {
                 for offload in offloads {
                     let result = Engine::builder(&net)
-                        .pl_format(format)
+                        .precision(format)
                         .backend(backend)
                         .bn_mode(bn)
                         .offload(offload)
@@ -124,32 +124,34 @@ fn conflict_classes_are_the_documented_errors() {
 
     // Degenerate formats fail even planning.
     let err = Engine::builder(&net)
-        .pl_format(PlFormat::Q16 { frac: 16 })
+        .precision(PlFormat::Q16 { frac: 16 })
         .plan()
         .expect_err("frac == total bits");
     assert_eq!(
         err,
         EngineError::UnsupportedFormat {
             total_bits: 16,
-            frac_bits: 16
+            frac_bits: 16,
+            stage: None
         }
     );
 
     // Analysis-only widths plan but do not build.
-    let b = Engine::builder(&net).pl_format(PlFormat::Custom(QFormat::new(24, 12)));
+    let b = Engine::builder(&net).precision(PlFormat::Custom(QFormat::new(24, 12)));
     assert!(b.plan().is_ok());
     assert!(matches!(
         b.build(),
         Err(EngineError::UnsupportedFormat {
             total_bits: 24,
-            frac_bits: 12
+            frac_bits: 12,
+            stage: None
         })
     ));
 
     // PS software cannot host PL stages, at any width.
     for format in [PlFormat::Q20, PlFormat::Q16 { frac: 10 }] {
         let err = Engine::builder(&net)
-            .pl_format(format)
+            .precision(format)
             .backend(BackendKind::PsSoftware)
             .offload(Offload::Target(OffloadTarget::Layer32))
             .build()
@@ -160,7 +162,7 @@ fn conflict_classes_are_the_documented_errors() {
     // The circuit computes statistics on the fly, at any width.
     for format in [PlFormat::Q20, PlFormat::Q16 { frac: 10 }] {
         let err = Engine::builder(&net)
-            .pl_format(format)
+            .precision(format)
             .backend(BackendKind::PlBitExact)
             .bn_mode(BnMode::Running)
             .build()
@@ -183,7 +185,7 @@ fn conflict_classes_are_the_documented_errors() {
         Err(EngineError::InfeasiblePlacement { .. })
     ));
     assert!(Engine::builder(&net_ode)
-        .pl_format(PlFormat::Q16 { frac: 10 })
+        .precision(PlFormat::Q16 { frac: 10 })
         .offload(Offload::Target(OffloadTarget::AllOde))
         .build()
         .is_ok());

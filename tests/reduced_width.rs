@@ -125,7 +125,7 @@ fn sixteen_bit_auto_deploys_placement_infeasible_at_q20() {
     // ODE blocks, so the width is the only thing gating the placement.
     let net = Network::new(NetSpec::new(Variant::OdeNet, 20).with_classes(10), 99);
     let engine = Engine::builder(&net)
-        .pl_format(PlFormat::Q16 { frac: 10 })
+        .precision(PlFormat::Q16 { frac: 10 })
         .offload(Offload::Auto)
         .build()
         .expect("16-bit deployment builds");
