@@ -34,6 +34,9 @@
 //!                 synthcifar network, measure activation ranges, and
 //!                 compare Uniform Q20 / Uniform Q16 / Calibrated mixed
 //!                 (chosen frac per stage, DMA words, test accuracy)
+//!   serve         Extension: online serving — Poisson load sweep over
+//!                 the 2-board ODENet-20 pipeline (load/latency curve)
+//!                 and a dispatch-policy face-off at half the ceiling
 //!   all           Everything except the slow fig6 full sweep
 //!
 //! Flags
@@ -41,6 +44,7 @@
 //!   --epochs=<e>     Override fig6 epochs
 //!   --full           fig6: the full (slow) sweep over N = 20..56
 //!   --seed=<s>       RNG seed (default 42)
+//!   --images=<k>     serve: stream length per load point (default 256)
 //! ```
 
 use bench::{pct2, s2, Table};
@@ -60,6 +64,7 @@ struct Flags {
     epochs: Option<usize>,
     full: bool,
     seed: u64,
+    images: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -68,6 +73,7 @@ fn parse_flags(args: &[String]) -> Flags {
         epochs: None,
         full: false,
         seed: 42,
+        images: None,
     };
     for a in args {
         if let Some(v) = a.strip_prefix("--n=") {
@@ -78,6 +84,8 @@ fn parse_flags(args: &[String]) -> Flags {
             f.full = true;
         } else if let Some(v) = a.strip_prefix("--seed=") {
             f.seed = v.parse().expect("--seed=<s>");
+        } else if let Some(v) = a.strip_prefix("--images=") {
+            f.images = Some(v.parse().expect("--images=<k>"));
         } else {
             panic!("unknown flag {a}");
         }
@@ -85,54 +93,74 @@ fn parse_flags(args: &[String]) -> Flags {
     f
 }
 
+/// Every dispatchable command, in the order the module docs list them.
+/// `main` resolves names against this table, so an unknown command can
+/// print the real list instead of a bare error — and the smoke test
+/// below asserts the table never silently drifts from the docs.
+type Command = (&'static str, fn(&Flags));
+
+fn command_registry() -> Vec<Command> {
+    vec![
+        ("table1", |_| table1()),
+        ("table2", |f| table2_cmd(f.n)),
+        ("table3", |_| table3_cmd()),
+        ("table4", |f| table4_cmd(f.n)),
+        ("table5", |_| table5_cmd()),
+        ("fig5", |_| fig5_cmd()),
+        ("fig6", fig6_cmd),
+        ("cycles", |_| cycles_cmd()),
+        ("reductions", |_| reductions_cmd()),
+        ("amdahl", |f| amdahl_cmd(f.n)),
+        ("bitexact", |f| bitexact_cmd(f.seed)),
+        ("quantization", quantization_cmd),
+        ("macpolicy", |_| macpolicy_cmd()),
+        ("solver", solver_cmd),
+        ("planner", |_| planner_cmd()),
+        ("widths", |f| widths_cmd(f.n)),
+        ("energy", |_| energy_cmd()),
+        ("engine", |f| engine_cmd(f.seed)),
+        ("cluster", |_| cluster_cmd()),
+        ("partition", |_| partition_cmd()),
+        ("calibrate", calibrate_cmd),
+        ("serve", serve_cmd),
+        ("all", all_cmd),
+    ]
+}
+
+fn all_cmd(flags: &Flags) {
+    table1();
+    table2_cmd(flags.n);
+    table3_cmd();
+    table4_cmd(flags.n);
+    table5_cmd();
+    fig5_cmd();
+    cycles_cmd();
+    reductions_cmd();
+    amdahl_cmd(flags.n);
+    bitexact_cmd(flags.seed);
+    macpolicy_cmd();
+    planner_cmd();
+    widths_cmd(flags.n);
+    energy_cmd();
+    engine_cmd(flags.seed);
+    cluster_cmd();
+    partition_cmd();
+    serve_cmd(flags);
+    println!("\n(run `repro fig6`, `repro quantization`, `repro solver`, `repro calibrate` separately — they train networks)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
     let flags = parse_flags(&args[1.min(args.len())..]);
-    match cmd {
-        "table1" => table1(),
-        "table2" => table2_cmd(flags.n),
-        "table3" => table3_cmd(),
-        "table4" => table4_cmd(flags.n),
-        "table5" => table5_cmd(),
-        "fig5" => fig5_cmd(),
-        "fig6" => fig6_cmd(&flags),
-        "cycles" => cycles_cmd(),
-        "reductions" => reductions_cmd(),
-        "amdahl" => amdahl_cmd(flags.n),
-        "bitexact" => bitexact_cmd(flags.seed),
-        "quantization" => quantization_cmd(&flags),
-        "macpolicy" => macpolicy_cmd(),
-        "solver" => solver_cmd(&flags),
-        "planner" => planner_cmd(),
-        "widths" => widths_cmd(flags.n),
-        "energy" => energy_cmd(),
-        "engine" => engine_cmd(flags.seed),
-        "cluster" => cluster_cmd(),
-        "partition" => partition_cmd(),
-        "calibrate" => calibrate_cmd(&flags),
-        "all" => {
-            table1();
-            table2_cmd(flags.n);
-            table3_cmd();
-            table4_cmd(flags.n);
-            table5_cmd();
-            fig5_cmd();
-            cycles_cmd();
-            reductions_cmd();
-            amdahl_cmd(flags.n);
-            bitexact_cmd(flags.seed);
-            macpolicy_cmd();
-            planner_cmd();
-            widths_cmd(flags.n);
-            energy_cmd();
-            engine_cmd(flags.seed);
-            cluster_cmd();
-            partition_cmd();
-            println!("\n(run `repro fig6`, `repro quantization`, `repro solver`, `repro calibrate` separately — they train networks)");
-        }
-        _ => {
-            println!("unknown command '{cmd}'; see the module docs in repro.rs");
+    let registry = command_registry();
+    match registry.iter().find(|(name, _)| *name == cmd) {
+        Some((_, run)) => run(&flags),
+        None => {
+            let known: Vec<&str> = registry.iter().map(|(name, _)| *name).collect();
+            println!("unknown command '{cmd}'");
+            println!("known commands: {}", known.join(", "));
+            println!("(see the module docs in repro.rs for what each one regenerates)");
         }
     }
 }
@@ -1235,4 +1263,190 @@ fn calibrate_cmd(flags: &Flags) {
          assumptions: float forward as the range proxy, envelope over stage inputs, Euler \
          states, f evaluations, and parameters)"
     );
+}
+
+fn serve_cmd(flags: &Flags) {
+    use zynq_sim::engine::Offload;
+    use zynq_sim::plan::PlFormat;
+    use zynq_sim::serve::{
+        serve_timeline, sweep_timeline, ArrivalProcess, Dispatch, LoadSweep, ServeRequest,
+    };
+    use zynq_sim::{plan_cluster, Cluster, ClusterRequest, Interconnect, Schedule, ARTY_Z7_20};
+
+    // The serving rack: the cluster command's 2-board ODENet-20 at Q20
+    // — the placement a single XC7Z020 cannot host. Everything below
+    // replays seeded virtual-time arrivals over the plan's stage
+    // pipeline: zero numerics, bit-stable across machines.
+    let request = ClusterRequest {
+        cluster: Cluster::homogeneous(&ARTY_Z7_20, 2, Interconnect::GIGABIT_ETHERNET),
+        offload: Offload::Auto,
+        bn: BnMode::OnTheFly,
+        ps: PsModel::Calibrated,
+        pl: PlModel::default(),
+        precision: PlFormat::Q20.into(),
+        schedule: Schedule::Pipelined,
+        partitioner: zynq_sim::Partitioner::FirstFit,
+    };
+    let spec = NetSpec::new(Variant::OdeNet, 20);
+    let plan = plan_cluster(&spec, &request).expect("two XC7Z020s carry ODENet-20 at Q20");
+    let ceiling = 1.0 / plan.bottleneck_seconds();
+    let images = flags.images.unwrap_or(256);
+    println!(
+        "serving {} · unloaded {:.3}s/img · pipelined ceiling {:.2} img/s",
+        plan.describe(),
+        plan.total_seconds(),
+        ceiling,
+    );
+
+    // The load/latency curve: Poisson offered load from 0.1x to 1.2x
+    // of the ceiling under deadline dispatch. The knee sits where
+    // queueing starts dominating service; past 1.0x the queue diverges
+    // and only the stream's finite length bounds the tail.
+    let sweep = LoadSweep {
+        images,
+        seed: flags.seed,
+        ..LoadSweep::default()
+    };
+    let points = sweep_timeline(plan.timeline(), &sweep).expect("valid sweep");
+    let mut t = Table::new(
+        "Extension: online serving — Poisson load sweep, ODENet-20 on 2 Arty Z7-20 (Q20, deadline 50ms)",
+        &[
+            "load [x ceiling]",
+            "offered [img/s]",
+            "goodput [img/s]",
+            "p50 [s]",
+            "p99 [s]",
+            "p99.9 [s]",
+            "queue <=",
+            "mean batch",
+        ],
+    );
+    for p in &points {
+        t.row(vec![
+            format!("{:.1}", p.fraction),
+            format!("{:.2}", p.offered),
+            format!("{:.2}", p.report.goodput),
+            s2(p.report.latency_p50),
+            s2(p.report.latency_p99),
+            s2(p.report.latency_p999),
+            p.report.queue_peak.to_string(),
+            format!("{:.1}", p.report.mean_batch()),
+        ]);
+    }
+    t.emit("serve");
+    println!(
+        "(open-loop Poisson arrivals, seed {}; {} images per point; latency is total \
+         arrival-to-completion — queueing, batching delay, hand-offs, and pipeline \
+         contention priced together)",
+        flags.seed, images,
+    );
+
+    // Dispatch-policy face-off at half the ceiling: continuous
+    // micro-batching against the classical fixed batch the closed-loop
+    // benchmarks use. Fixed-32 makes early images wait for the batch
+    // to fill — its p99 pays the whole accumulation window.
+    let mut t2 = Table::new(
+        "Extension: dispatch policies at 0.5x ceiling — deadline vs head-idle vs fixed batch",
+        &[
+            "policy",
+            "p50 [s]",
+            "p99 [s]",
+            "max [s]",
+            "goodput [img/s]",
+            "batches",
+        ],
+    );
+    let policies: [(&str, Dispatch); 4] = [
+        ("admit on arrival", Dispatch::Deadline { deadline: 0.0 }),
+        ("deadline 50ms", Dispatch::default()),
+        (
+            "head-idle only",
+            Dispatch::Deadline {
+                deadline: f64::INFINITY,
+            },
+        ),
+        ("fixed batch 32", Dispatch::FixedBatch { size: 32 }),
+    ];
+    for (name, dispatch) in policies {
+        let report = serve_timeline(
+            plan.timeline(),
+            &ServeRequest {
+                arrivals: ArrivalProcess::Poisson {
+                    rate: 0.5 * ceiling,
+                },
+                images,
+                dispatch,
+                seed: flags.seed,
+            },
+        )
+        .expect("valid request");
+        t2.row(vec![
+            name.into(),
+            s2(report.latency_p50),
+            s2(report.latency_p99),
+            s2(report.latency_max),
+            format!("{:.2}", report.goodput),
+            report.batches.to_string(),
+        ]);
+    }
+    t2.emit("serve_dispatch");
+    println!(
+        "(assumptions inherited from the pipelined scheduler: head-board PS runs all \
+         software stages without preemption, one in-flight image per board, transfers \
+         occupy no compute resource)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is `main`'s single source of dispatchable names:
+    /// every command the module docs advertise must resolve, exactly
+    /// once, and the unknown-command path must have a real list to
+    /// print.
+    #[test]
+    fn every_documented_command_is_registered() {
+        let registry = command_registry();
+        let names: Vec<&str> = registry.iter().map(|(name, _)| *name).collect();
+        let documented = [
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fig5",
+            "fig6",
+            "cycles",
+            "reductions",
+            "amdahl",
+            "bitexact",
+            "quantization",
+            "macpolicy",
+            "solver",
+            "planner",
+            "widths",
+            "energy",
+            "engine",
+            "cluster",
+            "partition",
+            "calibrate",
+            "serve",
+            "all",
+        ];
+        assert_eq!(
+            names, documented,
+            "registry and module docs must list the same commands in the same order"
+        );
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "no duplicate command names");
+        for name in documented {
+            assert!(
+                registry.iter().any(|(n, _)| *n == name),
+                "`{name}` must dispatch"
+            );
+        }
+    }
 }

@@ -527,10 +527,39 @@ impl PipelineRun {
         crate::engine::latency_percentiles(self.latencies.clone()).0
     }
 
-    /// Worst-case per-image latency.
-    pub fn latency_max(&self) -> f64 {
+    /// 99th-percentile per-image latency (same index convention as
+    /// [`crate::engine::BatchSummary::latency_p99`]).
+    pub fn latency_p99(&self) -> f64 {
         crate::engine::latency_percentiles(self.latencies.clone()).1
     }
+
+    /// Worst-case per-image latency.
+    pub fn latency_max(&self) -> f64 {
+        crate::engine::latency_percentiles(self.latencies.clone()).2
+    }
+}
+
+/// Outcome of the release-aware event-driven schedule
+/// ([`pipelined_schedule_released`]) — the serving generalization of
+/// [`PipelineRun`], with absolute per-image instants instead of
+/// relative latencies and the head-idle instant the admission side of
+/// [`crate::serve`] dispatches on.
+#[derive(Clone, Debug)]
+pub struct ServedRun {
+    /// Virtual seconds from t = 0 to the last image's completion.
+    pub makespan: f64,
+    /// Per-image instant its first stage begins (minus a leading
+    /// hand-off — the transfer is part of serving the image). Never
+    /// earlier than the image's release.
+    pub starts: Vec<f64>,
+    /// Per-image completion instant (last stage done).
+    pub finishes: Vec<f64>,
+    /// The instant the **head resource** — the one executing the
+    /// pipeline's first stage, which lives on the head board — runs out
+    /// of scheduled work and goes idle. This is the earliest moment a
+    /// new dispatch could begin executing, which is exactly what the
+    /// serving micro-batcher triggers on.
+    pub head_idle: f64,
 }
 
 /// Event-driven pipelined makespan: every resource (head PS, each
@@ -541,16 +570,36 @@ impl PipelineRun {
 /// paper's model is input-independent — so this is a deterministic
 /// simulation.
 pub fn pipelined_schedule(timeline: &[StageTiming], images: usize) -> PipelineRun {
+    let run = pipelined_schedule_released(timeline, &vec![0.0f64; images]);
+    PipelineRun {
+        makespan: run.makespan,
+        latencies: run
+            .finishes
+            .iter()
+            .zip(&run.starts)
+            .map(|(f, s)| f - s)
+            .collect(),
+    }
+}
+
+/// [`pipelined_schedule`] with per-image **release times**: image `i`
+/// may not start before `releases[i]` (its dispatch instant in an
+/// online stream; all zeros reproduces the closed-batch schedule
+/// exactly). Releases must be sorted ascending so the oldest-image
+/// tie-break keeps arrival order.
+pub fn pipelined_schedule_released(timeline: &[StageTiming], releases: &[f64]) -> ServedRun {
+    let images = releases.len();
     let slots = timeline
         .iter()
         .map(|s| s.resource.slot())
         .max()
         .map_or(1, |m| m + 1);
+    let head_slot = timeline.first().map_or(0, |s| s.resource.slot());
     let mut free = vec![0.0f64; slots];
     let mut next = vec![0usize; images];
-    let mut ready = vec![0.0f64; images];
-    let mut first_start = vec![0.0f64; images];
-    let mut latencies = vec![0.0f64; images];
+    let mut ready = releases.to_vec();
+    let mut starts = vec![0.0f64; images];
+    let mut finishes = vec![0.0f64; images];
     let mut makespan = 0.0f64;
     for _ in 0..images * timeline.len() {
         // The globally earliest-startable pending stage; ties go to the
@@ -573,18 +622,20 @@ pub fn pipelined_schedule(timeline: &[StageTiming], images: usize) -> PipelineRu
         if next[i] == 0 {
             // Latency runs from the moment the image's first transfer
             // begins (a leading hand-off is part of serving the image).
-            first_start[i] = start - stage.transfer_in;
+            starts[i] = start - stage.transfer_in;
         }
         ready[i] = done;
         next[i] += 1;
         if next[i] == timeline.len() {
-            latencies[i] = done - first_start[i];
+            finishes[i] = done;
             makespan = makespan.max(done);
         }
     }
-    PipelineRun {
+    ServedRun {
         makespan,
-        latencies,
+        starts,
+        finishes,
+        head_idle: free[head_slot],
     }
 }
 

@@ -76,12 +76,15 @@
 use crate::board::Board;
 #[cfg(test)]
 use crate::board::PYNQ_Z2;
-use crate::cluster::{plan_cluster, Cluster, ClusterPlan, ClusterRequest, Schedule, StageTiming};
+use crate::cluster::{
+    plan_cluster, Cluster, ClusterPlan, ClusterRequest, Interconnect, Schedule, StageTiming,
+};
 use crate::datapath::OdeBlockAccel;
 use crate::partition::Partitioner;
 use crate::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
 use crate::planner::OffloadTarget;
 use crate::precision::{Precision, StageFormats};
+use crate::serve::{LoadPoint, LoadSweep, ServeReport, ServeRequest};
 use crate::timing::{PlModel, PsModel, Table5Row};
 use qfixed::{Fix, Fix16};
 use rodenet::{BnMode, LayerName, Network, QuantNetwork, ResBlock, Variant};
@@ -219,6 +222,19 @@ pub enum EngineError {
     },
     /// `infer_batch` was called with no inputs.
     EmptyBatch,
+    /// [`Engine::serve`] needs the build-time stage pipeline to replay
+    /// the request stream against, and the engine has no plan that
+    /// carries one (custom backends own their execution strategy).
+    ServeRequiresPlan {
+        /// The planless backend.
+        backend: &'static str,
+    },
+    /// A serving request that cannot produce a well-formed arrival
+    /// stream or dispatch policy (see [`crate::serve`]).
+    InvalidServe {
+        /// What is malformed, in the caller's terms.
+        reason: &'static str,
+    },
 }
 
 impl core::fmt::Display for EngineError {
@@ -337,6 +353,15 @@ impl core::fmt::Display for EngineError {
                 "input must be shaped (N\u{2265}1, 3, H\u{2265}4, W\u{2265}4), got {got:?}"
             ),
             EngineError::EmptyBatch => f.write_str("infer_batch needs at least one input"),
+            EngineError::ServeRequiresPlan { backend } => write!(
+                f,
+                "cannot serve through backend `{backend}`: no deployment plan carries \
+                 its stage timing — serving replays arrivals against the build-time \
+                 pipeline, so it needs a built-in (planned) backend"
+            ),
+            EngineError::InvalidServe { reason } => {
+                write!(f, "invalid serve request: {reason}")
+            }
         }
     }
 }
@@ -401,6 +426,9 @@ pub struct BatchSummary {
     /// empty batch). Under a pipelined schedule this includes queueing
     /// behind the bottleneck resource.
     pub latency_p50: f64,
+    /// 99th-percentile per-image latency in seconds (`0.0` for an
+    /// empty batch) — the SLO tail the serving layer reports on.
+    pub latency_p99: f64,
     /// Worst-case per-image latency in seconds.
     pub latency_max: f64,
 }
@@ -420,7 +448,7 @@ impl BatchSummary {
             latencies.extend(std::iter::repeat_n(r.total_seconds(), r.images));
         }
         s.wall_seconds = s.total_seconds();
-        (s.latency_p50, s.latency_max) = latency_percentiles(latencies);
+        (s.latency_p50, s.latency_p99, s.latency_max) = latency_percentiles(latencies);
         s
     }
 
@@ -440,17 +468,29 @@ impl BatchSummary {
     }
 }
 
-/// `(p50, max)` of a latency sample — p50 is the lower median, matching
-/// the [`BatchSummary::latency_p50`] contract; zeros for an empty
-/// sample.
-pub(crate) fn latency_percentiles(mut latencies: Vec<f64>) -> (f64, f64) {
-    if latencies.is_empty() {
-        return (0.0, 0.0);
+/// The `q`-quantile of an **ascending** latency sample under the
+/// suite's pinned index convention — element `⌊q · (len − 1)⌋`, so
+/// `q = 0.5` is the lower median ([`BatchSummary::latency_p50`]'s
+/// contract) and `q = 1.0` the maximum; `0.0` for an empty sample.
+/// One helper serves [`BatchSummary`], [`crate::cluster::PipelineRun`],
+/// and [`crate::serve::ServeReport`], so every percentile the suite
+/// prints is comparable.
+pub(crate) fn latency_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
     }
+    let idx = (q * (sorted.len() - 1) as f64) as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// `(p50, p99, max)` of a latency sample — see [`latency_quantile`]
+/// for the index convention; zeros for an empty sample.
+pub(crate) fn latency_percentiles(mut latencies: Vec<f64>) -> (f64, f64, f64) {
     latencies.sort_by(f64::total_cmp);
     (
-        latencies[(latencies.len() - 1) / 2],
-        latencies[latencies.len() - 1],
+        latency_quantile(&latencies, 0.5),
+        latency_quantile(&latencies, 0.99),
+        latency_quantile(&latencies, 1.0),
     )
 }
 
@@ -735,7 +775,7 @@ impl Backend for ClusterBackend<'_> {
         if self.schedule == Schedule::Pipelined && s.images > 0 {
             let run = crate::cluster::pipelined_schedule(&self.timeline, s.images);
             s.wall_seconds = run.makespan;
-            (s.latency_p50, s.latency_max) = latency_percentiles(run.latencies);
+            (s.latency_p50, s.latency_p99, s.latency_max) = latency_percentiles(run.latencies);
         }
         s
     }
@@ -1405,6 +1445,59 @@ impl<'n> Engine<'n> {
         let summary = self.backend.summarize_batch(&runs);
         Ok((runs, summary))
     }
+
+    /// The per-image stage pipeline serving replays arrivals against:
+    /// a cluster engine serves over its plan's timeline verbatim; a
+    /// single-board engine rebuilds its placement as the one-board
+    /// degenerate cluster pipeline (same PS/PL models, same per-stage
+    /// widths, no interconnect crossings). Custom backends own their
+    /// execution strategy and carry no plan, so they cannot serve.
+    fn serve_pipeline(&self) -> Result<Vec<StageTiming>, EngineError> {
+        if let Some(cplan) = &self.cluster_plan {
+            return Ok(cplan.timeline().to_vec());
+        }
+        let Some(plan) = &self.plan else {
+            return Err(EngineError::ServeRequiresPlan {
+                backend: self.backend.name(),
+            });
+        };
+        let req = ClusterRequest {
+            cluster: Cluster::homogeneous(&self.board, 1, Interconnect::GIGABIT_ETHERNET),
+            offload: Offload::Target(plan.target()),
+            bn: plan.bn_mode(),
+            ps: *plan.ps_model(),
+            pl: *plan.pl_model(),
+            precision: *plan.precision(),
+            schedule: Schedule::Pipelined,
+            partitioner: Partitioner::default(),
+        };
+        let shards: Vec<(usize, OffloadTarget)> = if plan.target() == OffloadTarget::None {
+            Vec::new()
+        } else {
+            vec![(0, plan.target())]
+        };
+        Ok(crate::cluster::build_timeline(plan.spec(), &shards, &req))
+    }
+
+    /// Replay an open-loop request stream against this engine's
+    /// deployment and report what an online SLO is written against:
+    /// p50/p99/p99.9 **total** (queueing + service) latency, goodput
+    /// vs offered load, the admission queue's high-water mark, and
+    /// per-board utilization — all in deterministic virtual time (see
+    /// [`crate::serve`]). Serving decides *when* each image runs,
+    /// never *what* it computes: logits are untouched, and no
+    /// inference executes here at all — like [`Engine::latency_report`],
+    /// this reads the build-time timing model.
+    pub fn serve(&self, req: &ServeRequest) -> Result<ServeReport, EngineError> {
+        crate::serve::serve_timeline(&self.serve_pipeline()?, req)
+    }
+
+    /// Walk Poisson offered load across fractions of this deployment's
+    /// pipelined throughput ceiling and serve a stream at each point —
+    /// the load/latency curve (see [`crate::serve::LoadSweep`]).
+    pub fn load_sweep(&self, sweep: &LoadSweep) -> Result<Vec<LoadPoint>, EngineError> {
+        crate::serve::sweep_timeline(&self.serve_pipeline()?, sweep)
+    }
 }
 
 #[cfg(test)]
@@ -1552,6 +1645,7 @@ mod tests {
         // shares one latency — p50 == max == the per-image total.
         assert_eq!(summary.wall_seconds, summary.total_seconds());
         assert_eq!(summary.latency_p50, single);
+        assert_eq!(summary.latency_p99, single);
         assert_eq!(summary.latency_max, single);
     }
 
@@ -1566,6 +1660,7 @@ mod tests {
         // The latency percentiles keep the same guard: an empty batch
         // has no distribution, not a NaN one.
         assert_eq!(s.latency_p50, 0.0);
+        assert_eq!(s.latency_p99, 0.0);
         assert_eq!(s.latency_max, 0.0);
         assert_eq!(BatchSummary::from_runs(&[]).latency_max, 0.0);
     }
@@ -1585,6 +1680,9 @@ mod tests {
         };
         let s = BatchSummary::from_runs(&[mk(0.3), mk(0.1), mk(0.2)]);
         assert_eq!(s.latency_p50, 0.2);
+        // ⌊0.99·(3−1)⌋ = index 1: p99 of a 3-image batch is its median
+        // — the tail needs ≥ 100 samples to separate from the max.
+        assert_eq!(s.latency_p99, 0.2);
         assert_eq!(s.latency_max, 0.3);
         assert!((s.wall_seconds - 0.6).abs() < 1e-12);
         assert!((s.throughput() - 3.0 / 0.6).abs() < 1e-9);
@@ -1592,6 +1690,12 @@ mod tests {
         let even = BatchSummary::from_runs(&[mk(0.4), mk(0.2)]);
         assert_eq!(even.latency_p50, 0.2);
         assert_eq!(even.latency_max, 0.4);
+        // With 200 distinct latencies the p99 index is ⌊0.99·199⌋ =
+        // 197: strictly inside the tail, strictly below the max.
+        let many: Vec<RunReport> = (1..=200).map(|i| mk(i as f64 * 1e-3)).collect();
+        let big = BatchSummary::from_runs(&many);
+        assert_eq!(big.latency_p99, 198.0 * 1e-3);
+        assert_eq!(big.latency_max, 200.0 * 1e-3);
     }
 
     #[test]

@@ -43,7 +43,13 @@
 //!   search ([`Partitioner`]) shared by the single-board planner and
 //!   the cluster sharder, from greedy first-fit to a balanced-makespan
 //!   search that puts heavy stages on the bigger fabric of a
-//!   heterogeneous rack.
+//!   heterogeneous rack;
+//! * [`serve`] — the online-serving subsystem: open-loop seeded
+//!   arrival streams ([`ArrivalProcess`]), continuous micro-batching
+//!   (dispatch on head-idle or deadline, never on a fixed batch
+//!   filling), and deterministic virtual-time replay through the
+//!   pipelined cluster schedule into a [`ServeReport`] of tail
+//!   latency, goodput, queue depth, and board utilization.
 //!
 //! ```
 //! use zynq_sim::resources::{ode_block_resources};
@@ -67,11 +73,15 @@ pub mod planner;
 pub mod power;
 pub mod precision;
 pub mod resources;
+pub mod serve;
 pub mod system;
 pub mod timing;
 
 pub use board::{Board, ARTY_Z7_10, ARTY_Z7_20, PYNQ_Z2};
-pub use cluster::{plan_cluster, Cluster, ClusterPlan, ClusterRequest, Interconnect, Schedule};
+pub use cluster::{
+    pipelined_schedule_released, plan_cluster, Cluster, ClusterPlan, ClusterRequest, Interconnect,
+    Schedule, ServedRun, StageResource,
+};
 pub use datapath::{block_exec_cycles, conv_cycles, OdeBlockAccel};
 pub use engine::{
     Backend, BackendKind, BatchSummary, Engine, EngineBuilder, EngineError, Offload, RunReport,
@@ -82,6 +92,10 @@ pub use planner::{plan_offload, OffloadTarget};
 pub use power::{EnergyReport, PowerModel};
 pub use precision::{Precision, StageFormats};
 pub use resources::{ode_block_resources, ResourceReport};
+pub use serve::{
+    AdmissionQueue, ArrivalProcess, Dispatch, LoadPoint, LoadSweep, MicroBatcher, ServeReport,
+    ServeRequest,
+};
 pub use system::HybridRun;
 #[allow(deprecated)]
 pub use system::{run_hybrid, run_hybrid_with};

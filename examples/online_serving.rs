@@ -1,0 +1,83 @@
+//! Online serving on a heterogeneous rack: an Arty Z7-20 next to the
+//! half-size Arty Z7-10, balanced-makespan partitioned at the
+//! footnote-2 16-bit width, serving an open-loop Poisson stream with
+//! continuous micro-batching — and the knee of the load/latency curve,
+//! the operating point an SLO budget should be provisioned against.
+//!
+//! ```text
+//! cargo run --release --example online_serving
+//! ```
+
+use odenet_suite::prelude::*;
+
+fn main() {
+    // 1. The rack: one XC7Z020 fabric plus one XC7Z010, gigabit
+    //    Ethernet between them. At Q5.10 all three ODE circuits fit
+    //    the big board alone — the trap first-fit walks into. The
+    //    balanced search instead keeps the heavy layer2_2 + layer3_2
+    //    pair on the big fabric and moves layer1 to the XC7Z010, so
+    //    both boards pipeline.
+    let spec = NetSpec::new(Variant::OdeNet, 56).with_classes(100);
+    let net = Network::new(spec, 42);
+    let engine = Engine::builder(&net)
+        .cluster(Cluster::new(
+            vec![ARTY_Z7_20, ARTY_Z7_10],
+            Interconnect::GIGABIT_ETHERNET,
+        ))
+        .precision(PlFormat::Q16 { frac: 10 })
+        .schedule(Schedule::Pipelined)
+        .partitioner(Partitioner::BalancedMakespan)
+        .build()
+        .expect("the rack carries ODENet-56 at Q5.10");
+    let plan = engine.cluster_plan().expect("cluster engines keep a plan");
+    println!("rack      : {}", plan.describe());
+    let unloaded = plan.total_seconds();
+    let ceiling = 1.0 / plan.bottleneck_seconds();
+    println!(
+        "unloaded  : {:.3}s/img · pipelined ceiling {:.2} img/s",
+        unloaded, ceiling
+    );
+
+    // 2. Sweep Poisson offered load across the ceiling. Everything is
+    //    virtual-time and seeded — the curve below is bit-stable, and
+    //    no inference runs (serving decides *when*, never *what*).
+    let sweep = LoadSweep::default();
+    let points = engine.load_sweep(&sweep).expect("valid sweep");
+    println!("\n  load   offered  goodput    p50     p99    queue");
+    for p in &points {
+        println!(
+            "  {:>4.1}x  {:>6.2}  {:>7.2}  {:>6.3}s {:>6.3}s  {:>5}",
+            p.fraction,
+            p.offered,
+            p.report.goodput,
+            p.report.latency_p50,
+            p.report.latency_p99,
+            p.report.queue_peak,
+        );
+    }
+
+    // 3. The knee: the last load point whose p99 still holds within
+    //    2× the unloaded latency. Below it the server absorbs bursts;
+    //    above it queueing dominates and the tail runs away.
+    let knee = points
+        .iter()
+        .take_while(|p| p.report.latency_p99 <= 2.0 * unloaded)
+        .last()
+        .expect("the lightest load point holds the SLO");
+    println!(
+        "\nknee      : {:.1}x ceiling ({:.2} img/s) — last point with p99 ≤ 2x unloaded \
+         ({:.3}s ≤ {:.3}s)",
+        knee.fraction,
+        knee.offered,
+        knee.report.latency_p99,
+        2.0 * unloaded,
+    );
+    let past = &points[points.len() - 1];
+    println!(
+        "past it   : at {:.1}x the p99 is {:.2}s ({:.1}x unloaded) — goodput pins at the \
+         ceiling and the queue only grows",
+        past.fraction,
+        past.report.latency_p99,
+        past.report.latency_p99 / unloaded,
+    );
+}

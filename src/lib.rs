@@ -60,7 +60,7 @@ pub mod prelude {
     };
     pub use tensor::{Shape4, Tensor};
     pub use zynq_sim::cluster::{
-        plan_cluster, Cluster, ClusterPlan, ClusterRequest, Interconnect, Schedule,
+        plan_cluster, Cluster, ClusterPlan, ClusterRequest, Interconnect, Schedule, StageResource,
     };
     pub use zynq_sim::engine::{
         Backend, BackendKind, BatchSummary, Engine, EngineBuilder, EngineError, Offload, RunReport,
@@ -69,6 +69,9 @@ pub mod prelude {
     pub use zynq_sim::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
     pub use zynq_sim::planner::{plan_offload, OffloadTarget};
     pub use zynq_sim::precision::{Precision, StageFormats};
+    pub use zynq_sim::serve::{
+        ArrivalProcess, Dispatch, LoadPoint, LoadSweep, ServeReport, ServeRequest,
+    };
     pub use zynq_sim::timing::{paper_row, PlModel, PsModel};
     pub use zynq_sim::{
         ode_block_resources, HybridRun, OdeBlockAccel, ARTY_Z7_10, ARTY_Z7_20, PYNQ_Z2,
