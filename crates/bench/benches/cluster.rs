@@ -20,7 +20,8 @@ use zynq_sim::engine::{Engine, Offload};
 use zynq_sim::plan::PlFormat;
 use zynq_sim::timing::{PlModel, PsModel};
 use zynq_sim::{
-    plan_cluster, Cluster, ClusterRequest, Interconnect, Partitioner, Schedule, ARTY_Z7_20,
+    plan_cluster, Cluster, ClusterRequest, Interconnect, Partitioner, Replication, Schedule,
+    ARTY_Z7_20,
 };
 
 const BATCH: usize = 32;
@@ -35,6 +36,7 @@ fn two_board_request(schedule: Schedule) -> ClusterRequest {
         precision: PlFormat::Q20.into(),
         schedule,
         partitioner: Partitioner::FirstFit,
+        replication: Replication::None,
     }
 }
 

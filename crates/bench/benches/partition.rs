@@ -16,7 +16,8 @@ use zynq_sim::plan::PlFormat;
 use zynq_sim::planner::OffloadTarget;
 use zynq_sim::timing::{PlModel, PsModel};
 use zynq_sim::{
-    partition_placement, Cluster, ClusterRequest, Interconnect, Partitioner, Schedule, ARTY_Z7_20,
+    partition_placement, Cluster, ClusterRequest, Interconnect, Partitioner, Replication, Schedule,
+    ARTY_Z7_20,
 };
 
 fn request(boards: usize, partitioner: Partitioner) -> ClusterRequest {
@@ -29,6 +30,7 @@ fn request(boards: usize, partitioner: Partitioner) -> ClusterRequest {
         precision: PlFormat::Q16 { frac: 10 }.into(),
         schedule: Schedule::Pipelined,
         partitioner,
+        replication: Replication::None,
     }
 }
 

@@ -1,0 +1,62 @@
+//! Replication benches: what resolving a replicated plan costs.
+//!
+//! Stage replication runs the joint balanced search (board subsets ×
+//! layer assignments, busy-bound pruned), so its cost grows with both
+//! the rack and the replica count; placement groups only re-validate
+//! the base placement per clone. Planning happens once per build,
+//! never per inference — but `Replication::Auto` multiplies the whole
+//! thing by every candidate policy, so the curve is worth watching.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rodenet::{BnMode, LayerName, NetSpec, Variant};
+use zynq_sim::engine::Offload;
+use zynq_sim::plan::PlFormat;
+use zynq_sim::timing::{PlModel, PsModel};
+use zynq_sim::{
+    plan_cluster, Cluster, ClusterRequest, Interconnect, Partitioner, Replication, Schedule,
+    ARTY_Z7_20,
+};
+
+fn request(boards: usize, replication: Replication) -> ClusterRequest {
+    ClusterRequest {
+        cluster: Cluster::homogeneous(&ARTY_Z7_20, boards, Interconnect::GIGABIT_ETHERNET),
+        offload: Offload::Auto,
+        bn: BnMode::OnTheFly,
+        ps: PsModel::Calibrated,
+        // conv_x8: the width where stage replication has real work to
+        // do (a 2-board placement is PL-bound, layer3_2 pins a board).
+        pl: PlModel { parallelism: 8 },
+        precision: PlFormat::Q20.into(),
+        schedule: Schedule::Pipelined,
+        partitioner: Partitioner::BalancedMakespan,
+        replication,
+    }
+}
+
+fn bench_replica_resolve(c: &mut Criterion) {
+    let spec = NetSpec::new(Variant::OdeNet, 20).with_classes(100);
+    let mut g = c.benchmark_group("replica_resolve");
+    for boards in [3usize, 4, 6] {
+        let mut policies = vec![
+            ("none", Replication::None),
+            ("stage_x2", Replication::Stage(LayerName::Layer1, 2)),
+            ("groups", Replication::Placement(2)),
+            ("auto", Replication::Auto),
+        ];
+        if boards >= 4 {
+            // ×3 needs three boards with spare fabric next to the one
+            // layer3_2 fills — a 3-board rack has only two.
+            policies.insert(2, ("stage_x3", Replication::Stage(LayerName::Layer1, 3)));
+        }
+        for (label, replication) in policies {
+            let req = request(boards, replication);
+            g.bench_with_input(BenchmarkId::new(label, boards), &(), |b, _| {
+                b.iter(|| black_box(plan_cluster(&spec, &req).expect("every policy fits here")))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replica_resolve);
+criterion_main!(benches);

@@ -17,8 +17,8 @@ use zynq_sim::plan::PlFormat;
 use zynq_sim::serve::{sweep_timeline, ArrivalProcess, Dispatch, LoadSweep, MicroBatcher};
 use zynq_sim::timing::{PlModel, PsModel};
 use zynq_sim::{
-    plan_cluster, Cluster, ClusterPlan, ClusterRequest, Interconnect, Partitioner, Schedule,
-    ARTY_Z7_20,
+    plan_cluster, Cluster, ClusterPlan, ClusterRequest, Interconnect, Partitioner, Replication,
+    Schedule, ARTY_Z7_20,
 };
 
 const IMAGES: usize = 256;
@@ -36,6 +36,7 @@ fn rack_plan() -> ClusterPlan {
             precision: PlFormat::Q20.into(),
             schedule: Schedule::Pipelined,
             partitioner: Partitioner::FirstFit,
+            replication: Replication::None,
         },
     )
     .expect("two XC7Z020s carry ODENet-20 at Q20")

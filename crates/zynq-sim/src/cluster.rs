@@ -44,6 +44,14 @@
 //! (a PS segment runs to completion), one in-flight image per board,
 //! and interconnect transfers occupy no board resource (the DMA engines
 //! stream while the next compute stage waits on the data).
+//!
+//! Replication ([`crate::replica`]) adds three more: images map to a
+//! stage's replicas **round-robin** (image `i` → replica `i mod k`, no
+//! dynamic load balancing), the one-time weight broadcast to replica
+//! boards overlaps deployment (reported in the plan, never added to a
+//! makespan), and a hand-off into a replica is priced like the
+//! hand-off into the primary (replica boards sit symmetric on the
+//! modelled interconnect).
 
 use crate::board::Board;
 use crate::engine::{EngineError, Offload};
@@ -51,6 +59,7 @@ use crate::partition::{partition_with, select_with, shard_infeasible, Partitione
 use crate::plan::{PlFormat, PlannedStage};
 use crate::planner::OffloadTarget;
 use crate::precision::StageFormats;
+use crate::replica::{ReplicaPlan, Replication};
 use crate::resources::{bram36_at_width, dsp_slices_at_width, modelled_lut_ff_at};
 use crate::timing::{PlModel, PsModel};
 use rodenet::{BnMode, LayerName, NetSpec};
@@ -148,6 +157,10 @@ pub enum Schedule {
 pub enum StageResource {
     /// The head board's ARM cores.
     Ps,
+    /// Board `k`'s ARM cores (`k ≥ 1`) — the head of a replicated
+    /// placement group (see [`crate::replica`]). The rack's overall
+    /// head stays board 0's [`StageResource::Ps`].
+    PsOn(usize),
     /// Board `k`'s PL fabric.
     Pl(usize),
 }
@@ -158,24 +171,34 @@ impl StageResource {
     pub fn board(&self) -> usize {
         match self {
             StageResource::Ps => 0,
+            StageResource::PsOn(k) => *k,
             StageResource::Pl(k) => *k,
         }
     }
 
-    /// Dense scheduling slot: 0 for the PS, `1 + k` for board `k`'s PL.
+    /// Dense scheduling slot: board `k`'s PS is `2k`, its PL `2k + 1`,
+    /// so every board contributes two independent resources and slots
+    /// stay in board order (head PS first).
     pub fn slot(&self) -> usize {
         match self {
             StageResource::Ps => 0,
-            StageResource::Pl(k) => 1 + *k,
+            StageResource::PsOn(k) => 2 * k,
+            StageResource::Pl(k) => 2 * k + 1,
         }
+    }
+
+    /// Whether this is an ARM-side resource (any board's PS).
+    pub fn is_ps(&self) -> bool {
+        matches!(self, StageResource::Ps | StageResource::PsOn(_))
     }
 }
 
 /// One stage of the per-image pipeline: a merged PS segment or one
 /// offloaded PL stage, with the interconnect hand-off that precedes it.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StageTiming {
-    /// Which resource executes the stage.
+    /// Which resource executes the stage (the **primary** replica when
+    /// `replicas` is non-empty).
     pub resource: StageResource,
     /// The offloaded layer (`None` for merged PS segments).
     pub layer: Option<LayerName>,
@@ -184,6 +207,35 @@ pub struct StageTiming {
     /// Interconnect seconds to deliver this stage's input when the
     /// previous stage ran on a different board (0 otherwise).
     pub transfer_in: f64,
+    /// Replica resources serving this stage round-robin: image `i` runs
+    /// on `replicas[i % replicas.len()]`. Empty means unreplicated (the
+    /// single `resource` serves every image); when non-empty the first
+    /// entry **is** `resource`. See [`crate::replica`].
+    pub replicas: Vec<StageResource>,
+}
+
+impl StageTiming {
+    /// Every resource that can serve this stage (the primary alone when
+    /// unreplicated).
+    pub fn resources(&self) -> &[StageResource] {
+        if self.replicas.is_empty() {
+            std::slice::from_ref(&self.resource)
+        } else {
+            &self.replicas
+        }
+    }
+
+    /// How many replicas serve this stage (≥ 1).
+    pub fn replica_count(&self) -> usize {
+        self.resources().len()
+    }
+
+    /// The resource that serves image `i` — round-robin over the
+    /// replicas, the primary when unreplicated.
+    pub fn resource_for(&self, image: usize) -> StageResource {
+        let all = self.resources();
+        all[image % all.len()]
+    }
 }
 
 /// Bytes of one feature map entering/leaving `layer` at the given word
@@ -301,6 +353,11 @@ pub struct ClusterRequest {
     /// behavior; [`Partitioner::BalancedMakespan`] searches for the
     /// assignment minimizing the pipelined bottleneck busy time.
     pub partitioner: Partitioner,
+    /// Replication policy: duplicate a bottleneck stage across fabrics
+    /// or the whole placement across board groups (see
+    /// [`crate::replica`]). [`Replication::None`] reproduces the
+    /// unreplicated planner bit-for-bit.
+    pub replication: Replication,
 }
 
 /// Everything the cluster builder decides, minus the engine: the
@@ -320,6 +377,7 @@ pub struct ClusterPlan {
     schedule: Schedule,
     partitioner: Partitioner,
     timeline: Vec<StageTiming>,
+    replica: Option<ReplicaPlan>,
 }
 
 /// Resolve a sharded placement, per-board feasibility, and the full
@@ -330,27 +388,18 @@ pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan,
     req.precision.validate()?;
 
     // 1. Resolve the overall placement at cluster capacity, splitting
-    //    it under the request's partitioner. The Auto loop is the same
-    //    cost path the single-board planner runs (see
-    //    `crate::partition::select_with` — one board is the 1-board
-    //    degenerate case of this search).
-    let (target, shards) = match req.offload {
-        Offload::Target(t) => {
-            if !t.applicable_extended(spec) {
-                return Err(EngineError::TargetNotApplicable {
-                    target: t,
-                    variant: spec.variant,
-                });
-            }
-            (t, partition_with(spec, t, req)?)
-        }
-        Offload::Auto | Offload::AutoExtended => {
-            let extended = req.offload == Offload::AutoExtended;
-            select_with(spec, req, extended)
-        }
-    };
+    //    it under the request's partitioner and replication policy —
+    //    `crate::replica::resolve` delegates to the same partition
+    //    search as before when no replication is requested, so an
+    //    unreplicated plan is bit-identical to the pre-replica planner.
+    let resolved = crate::replica::resolve(spec, req)?;
+    let (target, shards, timeline, replica) = (
+        resolved.target,
+        resolved.shards,
+        resolved.timeline,
+        resolved.plan,
+    );
 
-    let timeline = build_timeline(spec, &shards, req);
     let shards = shards
         .into_iter()
         .map(|(board, t)| BoardShard {
@@ -379,6 +428,7 @@ pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan,
                             bytes,
                         ),
                         dma_words: crate::datapath::dma_words_at(layer, bytes),
+                        param_bytes: crate::resources::stage_param_bytes(spec, layer, bytes),
                     }
                 })
                 .collect(),
@@ -397,7 +447,35 @@ pub fn plan_cluster(spec: &NetSpec, req: &ClusterRequest) -> Result<ClusterPlan,
         schedule: req.schedule,
         partitioner: req.partitioner,
         timeline,
+        replica,
     })
+}
+
+/// Resolve the *unreplicated* placement for a request: a fixed target
+/// is validated and split under the request's partitioner; `Auto` runs
+/// the same cost-driven selection loop the single-board planner does
+/// (see [`crate::partition::select_with`] — one board is the 1-board
+/// degenerate case of that search). The replica layer builds on this
+/// as its base placement.
+pub(crate) fn resolve_placement(
+    spec: &NetSpec,
+    req: &ClusterRequest,
+) -> Result<(OffloadTarget, ShardAssignment), EngineError> {
+    match req.offload {
+        Offload::Target(t) => {
+            if !t.applicable_extended(spec) {
+                return Err(EngineError::TargetNotApplicable {
+                    target: t,
+                    variant: spec.variant,
+                });
+            }
+            Ok((t, partition_with(spec, t, req)?))
+        }
+        Offload::Auto | Offload::AutoExtended => {
+            let extended = req.offload == Offload::AutoExtended;
+            Ok(select_with(spec, req, extended))
+        }
+    }
 }
 
 /// Build the per-image stage pipeline for a sharded placement:
@@ -411,11 +489,15 @@ pub(crate) fn build_timeline(
     req: &ClusterRequest,
 ) -> Vec<StageTiming> {
     let head = req.cluster.head();
-    let board_of = |layer: LayerName| -> Option<usize> {
+    // A layer may appear in several shards — that is a stage replica
+    // set (see `crate::replica`). The first carrier in shard order is
+    // the primary; the full list becomes the round-robin replicas.
+    let boards_of = |layer: LayerName| -> Vec<usize> {
         shards
             .iter()
-            .find(|(_, t)| t.layers().contains(&layer))
+            .filter(|(_, t)| t.layers().contains(&layer))
             .map(|(b, _)| *b)
+            .collect()
     };
 
     let mut timeline: Vec<StageTiming> = Vec::new();
@@ -428,6 +510,7 @@ pub(crate) fn build_timeline(
                 layer: None,
                 seconds: head.ps_seconds(*acc),
                 transfer_in: 0.0,
+                replicas: Vec::new(),
             });
             *acc = 0;
         }
@@ -443,7 +526,8 @@ pub(crate) fn build_timeline(
         if plan.total_execs() == 0 {
             continue;
         }
-        if let Some(board) = board_of(layer) {
+        let carriers = boards_of(layer);
+        if let Some(&board) = carriers.first() {
             flush_ps(&mut timeline, &mut ps_acc);
             let execs = if plan.is_ode { plan.execs } else { 1 };
             timeline.push(StageTiming {
@@ -456,6 +540,11 @@ pub(crate) fn build_timeline(
                     req.precision.bytes_of(layer),
                 ),
                 transfer_in: 0.0,
+                replicas: if carriers.len() > 1 {
+                    carriers.iter().map(|&b| StageResource::Pl(b)).collect()
+                } else {
+                    Vec::new()
+                },
             });
         } else {
             ps_acc += plan.total_execs() as u64 * req.ps.block_exec_cycles(layer, plan.is_ode);
@@ -488,17 +577,25 @@ pub fn per_image_seconds(timeline: &[StageTiming]) -> f64 {
     timeline.iter().map(|s| s.seconds + s.transfer_in).sum()
 }
 
-/// The pipeline's bottleneck: the largest per-image busy time of any
-/// single resource. `images × bottleneck` lower-bounds every schedule.
+/// The pipeline's bottleneck: the largest steady-state per-image busy
+/// time of any single resource. A stage served by `k` round-robin
+/// replicas charges each replica `seconds / k` (each serves every k-th
+/// image), which is exactly how replication pushes this ceiling below
+/// one board's busy time. `images × bottleneck` asymptotically
+/// lower-bounds every schedule.
 pub fn bottleneck_seconds(timeline: &[StageTiming]) -> f64 {
     let slots = timeline
         .iter()
-        .map(|s| s.resource.slot())
+        .flat_map(|s| s.resources())
+        .map(|r| r.slot())
         .max()
         .map_or(0, |m| m + 1);
     let mut busy = vec![0.0f64; slots];
     for s in timeline {
-        busy[s.resource.slot()] += s.seconds;
+        let share = s.seconds / s.replica_count() as f64;
+        for r in s.resources() {
+            busy[r.slot()] += share;
+        }
     }
     busy.into_iter().fold(0.0, f64::max)
 }
@@ -565,10 +662,12 @@ pub struct ServedRun {
 /// Event-driven pipelined makespan: every resource (head PS, each
 /// board's PL) executes one stage at a time to completion; whenever a
 /// resource frees, it takes the ready stage with the earliest feasible
-/// start (ties to the oldest image). Transfers delay readiness but
-/// occupy no resource. All images share the same stage timings — the
-/// paper's model is input-independent — so this is a deterministic
-/// simulation.
+/// start (ties to the oldest image), and every stage starts images in
+/// index order (per-stage FIFO — which is what the greedy order does
+/// anyway until replicas let an image run ahead upstream). Transfers
+/// delay readiness but occupy no resource. All images share the same
+/// stage timings — the paper's model is input-independent — so this is
+/// a deterministic simulation.
 pub fn pipelined_schedule(timeline: &[StageTiming], images: usize) -> PipelineRun {
     let run = pipelined_schedule_released(timeline, &vec![0.0f64; images]);
     PipelineRun {
@@ -591,26 +690,43 @@ pub fn pipelined_schedule_released(timeline: &[StageTiming], releases: &[f64]) -
     let images = releases.len();
     let slots = timeline
         .iter()
-        .map(|s| s.resource.slot())
+        .flat_map(|s| s.resources())
+        .map(|r| r.slot())
         .max()
         .map_or(1, |m| m + 1);
-    let head_slot = timeline.first().map_or(0, |s| s.resource.slot());
     let mut free = vec![0.0f64; slots];
     let mut next = vec![0usize; images];
     let mut ready = releases.to_vec();
     let mut starts = vec![0.0f64; images];
     let mut finishes = vec![0.0f64; images];
+    // Images started so far per stage: each stage starts images in
+    // strict index order (per-stage FIFO). Unreplicated timelines
+    // already process in image order — identical timings and
+    // oldest-image tie-breaks keep every stage FIFO on their own, so
+    // the gate never binds and the schedule is unchanged. With
+    // replicas it *does* bind: an image that finished upstream early
+    // on a fresh replica may not overtake an older image downstream.
+    // That forbids the classic list-scheduling timing anomaly, making
+    // added replica capacity monotone — replication never worsens the
+    // makespan (pinned by proptest in `tests/replica.rs`).
+    let mut started = vec![0usize; timeline.len()];
     let mut makespan = 0.0f64;
     for _ in 0..images * timeline.len() {
-        // The globally earliest-startable pending stage; ties go to the
-        // oldest image so downstream segments outrank later images'
-        // prefixes on a shared resource.
+        // The globally earliest-startable pending stage among each
+        // stage's oldest pending image; ties go to the oldest image so
+        // downstream segments outrank later images' prefixes on a
+        // shared resource. A replicated stage pins image `i` to its
+        // round-robin replica — replicas are distinct resources, so
+        // two images on different replicas overlap.
         let mut best: Option<(f64, usize)> = None;
         for i in 0..images {
             let Some(stage) = timeline.get(next[i]) else {
                 continue;
             };
-            let start = (ready[i] + stage.transfer_in).max(free[stage.resource.slot()]);
+            if started[next[i]] != i {
+                continue; // FIFO: an older image starts this stage first.
+            }
+            let start = (ready[i] + stage.transfer_in).max(free[stage.resource_for(i).slot()]);
             if best.is_none_or(|(b, _)| start < b) {
                 best = Some((start, i));
             }
@@ -618,7 +734,8 @@ pub fn pipelined_schedule_released(timeline: &[StageTiming], releases: &[f64]) -
         let (start, i) = best.expect("pending stages remain");
         let stage = &timeline[next[i]];
         let done = start + stage.seconds;
-        free[stage.resource.slot()] = done;
+        free[stage.resource_for(i).slot()] = done;
+        started[next[i]] += 1;
         if next[i] == 0 {
             // Latency runs from the moment the image's first transfer
             // begins (a leading hand-off is part of serving the image).
@@ -631,11 +748,20 @@ pub fn pipelined_schedule_released(timeline: &[StageTiming], releases: &[f64]) -
             makespan = makespan.max(done);
         }
     }
+    // The next dispatch can begin as soon as ANY replica of the first
+    // stage frees — with placement groups that is the least-loaded
+    // group head, unreplicated it is the head PS.
+    let head_idle = timeline.first().map_or(0.0, |s| {
+        s.resources()
+            .iter()
+            .map(|r| free[r.slot()])
+            .fold(f64::INFINITY, f64::min)
+    });
     ServedRun {
         makespan,
         starts,
         finishes,
-        head_idle: free[head_slot],
+        head_idle,
     }
 }
 
@@ -743,12 +869,15 @@ impl ClusterPlan {
         self.timeline.iter().map(|s| s.transfer_in).sum()
     }
 
-    /// Per-image PL seconds across all boards (incl. AXI DMA).
+    /// Per-image PL seconds across all boards (incl. AXI DMA). Each
+    /// offloaded stage executes **once** per image no matter how many
+    /// replicas carry its circuit, so this sums timeline rows rather
+    /// than shards (a replicated stage appears in several shards).
     pub fn pl_seconds(&self) -> f64 {
-        self.shards
+        self.timeline
             .iter()
-            .flat_map(|s| &s.stages)
-            .map(|s| s.pl_seconds)
+            .filter(|s| s.layer.is_some())
+            .map(|s| s.seconds)
             .sum()
     }
 
@@ -756,18 +885,43 @@ impl ClusterPlan {
     pub fn ps_seconds(&self) -> f64 {
         self.timeline
             .iter()
-            .filter(|s| s.resource == StageResource::Ps)
+            .filter(|s| s.resource.is_ps())
             .map(|s| s.seconds)
             .sum()
     }
 
     /// Per-image 32-bit AXI bus words (on-board DMA, not interconnect).
+    /// Counted per executed stage, not per carrying shard — a replica
+    /// holds a copy of the circuit but serves only its share of images.
     pub fn dma_words(&self) -> u64 {
-        self.shards
+        self.timeline
             .iter()
-            .flat_map(|s| &s.stages)
-            .map(|s| s.dma_words)
+            .filter_map(|s| s.layer)
+            .map(|layer| crate::datapath::dma_words_at(layer, self.formats.bytes_of(layer)))
             .sum()
+    }
+
+    /// The resolved replication plan, when the request replicated a
+    /// stage or the placement (see [`crate::replica`]).
+    pub fn replica_plan(&self) -> Option<&ReplicaPlan> {
+        self.replica.as_ref()
+    }
+
+    /// The **resolved** replication policy — [`Replication::Auto`]
+    /// never appears here; it resolves to whatever won the search
+    /// ([`Replication::None`] when nothing beat the unreplicated plan).
+    pub fn replication(&self) -> Replication {
+        self.replica
+            .as_ref()
+            .map_or(Replication::None, |r| r.replication)
+    }
+
+    /// One-time weight-broadcast seconds to stage every replica's
+    /// parameters over the interconnect (0 without replication).
+    /// Reported, never added to per-image or batch makespans — the
+    /// broadcast overlaps deployment (see [`crate::replica`]).
+    pub fn broadcast_seconds(&self) -> f64 {
+        self.replica.as_ref().map_or(0.0, |r| r.broadcast_seconds)
     }
 
     /// Modelled makespan of a batch under `schedule`.
@@ -807,8 +961,13 @@ impl ClusterPlan {
                 .collect::<Vec<_>>()
                 .join(" + ")
         };
+        let replica = self
+            .replica
+            .as_ref()
+            .map(|r| format!(" · {}", r.describe()))
+            .unwrap_or_default();
         format!(
-            "{} · {} · {:?} over {} ({}) · {:.3}s/img · {:?} · {:?}",
+            "{} · {} · {:?} over {} ({}) · {:.3}s/img · {:?} · {:?}{}",
             self.spec.display_name(),
             self.formats,
             self.target,
@@ -817,6 +976,7 @@ impl ClusterPlan {
             self.total_seconds(),
             self.schedule,
             self.partitioner,
+            replica,
         )
     }
 }
@@ -837,6 +997,7 @@ mod tests {
             precision: PlFormat::Q20.into(),
             schedule: Schedule::Pipelined,
             partitioner: Partitioner::FirstFit,
+            replication: Replication::None,
         }
     }
 
@@ -970,22 +1131,34 @@ mod tests {
         let mut req = request(1);
         req.offload = Offload::Target(OffloadTarget::AllOde);
         let err = plan_cluster(&spec, &req).expect_err("one 32-bit board is too small");
-        assert_eq!(
-            err,
-            EngineError::ShardInfeasible {
-                target: OffloadTarget::AllOde,
-                boards: 1,
-                parallelism: 16,
-                stuck: Some(LayerName::Layer3_2),
-                stuck_bram36: 140.0,
-                board_bram36: vec![140],
-            }
-        );
+        let EngineError::ShardInfeasible {
+            target,
+            boards,
+            parallelism,
+            stuck,
+            stuck_bram36,
+            ref board_bram36,
+            ref hint,
+        } = err
+        else {
+            panic!("expected ShardInfeasible, got {err:?}");
+        };
+        assert_eq!(target, OffloadTarget::AllOde);
+        assert_eq!(boards, 1);
+        assert_eq!(parallelism, 16);
+        assert_eq!(stuck, Some(LayerName::Layer3_2));
+        assert_eq!(stuck_bram36, 140.0);
+        assert_eq!(*board_bram36, vec![140]);
+        // This placement *does* shard on one more XC7Z020, so the error
+        // carries the replication-aware follow-up.
+        let hint = hint.as_deref().expect("one more board fixes this");
+        assert!(hint.contains("Replication::Stage("), "{hint}");
         // The diagnostics are actionable: the report names the layer
-        // that got stuck and the capacities that were consulted.
+        // that got stuck, the capacities that were consulted, and the
+        // follow-up.
         let msg = format!("{err}");
         assert!(
-            msg.contains("layer3_2") && msg.contains("140"),
+            msg.contains("layer3_2") && msg.contains("140") && msg.contains("Replication::Stage("),
             "actionable report: {msg}"
         );
     }

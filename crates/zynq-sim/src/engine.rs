@@ -84,6 +84,7 @@ use crate::partition::Partitioner;
 use crate::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
 use crate::planner::OffloadTarget;
 use crate::precision::{Precision, StageFormats};
+use crate::replica::Replication;
 use crate::serve::{LoadPoint, LoadSweep, ServeReport, ServeRequest};
 use crate::timing::{PlModel, PsModel, Table5Row};
 use qfixed::{Fix, Fix16};
@@ -168,6 +169,19 @@ pub enum EngineError {
         stuck_bram36: f64,
         /// BRAM36 capacity of every board consulted, in network order.
         board_bram36: Vec<u32>,
+        /// An actionable remedy when one exists: the same placement
+        /// shards once the rack grows by one board, so a
+        /// [`crate::replica::Replication::Stage`] deployment on the
+        /// larger rack is within reach. `None` when even a bigger rack
+        /// would not help.
+        hint: Option<String>,
+    },
+    /// The requested [`crate::replica::Replication`] policy cannot be
+    /// realized on this cluster (not enough boards, a layer the
+    /// placement never offloads, or timing-mismatched board groups).
+    ReplicationInfeasible {
+        /// Why the policy was rejected.
+        reason: String,
     },
     /// The backend cannot honor the requested batch-norm mode (the Q20
     /// circuit computes statistics on the fly; it has no running
@@ -263,6 +277,7 @@ impl core::fmt::Display for EngineError {
                 stuck,
                 stuck_bram36,
                 board_bram36,
+                hint,
             } => {
                 write!(
                     f,
@@ -283,7 +298,16 @@ impl core::fmt::Display for EngineError {
                          DSP/LUT/FF also checked)"
                     )?,
                 }
+                if let Some(hint) = hint {
+                    write!(f, "; hint: {hint}")?;
+                }
                 write!(f, " (see zynq_sim::cluster)")
+            }
+            EngineError::ReplicationInfeasible { reason } => {
+                write!(
+                    f,
+                    "replication infeasible: {reason} (see zynq_sim::replica)"
+                )
             }
             EngineError::BnModeConflict { backend } => write!(
                 f,
@@ -874,6 +898,7 @@ pub struct EngineBuilder<'n> {
     cluster: Option<Cluster>,
     schedule: Schedule,
     partitioner: Partitioner,
+    replication: Replication,
     custom: Option<Box<dyn Backend + 'n>>,
 }
 
@@ -987,6 +1012,22 @@ impl<'n> EngineBuilder<'n> {
         self
     }
 
+    /// Replication policy for cluster deployments (default:
+    /// [`Replication::None`], the unreplicated planner bit-for-bit).
+    /// [`Replication::Stage`] burns one offloaded stage onto several
+    /// fabrics and round-robins images between them;
+    /// [`Replication::Placement`] clones the whole placement across
+    /// disjoint board groups for data parallelism;
+    /// [`Replication::Auto`] searches both grains and keeps whatever
+    /// strictly beats the unreplicated reference-batch makespan.
+    /// Replication decides *where and when* an image runs, never
+    /// *what* — logits stay bit-identical (see [`crate::replica`]).
+    /// Only meaningful with [`EngineBuilder::cluster`].
+    pub fn replication(mut self, replication: Replication) -> Self {
+        self.replication = replication;
+        self
+    }
+
     /// Plug in a caller-provided [`Backend`] (multi-board sharding,
     /// alternate fabrics, …). Placement planning and conflict checks
     /// are skipped — the backend owns its execution strategy. The
@@ -1064,6 +1105,7 @@ impl<'n> EngineBuilder<'n> {
                 precision: self.resolve_precision()?,
                 schedule: self.schedule,
                 partitioner: self.partitioner,
+                replication: self.replication,
             },
         )
     }
@@ -1314,6 +1356,7 @@ impl<'n> Engine<'n> {
             cluster: None,
             schedule: Schedule::default(),
             partitioner: Partitioner::default(),
+            replication: Replication::default(),
             custom: None,
         }
     }
@@ -1470,6 +1513,7 @@ impl<'n> Engine<'n> {
             precision: *plan.precision(),
             schedule: Schedule::Pipelined,
             partitioner: Partitioner::default(),
+            replication: Replication::None,
         };
         let shards: Vec<(usize, OffloadTarget)> = if plan.target() == OffloadTarget::None {
             Vec::new()

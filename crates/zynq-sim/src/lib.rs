@@ -44,6 +44,13 @@
 //!   the cluster sharder, from greedy first-fit to a balanced-makespan
 //!   search that puts heavy stages on the bigger fabric of a
 //!   heterogeneous rack;
+//! * [`replica`] — the replication layer: [`Replication::Stage`]
+//!   burns a bottleneck PL stage onto several fabrics with round-robin
+//!   image→replica assignment (pushing the pipelined ceiling below one
+//!   board's busy time), [`Replication::Placement`] clones the whole
+//!   placement across board groups for data parallelism past the head
+//!   PS's floor, and [`Replication::Auto`] searches both grains —
+//!   always with bit-identical logits;
 //! * [`serve`] — the online-serving subsystem: open-loop seeded
 //!   arrival streams ([`ArrivalProcess`]), continuous micro-batching
 //!   (dispatch on head-idle or deadline, never on a fixed batch
@@ -72,6 +79,7 @@ pub mod plan;
 pub mod planner;
 pub mod power;
 pub mod precision;
+pub mod replica;
 pub mod resources;
 pub mod serve;
 pub mod system;
@@ -91,6 +99,7 @@ pub use plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest, PlannedSt
 pub use planner::{plan_offload, OffloadTarget};
 pub use power::{EnergyReport, PowerModel};
 pub use precision::{Precision, StageFormats};
+pub use replica::{ReplicaPlan, Replication};
 pub use resources::{ode_block_resources, ResourceReport};
 pub use serve::{
     AdmissionQueue, ArrivalProcess, Dispatch, LoadPoint, LoadSweep, MicroBatcher, ServeReport,

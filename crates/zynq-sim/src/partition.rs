@@ -36,14 +36,20 @@
 //!   cluster; [`crate::cluster::plan_cluster`] with the real one — a
 //!   single board is literally the degenerate case of the same search.
 //!
-//! The search space is assignments of layers to boards (no stage
-//! replication across boards yet — a bottleneck ODE stage still lives
-//! on exactly one fabric; recorded as the follow-on in the ROADMAP),
-//! and the cost model inherits the cluster scheduler's assumptions:
-//! the head PS runs every software stage, transfers occupy no compute
-//! resource. Like sharding itself, partitioning changes *where* and
-//! *when* stages run — never the Q-format numerics — so logits are
-//! bit-identical across partitioners for the same resolved placement.
+//! The search space is assignments of layers to boards. With the
+//! replica layer ([`crate::replica`]) an assignment may map one layer
+//! to **several** boards: [`replicated_assignment`](self) runs the
+//! same exhaustive enumeration jointly with the choice of replica
+//! boards (pruned by the same busy bound, with the replicated stage's
+//! busy divided by its replica count), because the best unreplicated
+//! base is often *not* the best host for replicas — at Q20 a
+//! replicated layer must co-reside with whatever the 140-BRAM
+//! layer3_2 board cannot take. The cost model inherits the cluster
+//! scheduler's assumptions: the head PS runs every software stage,
+//! transfers occupy no compute resource. Like sharding itself,
+//! partitioning changes *where* and *when* stages run — never the
+//! Q-format numerics — so logits are bit-identical across partitioners
+//! for the same resolved placement.
 
 use crate::board::Board;
 use crate::cluster::{
@@ -88,17 +94,22 @@ pub enum Partitioner {
     BalancedMakespan,
 }
 
-/// Busy seconds per execution resource (the head PS and each board's
-/// PL) over one image's stage pipeline — the per-board breakdown
+/// Busy seconds per execution resource (each board's PS and PL) over
+/// one image's stage pipeline — the per-board breakdown
 /// [`Partitioner::BalancedMakespan`] balances. Resources carrying no
 /// work are omitted; interconnect hand-offs occupy no resource and are
-/// excluded (they delay readiness, not busyness).
+/// excluded (they delay readiness, not busyness). A stage served by
+/// `k` round-robin replicas charges each replica `seconds / k` — the
+/// steady-state share, since each replica serves every k-th image.
 pub fn resource_busy(timeline: &[StageTiming]) -> Vec<(StageResource, f64)> {
     let mut busy: Vec<(StageResource, f64)> = Vec::new();
     for s in timeline {
-        match busy.iter_mut().find(|(r, _)| *r == s.resource) {
-            Some((_, b)) => *b += s.seconds,
-            None => busy.push((s.resource, s.seconds)),
+        let share = s.seconds / s.replica_count() as f64;
+        for &res in s.resources() {
+            match busy.iter_mut().find(|(r, _)| *r == res) {
+                Some((_, b)) => *b += share,
+                None => busy.push((res, share)),
+            }
         }
     }
     busy.sort_by_key(|(r, _)| r.slot());
@@ -138,7 +149,7 @@ pub(crate) fn partition_with(
 /// `B ×` per-image latency (balancing busy time buys nothing; avoiding
 /// interconnect hand-offs does), for [`Schedule::Pipelined`] the
 /// event-driven simulation.
-fn reference_makespan(timeline: &[StageTiming], schedule: Schedule) -> f64 {
+pub(crate) fn reference_makespan(timeline: &[StageTiming], schedule: Schedule) -> f64 {
     match schedule {
         Schedule::Sequential => REFERENCE_BATCH as f64 * per_image_seconds(timeline),
         Schedule::Pipelined => pipelined_schedule(timeline, REFERENCE_BATCH).makespan,
@@ -213,6 +224,7 @@ pub(crate) fn select_single_board(
         precision: *formats,
         schedule: Schedule::Sequential,
         partitioner: Partitioner::FirstFit,
+        replication: crate::replica::Replication::None,
     };
     select_with(spec, &req, extended).0
 }
@@ -301,10 +313,244 @@ fn balanced_assignment(
     })
 }
 
+/// Exhaustive search over assignments that place `layer` on exactly
+/// `replicas` boards (round-robin served) and every other layer of
+/// `target` on exactly one — the replication-aware sibling of
+/// [`Partitioner::BalancedMakespan`]'s search, run **jointly** because
+/// the best unreplicated base often blocks the replicas (at Q20,
+/// whichever board holds the 140-BRAM layer3_2 has no fabric left, so
+/// the replicated layer must pack with the remaining stages).
+/// Candidates are pruned by the same busy bound with the replicated
+/// stage's per-board busy divided by `replicas`, scored by the
+/// reference-batch makespan under the request's schedule (per-image
+/// latency breaks ties, then enumeration order for determinism).
+/// Replica boards must agree **exactly** on the stage's modelled
+/// seconds — round-robin assumes interchangeable replicas — so boards
+/// that would serve the stage at a different speed are skipped. Under
+/// [`Partitioner::FirstFit`] the base assignment is first-fit and
+/// replicas go greedily onto the first boards (index order) with
+/// matching timing and spare fabric.
+pub(crate) fn replicated_assignment(
+    spec: &NetSpec,
+    target: OffloadTarget,
+    req: &ClusterRequest,
+    layer: LayerName,
+    replicas: usize,
+) -> Result<ShardAssignment, EngineError> {
+    let boards = req.cluster.boards();
+    let n = boards.len();
+    let infeasible = |reason: String| EngineError::ReplicationInfeasible { reason };
+    if replicas < 2 {
+        return Err(infeasible(format!(
+            "stage replication needs at least 2 replicas, got {replicas}"
+        )));
+    }
+    if replicas > n {
+        return Err(infeasible(format!(
+            "{replicas} replicas of {layer} exceed the cluster's {n} board(s)"
+        )));
+    }
+    if n > 20 {
+        return Err(infeasible(format!(
+            "the exhaustive replica search handles up to 20 boards, got {n} \
+             (see the ROADMAP's scalable-search item)"
+        )));
+    }
+    let plan = spec.plan(layer);
+    let execs = if plan.is_ode { plan.execs } else { 1 };
+    let bytes = req.precision.bytes_of(layer);
+    let stage_seconds =
+        |b: usize| -> f64 { req.pl.stage_seconds_at(layer, execs, &boards[b], bytes) };
+
+    if req.partitioner == Partitioner::FirstFit {
+        let base = shard_placement_with(target, &req.cluster, req.pl.parallelism, &req.precision)?;
+        let mut groups: Vec<Vec<LayerName>> = vec![Vec::new(); n];
+        for (b, t) in &base {
+            groups[*b].extend_from_slice(t.layers());
+        }
+        let primary = groups
+            .iter()
+            .position(|g| g.contains(&layer))
+            .expect("the base assignment carries every target layer");
+        let mut carriers = 1usize;
+        for b in 0..n {
+            if carriers == replicas {
+                break;
+            }
+            if b == primary || stage_seconds(b) != stage_seconds(primary) {
+                continue;
+            }
+            let mut candidate = groups[b].clone();
+            candidate.push(layer);
+            let t = OffloadTarget::from_layers(&candidate)
+                .expect("subsets of a placement are placements");
+            if t.fits_with(&boards[b], req.pl.parallelism, &req.precision) {
+                groups[b] = candidate;
+                carriers += 1;
+            }
+        }
+        if carriers < replicas {
+            return Err(infeasible(format!(
+                "first-fit found only {carriers} of {replicas} boards with spare fabric \
+                 and matching timing for {layer} (try Partitioner::BalancedMakespan, \
+                 fewer replicas, or more boards)"
+            )));
+        }
+        return Ok(assignment_from_groups(&groups));
+    }
+
+    // BalancedMakespan: enumerate replica-board subsets (bitmask over
+    // boards, ascending, so determinism matches the unreplicated
+    // search) jointly with the base-n assignment of the other layers.
+    let others: Vec<LayerName> = target
+        .layers()
+        .iter()
+        .copied()
+        .filter(|&l| l != layer)
+        .collect();
+    let mut best: Option<(f64, f64, ShardAssignment)> = None;
+    for mask in 0u64..(1u64 << n) {
+        if mask.count_ones() as usize != replicas {
+            continue;
+        }
+        let hosts: Vec<usize> = (0..n).filter(|b| mask & (1 << b) != 0).collect();
+        if hosts
+            .iter()
+            .any(|&b| stage_seconds(b) != stage_seconds(hosts[0]))
+        {
+            continue;
+        }
+        for code in 0..n.pow(others.len() as u32) {
+            let mut groups: Vec<Vec<LayerName>> = vec![Vec::new(); n];
+            let mut c = code;
+            for &other in &others {
+                groups[c % n].push(other);
+                c /= n;
+            }
+            for &b in &hosts {
+                groups[b].push(layer);
+            }
+            let mut feasible = true;
+            for (b, group) in groups.iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let t = OffloadTarget::from_layers(group)
+                    .expect("subsets of a placement are placements");
+                if !t.fits_with(&boards[b], req.pl.parallelism, &req.precision) {
+                    feasible = false;
+                    break;
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            let assignment = assignment_from_groups(&groups);
+            // The busy bound with replica sharing: the replicated stage
+            // charges each host 1/replicas of its seconds.
+            let bound = REFERENCE_BATCH as f64
+                * groups
+                    .iter()
+                    .enumerate()
+                    .map(|(b, group)| {
+                        group
+                            .iter()
+                            .map(|&l| {
+                                let p = spec.plan(l);
+                                let e = if p.is_ode { p.execs } else { 1 };
+                                let s = req.pl.stage_seconds_at(
+                                    l,
+                                    e,
+                                    &boards[b],
+                                    req.precision.bytes_of(l),
+                                );
+                                if l == layer {
+                                    s / replicas as f64
+                                } else {
+                                    s
+                                }
+                            })
+                            .sum::<f64>()
+                    })
+                    .fold(0.0f64, f64::max);
+            if best.as_ref().is_some_and(|(m, _, _)| bound > *m) {
+                continue;
+            }
+            let timeline = build_timeline(spec, &assignment, req);
+            let makespan = reference_makespan(&timeline, req.schedule);
+            let latency = per_image_seconds(&timeline);
+            if best
+                .as_ref()
+                .is_none_or(|(m, l, _)| makespan < *m || (makespan == *m && latency < *l))
+            {
+                best = Some((makespan, latency, assignment));
+            }
+        }
+    }
+    best.map(|(_, _, a)| a).ok_or_else(|| {
+        infeasible(format!(
+            "no assignment places {layer} on {replicas} of {n} board(s) with matching \
+             timing while the rest of {target:?} still fits (try fewer replicas, a \
+             narrower word format, or more boards)"
+        ))
+    })
+}
+
+/// Collapse per-board layer groups into a [`ShardAssignment`] (boards
+/// ascending; empty boards omitted).
+fn assignment_from_groups(groups: &[Vec<LayerName>]) -> ShardAssignment {
+    groups
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| !g.is_empty())
+        .map(|(b, g)| {
+            (
+                b,
+                OffloadTarget::from_layers(g).expect("subsets of a placement are placements"),
+            )
+        })
+        .collect()
+}
+
+/// First-fit feasibility of `target` over `boards` — the probe behind
+/// the [`EngineError::ShardInfeasible`] hint. A plain boolean re-run of
+/// [`shard_placement_with`]'s loop that constructs no error (so probing
+/// an extended cluster cannot recurse back into the diagnosis).
+fn first_fit_feasible(
+    target: OffloadTarget,
+    boards: &[Board],
+    parallelism: usize,
+    formats: &StageFormats,
+) -> bool {
+    let mut board = 0usize;
+    let mut current: Vec<LayerName> = Vec::new();
+    for &layer in target.layers() {
+        loop {
+            let mut candidate = current.clone();
+            candidate.push(layer);
+            let Some(t) = OffloadTarget::from_layers(&candidate) else {
+                return false;
+            };
+            if t.fits_with(&boards[board], parallelism, formats) {
+                current = candidate;
+                break;
+            }
+            current.clear();
+            board += 1;
+            if board >= boards.len() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 /// Build the enriched [`EngineError::ShardInfeasible`]: which layer got
-/// stuck, its BRAM36 demand at the word width, and the capacities that
-/// were consulted — so an infeasibility report is actionable instead of
-/// just naming the target.
+/// stuck, its BRAM36 demand at the word width, the capacities that were
+/// consulted, and — when adding one more board of the rack's largest
+/// class would make the placement shard — an actionable follow-up
+/// naming [`crate::replica::Replication::Stage`], so the report says
+/// what to do next instead of just naming the target.
 pub(crate) fn shard_infeasible(
     target: OffloadTarget,
     cluster: &Cluster,
@@ -312,6 +558,34 @@ pub(crate) fn shard_infeasible(
     formats: &StageFormats,
     stuck: Option<LayerName>,
 ) -> EngineError {
+    let hint = {
+        let mut extended = cluster.boards().to_vec();
+        let biggest = extended
+            .iter()
+            .copied()
+            .max_by_key(|b| b.bram36)
+            .expect("a cluster has at least one board");
+        extended.push(biggest);
+        if first_fit_feasible(target, &extended, parallelism, formats) {
+            let bottleneck = stuck.or_else(|| target.layers().last().copied());
+            Some(match bottleneck {
+                Some(l) => format!(
+                    "the placement shards on {} boards ({} added); with spare fabric, \
+                     Replication::Stage({l}, 2) then replicates the bottleneck stage \
+                     for throughput",
+                    extended.len(),
+                    biggest.name,
+                ),
+                None => format!(
+                    "the placement shards on {} boards ({} added)",
+                    extended.len(),
+                    biggest.name,
+                ),
+            })
+        } else {
+            None
+        }
+    };
     EngineError::ShardInfeasible {
         target,
         boards: cluster.len(),
@@ -321,6 +595,7 @@ pub(crate) fn shard_infeasible(
             crate::resources::bram36_at_width(l, parallelism, formats.bytes_of(l))
         }),
         board_bram36: cluster.boards().iter().map(|b| b.bram36).collect(),
+        hint,
     }
 }
 
@@ -342,6 +617,7 @@ mod tests {
             precision: format.into(),
             partitioner,
             schedule: Schedule::Pipelined,
+            replication: crate::replica::Replication::None,
         }
     }
 

@@ -187,6 +187,9 @@ pub struct PlannedStage {
     pub pl_seconds: f64,
     /// 32-bit AXI bus words per inference.
     pub dma_words: u64,
+    /// Parameter bytes the stage's circuit holds at this word width —
+    /// the payload a replica broadcast ships (see [`crate::replica`]).
+    pub param_bytes: u64,
 }
 
 /// The configuration a [`DeploymentPlan`] is computed from — the same
@@ -319,6 +322,7 @@ pub fn plan_deployment(spec: &NetSpec, req: &PlanRequest) -> Result<DeploymentPl
                 ff,
                 pl_seconds: req.pl.stage_seconds_at(layer, execs, &req.board, bytes),
                 dma_words: crate::datapath::dma_words_at(layer, bytes),
+                param_bytes: crate::resources::stage_param_bytes(spec, layer, bytes),
             }
         })
         .collect();

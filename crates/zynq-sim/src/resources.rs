@@ -302,6 +302,19 @@ pub fn placement_resources_at(
     placement_resources_mixed(&pairs, parallelism)
 }
 
+/// Bytes of parameters one offloaded stage's circuit holds at the
+/// given word width — the block's convolution weights and batch-norm
+/// terms as priced by [`rodenet::params::block_bytes`], with the
+/// variant's ODE/plain flavor resolved from `spec`. This is the
+/// payload a replica broadcast ships to each extra carrier of the
+/// stage (see [`crate::replica`]).
+pub fn stage_param_bytes(spec: &rodenet::NetSpec, layer: LayerName, bytes_per_value: usize) -> u64 {
+    let plan = spec.plan(layer);
+    (plan.stacked.max(1)
+        * rodenet::params::block_bytes(layer, plan.is_ode, spec.classes, bytes_per_value))
+        as u64
+}
+
 /// [`placement_resources_at`] with a **per-circuit** parameter width:
 /// each `(layer, bytes_per_value)` pair is priced at its own word
 /// format — the mixed-precision generalization the per-stage policies

@@ -555,7 +555,11 @@ pub fn serve_timeline(
 /// every scaling change should be judged against.
 #[derive(Clone, Debug)]
 pub struct LoadSweep {
-    /// Offered load as fractions of the pipelined ceiling.
+    /// Offered load as fractions of the pipelined ceiling. Any grid
+    /// works — [`sweep_timeline`] rejects an empty, non-positive,
+    /// non-finite, or non-strictly-ascending list with a typed
+    /// [`EngineError::InvalidServe`]. The default grid (0.1×…1.2× in
+    /// 0.1× steps) is pinned by the test suite.
     pub fractions: Vec<f64>,
     /// Stream length per point.
     pub images: usize,
@@ -609,6 +613,11 @@ pub fn sweep_timeline(
             reason: "load-sweep fractions must be finite and positive",
         });
     }
+    if sweep.fractions.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(EngineError::InvalidServe {
+            reason: "load-sweep fractions must be strictly ascending",
+        });
+    }
     let ceiling = 1.0 / bottleneck_seconds(timeline);
     sweep
         .fractions
@@ -644,12 +653,14 @@ mod tests {
                 layer: None,
                 seconds: 0.010,
                 transfer_in: 0.0,
+                replicas: Vec::new(),
             },
             StageTiming {
                 resource: StageResource::Pl(0),
                 layer: None,
                 seconds: 0.020,
                 transfer_in: 0.0,
+                replicas: Vec::new(),
             },
         ]
     }
@@ -850,5 +861,29 @@ mod tests {
             ..LoadSweep::default()
         };
         assert!(sweep_timeline(&toy(), &sweep).is_err());
+        // Unsorted (or duplicated) grids are a config bug, not a curve.
+        for bad in [vec![0.9, 0.2], vec![0.5, 0.5]] {
+            let sweep = LoadSweep {
+                fractions: bad,
+                ..LoadSweep::default()
+            };
+            assert!(matches!(
+                sweep_timeline(&toy(), &sweep),
+                Err(EngineError::InvalidServe { reason }) if reason.contains("ascending")
+            ));
+        }
+    }
+
+    #[test]
+    fn default_sweep_grid_is_pinned() {
+        // The default load grid is part of the public serving surface:
+        // reports and CI smoke tables are comparable across versions
+        // only while it stays 0.1×…1.2× in 0.1× steps.
+        let d = LoadSweep::default();
+        let expect: Vec<f64> = (1..=12).map(|i| i as f64 / 10.0).collect();
+        assert_eq!(d.fractions, expect);
+        assert_eq!(d.images, 256);
+        assert_eq!(d.seed, 42);
+        assert!(sweep_timeline(&toy(), &d).is_ok(), "the default validates");
     }
 }

@@ -43,6 +43,7 @@ fn main() {
         for (resource, busy) in plan.resource_busy() {
             let name = match resource {
                 StageResource::Ps => "head PS".to_string(),
+                StageResource::PsOn(k) => format!("board {k} PS"),
                 StageResource::Pl(k) => format!("board {k} PL"),
             };
             println!("  busy       : {name:<10} {busy:.3}s/img");

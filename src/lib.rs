@@ -69,6 +69,7 @@ pub mod prelude {
     pub use zynq_sim::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
     pub use zynq_sim::planner::{plan_offload, OffloadTarget};
     pub use zynq_sim::precision::{Precision, StageFormats};
+    pub use zynq_sim::replica::{ReplicaPlan, Replication};
     pub use zynq_sim::serve::{
         ArrivalProcess, Dispatch, LoadPoint, LoadSweep, ServeReport, ServeRequest,
     };

@@ -15,7 +15,7 @@ use zynq_sim::cluster::{
     bottleneck_seconds, per_image_seconds, pipelined_schedule, sequential_makespan, StageResource,
     StageTiming,
 };
-use zynq_sim::{Board, ARTY_Z7_10, ARTY_Z7_20};
+use zynq_sim::{Board, Replication, ARTY_Z7_10, ARTY_Z7_20};
 
 fn image(seed: u64) -> Tensor<f32> {
     use rand::rngs::StdRng;
@@ -247,6 +247,7 @@ fn balanced_puts_heavy_stages_on_the_big_fabric() {
         precision: PlFormat::Q16 { frac: 10 }.into(),
         schedule: Schedule::Pipelined,
         partitioner,
+        replication: Replication::None,
     };
     let ff = plan_cluster(&spec, &request(Partitioner::FirstFit)).expect("plans");
     let bal = plan_cluster(&spec, &request(Partitioner::BalancedMakespan)).expect("plans");
@@ -324,6 +325,7 @@ fn any_timeline() -> impl Strategy<Value = Vec<StageTiming>> {
                 layer: None,
                 seconds,
                 transfer_in,
+                replicas: Vec::new(),
             })
             .collect()
     })
@@ -400,6 +402,7 @@ proptest! {
             precision: format.into(),
             schedule,
             partitioner,
+            replication: Replication::None,
         };
         if let Ok(ff) = plan_cluster(&spec, &request(Partitioner::FirstFit)) {
             let bal = plan_cluster(&spec, &request(Partitioner::BalancedMakespan))

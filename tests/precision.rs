@@ -21,7 +21,7 @@
 use odenet_suite::prelude::*;
 use proptest::prelude::*;
 use qfixed::QFormat;
-use zynq_sim::{ARTY_Z7_10, ARTY_Z7_20};
+use zynq_sim::{Replication, ARTY_Z7_10, ARTY_Z7_20};
 
 fn image(seed: u64, hw: usize) -> Tensor<f32> {
     use rand::rngs::StdRng;
@@ -185,6 +185,7 @@ fn balanced_partitioner_handles_mixed_widths() {
         precision: mixed,
         schedule: Schedule::Pipelined,
         partitioner: Partitioner::BalancedMakespan,
+        replication: Replication::None,
     };
     let plan = plan_cluster(&spec, &req).expect("the mixed assignment exists");
     assert_eq!(plan.board_of(LayerName::Layer3_2), Some(1), "only fit");

@@ -23,7 +23,7 @@ use odenet_suite::prelude::*;
 use proptest::prelude::*;
 use zynq_sim::cluster::{bottleneck_seconds, StageTiming};
 use zynq_sim::serve::{serve_timeline, ArrivalProcess, Dispatch};
-use zynq_sim::ARTY_Z7_20;
+use zynq_sim::{Replication, ARTY_Z7_20};
 
 fn two_arty() -> Cluster {
     Cluster::homogeneous(&ARTY_Z7_20, 2, Interconnect::GIGABIT_ETHERNET)
@@ -44,6 +44,7 @@ fn rack_plan() -> ClusterPlan {
             precision: PlFormat::Q20.into(),
             schedule: Schedule::Pipelined,
             partitioner: Partitioner::FirstFit,
+            replication: Replication::None,
         },
     )
     .expect("two XC7Z020s carry ODENet-20 at Q20")
@@ -242,6 +243,7 @@ fn any_timeline() -> impl Strategy<Value = Vec<StageTiming>> {
                 layer: None,
                 seconds,
                 transfer_in,
+                replicas: Vec::new(),
             })
             .collect()
     })
