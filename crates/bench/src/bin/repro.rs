@@ -41,6 +41,11 @@
 //!   serve         Extension: online serving — Poisson load sweep over
 //!                 the 2-board ODENet-20 pipeline (load/latency curve)
 //!                 and a dispatch-policy face-off at half the ceiling
+//!   trace         Extension: observability — serve the replicated
+//!                 3×Arty rack with event tracing on, print the
+//!                 per-resource stall-attribution table, and export the
+//!                 Chrome-trace JSON artifact (chrome://tracing /
+//!                 Perfetto)
 //!   all           Everything except the slow fig6 full sweep
 //!
 //! Flags
@@ -48,7 +53,14 @@
 //!   --epochs=<e>     Override fig6 epochs
 //!   --full           fig6: the full (slow) sweep over N = 20..56
 //!   --seed=<s>       RNG seed (default 42)
-//!   --images=<k>     serve: stream length per load point (default 256)
+//!   --images=<k>     serve/trace: stream length (default 256)
+//!   --out=<path>     Artifact file: `trace` writes its JSON there
+//!                 (default results/trace.json); every other command
+//!                 appends its markdown tables there instead of being
+//!                 stdout-only
+//!
+//! An unknown flag or a malformed value is a typed error: repro prints
+//! what it got, the flags it knows, and exits with status 2.
 //! ```
 
 use bench::{pct2, s2, Table};
@@ -69,32 +81,74 @@ struct Flags {
     full: bool,
     seed: u64,
     images: Option<usize>,
+    out: Option<std::path::PathBuf>,
 }
 
-fn parse_flags(args: &[String]) -> Flags {
+/// A typed CLI error instead of a panic: `main` prints it with the
+/// known-flag list and exits with status 2.
+#[derive(Debug, PartialEq, Eq)]
+enum FlagError {
+    /// The flag isn't one repro knows.
+    Unknown(String),
+    /// The flag is known but its value didn't parse.
+    BadValue {
+        flag: &'static str,
+        expected: &'static str,
+        got: String,
+    },
+}
+
+impl std::fmt::Display for FlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlagError::Unknown(flag) => write!(f, "unknown flag '{flag}'"),
+            FlagError::BadValue {
+                flag,
+                expected,
+                got,
+            } => write!(f, "flag --{flag} expects {expected}, got '{got}'"),
+        }
+    }
+}
+
+/// The flag synopsis `main` prints alongside a [`FlagError`].
+const KNOWN_FLAGS: &str = "--n=<depth> --epochs=<e> --full --seed=<s> --images=<k> --out=<path>";
+
+fn parse_flags(args: &[String]) -> Result<Flags, FlagError> {
     let mut f = Flags {
         n: 56,
         epochs: None,
         full: false,
         seed: 42,
         images: None,
+        out: None,
+    };
+    let bad = |flag: &'static str, expected: &'static str, got: &str| FlagError::BadValue {
+        flag,
+        expected,
+        got: got.to_string(),
     };
     for a in args {
         if let Some(v) = a.strip_prefix("--n=") {
-            f.n = v.parse().expect("--n=<depth>");
+            f.n = v.parse().map_err(|_| bad("n", "a depth", v))?;
         } else if let Some(v) = a.strip_prefix("--epochs=") {
-            f.epochs = Some(v.parse().expect("--epochs=<e>"));
+            f.epochs = Some(v.parse().map_err(|_| bad("epochs", "an epoch count", v))?);
         } else if a == "--full" {
             f.full = true;
         } else if let Some(v) = a.strip_prefix("--seed=") {
-            f.seed = v.parse().expect("--seed=<s>");
+            f.seed = v.parse().map_err(|_| bad("seed", "a u64 seed", v))?;
         } else if let Some(v) = a.strip_prefix("--images=") {
-            f.images = Some(v.parse().expect("--images=<k>"));
+            f.images = Some(v.parse().map_err(|_| bad("images", "an image count", v))?);
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            if v.is_empty() {
+                return Err(bad("out", "a file path", v));
+            }
+            f.out = Some(std::path::PathBuf::from(v));
         } else {
-            panic!("unknown flag {a}");
+            return Err(FlagError::Unknown(a.clone()));
         }
     }
-    f
+    Ok(f)
 }
 
 /// Every dispatchable command, in the order the module docs list them.
@@ -128,6 +182,7 @@ fn command_registry() -> Vec<Command> {
         ("replicate", |_| replicate_cmd()),
         ("calibrate", calibrate_cmd),
         ("serve", serve_cmd),
+        ("trace", trace_cmd),
         ("all", all_cmd),
     ]
 }
@@ -152,13 +207,26 @@ fn all_cmd(flags: &Flags) {
     partition_cmd();
     replicate_cmd();
     serve_cmd(flags);
+    trace_cmd(flags);
     println!("\n(run `repro fig6`, `repro quantization`, `repro solver`, `repro calibrate` separately — they train networks)");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
-    let flags = parse_flags(&args[1.min(args.len())..]);
+    let flags = match parse_flags(&args[1.min(args.len())..]) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("known flags: {KNOWN_FLAGS}");
+            std::process::exit(2);
+        }
+    };
+    // `trace` writes its JSON artifact to --out itself; for every other
+    // command --out collects the emitted markdown tables in one file.
+    if cmd != "trace" {
+        bench::set_artifact_sink(flags.out.clone());
+    }
     let registry = command_registry();
     match registry.iter().find(|(name, _)| *name == cmd) {
         Some((_, run)) => run(&flags),
@@ -1085,7 +1153,6 @@ fn cluster_cmd() {
 }
 
 fn partition_cmd() {
-    use zynq_sim::cluster::StageResource;
     use zynq_sim::engine::Offload;
     use zynq_sim::plan::PlFormat;
     use zynq_sim::{
@@ -1133,11 +1200,7 @@ fn partition_cmd() {
         let busy = plan
             .resource_busy()
             .iter()
-            .map(|(r, b)| match r {
-                StageResource::Ps => format!("PS {b:.2}"),
-                StageResource::PsOn(k) => format!("PS{k} {b:.2}"),
-                StageResource::Pl(k) => format!("PL{k} {b:.2}"),
-            })
+            .map(|&(r, b)| format!("{} {b:.2}", zynq_sim::trace::resource_label(r)))
             .collect::<Vec<_>>()
             .join(" | ");
         let makespan = plan.batch_seconds(BATCH, Schedule::Pipelined);
@@ -1161,7 +1224,6 @@ fn partition_cmd() {
 }
 
 fn replicate_cmd() {
-    use zynq_sim::cluster::StageResource;
     use zynq_sim::engine::Offload;
     use zynq_sim::plan::PlFormat;
     use zynq_sim::serve::{sweep_timeline, LoadSweep};
@@ -1186,11 +1248,7 @@ fn replicate_cmd() {
     let busy_of = |plan: &zynq_sim::ClusterPlan| {
         plan.resource_busy()
             .iter()
-            .map(|(r, b)| match r {
-                StageResource::Ps => format!("PS {b:.3}"),
-                StageResource::PsOn(k) => format!("PS{k} {b:.3}"),
-                StageResource::Pl(k) => format!("PL{k} {b:.3}"),
-            })
+            .map(|&(r, b)| format!("{} {b:.3}", zynq_sim::trace::resource_label(r)))
             .collect::<Vec<_>>()
             .join(" | ")
     };
@@ -1532,6 +1590,110 @@ fn serve_cmd(flags: &Flags) {
     );
 }
 
+fn trace_cmd(flags: &Flags) {
+    use zynq_sim::engine::Offload;
+    use zynq_sim::plan::PlFormat;
+    use zynq_sim::serve::{serve_timeline_traced, ArrivalProcess, Dispatch, ServeRequest};
+    use zynq_sim::trace::{check_chrome_json, resource_label};
+    use zynq_sim::{
+        plan_cluster, Cluster, ClusterRequest, Interconnect, Partitioner, Replication, Schedule,
+        ARTY_Z7_20,
+    };
+
+    // The replicate command's headline rack: 3×Arty with layer1 burned
+    // onto two fabrics, which retires the PL bottleneck down to the
+    // head PS's floor. The trace should *show* that — the attribution
+    // table names the head PS as the resource everyone else waits on.
+    let spec = NetSpec::new(Variant::OdeNet, 20).with_classes(100);
+    let request = ClusterRequest {
+        cluster: Cluster::homogeneous(&ARTY_Z7_20, 3, Interconnect::GIGABIT_ETHERNET),
+        offload: Offload::Auto,
+        bn: BnMode::OnTheFly,
+        ps: PsModel::Calibrated,
+        pl: PlModel { parallelism: 8 },
+        precision: PlFormat::Q20.into(),
+        schedule: Schedule::Pipelined,
+        partitioner: Partitioner::BalancedMakespan,
+        replication: Replication::Stage(LayerName::Layer1, 2),
+    };
+    let plan = plan_cluster(&spec, &request).expect("3×Arty carries ODENet-20 at Q20/conv_x8");
+    let images = flags.images.unwrap_or(256);
+    let serve_req = ServeRequest {
+        arrivals: ArrivalProcess::Poisson {
+            rate: 0.9 / plan.bottleneck_seconds(),
+        },
+        images,
+        dispatch: Dispatch::default(),
+        seed: flags.seed,
+    };
+    let report = serve_timeline_traced(plan.timeline(), &serve_req, true)
+        .expect("the traced serve replays the same virtual timeline");
+    let mut trace = report.trace().expect("tracing was requested").clone();
+    trace.set_broadcast_seconds(plan.broadcast_seconds());
+
+    println!("tracing {}", plan.describe());
+    println!("serve   {}", report.describe());
+
+    // The stall-attribution table: where each resource's idle time
+    // went. "Upstream" = the previous stage hadn't produced the image
+    // yet; "gate" = the stage's FIFO order held a ready image back;
+    // "no work" = genuinely idle (warm-up, drain, arrival gaps).
+    let metrics = trace.metrics();
+    let mut t = Table::new(
+        "Extension: event trace — per-resource busy/stall attribution (seeded Poisson serve)",
+        &[
+            "Resource",
+            "Spans",
+            "Busy [s]",
+            "Util",
+            "Upstream [s]",
+            "Gate [s]",
+            "No-work [s]",
+        ],
+    );
+    for r in &metrics.resources {
+        t.row(vec![
+            resource_label(r.resource),
+            r.spans.to_string(),
+            format!("{:.3}", r.busy),
+            format!("{:.0}%", r.utilization * 100.0),
+            format!("{:.3}", r.stall.upstream),
+            format!("{:.3}", r.stall.gate),
+            format!("{:.3}", r.stall.no_work),
+        ]);
+    }
+    t.emit("trace");
+    if let Some(bottleneck) = metrics.bottleneck() {
+        println!(
+            "bottleneck: {} — busy {:.3}s of {:.3}s horizon ({:.4}s/img vs plan's \
+             bottleneck {:.4}s); admission queue peaked at {}",
+            resource_label(bottleneck.resource),
+            bottleneck.busy,
+            metrics.horizon,
+            bottleneck.busy / images as f64,
+            plan.bottleneck_seconds(),
+            metrics.queue_peak,
+        );
+    }
+
+    let json = trace.to_chrome_json();
+    let events = check_chrome_json(&json).expect("the exporter emits well-formed Chrome JSON");
+    let path = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("results/trace.json"));
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!(
+            "[saved {} — {events} events; open in chrome://tracing or https://ui.perfetto.dev]",
+            path.display()
+        ),
+        Err(e) => eprintln!("(could not write {}: {e})", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1568,6 +1730,7 @@ mod tests {
             "replicate",
             "calibrate",
             "serve",
+            "trace",
             "all",
         ];
         assert_eq!(

@@ -3,7 +3,39 @@
 //! both the `repro` binary and the criterion benches.
 
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Where [`Table::emit`] additionally appends its markdown (beyond
+/// stdout + the per-table CSV), when the caller asked for a single
+/// artifact file — `repro`'s `--out=<path>` flag sets this once at
+/// startup.
+static ARTIFACT_SINK: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Route every subsequent [`Table::emit`]'s markdown into `path` as
+/// well (appending — one run's tables accumulate into one artifact).
+/// `None` restores stdout-only emission.
+pub fn set_artifact_sink(path: Option<PathBuf>) {
+    *ARTIFACT_SINK.lock().expect("artifact sink mutex") = path;
+}
+
+fn append_artifact(text: &str) {
+    let sink = ARTIFACT_SINK.lock().expect("artifact sink mutex");
+    let Some(path) = sink.as_ref() else {
+        return;
+    };
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, text.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("(could not append to {}: {e})", path.display());
+    }
+}
 
 /// A simple markdown/CSV table builder.
 #[derive(Clone, Debug, Default)]
@@ -90,9 +122,12 @@ impl Table {
         out
     }
 
-    /// Print to stdout and persist a CSV under `results/`.
+    /// Print to stdout and persist a CSV under `results/`. When an
+    /// artifact sink is set ([`set_artifact_sink`]), the markdown is
+    /// also appended there.
     pub fn emit(&self, slug: &str) {
         println!("{}", self.to_markdown());
+        append_artifact(&self.to_markdown());
         let dir = Path::new("results");
         if std::fs::create_dir_all(dir).is_ok() {
             let path = dir.join(format!("{slug}.csv"));
@@ -148,5 +183,19 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn artifact_sink_appends_markdown() {
+        let path = std::env::temp_dir().join("bench-artifact-sink-test.md");
+        let _ = std::fs::remove_file(&path);
+        set_artifact_sink(Some(path.clone()));
+        append_artifact("first\n");
+        append_artifact("second\n");
+        set_artifact_sink(None);
+        append_artifact("dropped\n");
+        let got = std::fs::read_to_string(&path).expect("sink file written");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(got, "first\nsecond\n");
     }
 }

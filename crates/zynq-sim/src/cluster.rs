@@ -62,6 +62,7 @@ use crate::precision::StageFormats;
 use crate::replica::{ReplicaPlan, Replication};
 use crate::resources::{bram36_at_width, dsp_slices_at_width, modelled_lut_ff_at};
 use crate::timing::{PlModel, PsModel};
+use crate::trace::Recorder;
 use rodenet::{BnMode, LayerName, NetSpec};
 
 /// A modelled board-to-board link (point-to-point, full duplex).
@@ -687,6 +688,21 @@ pub fn pipelined_schedule(timeline: &[StageTiming], images: usize) -> PipelineRu
 /// exactly). Releases must be sorted ascending so the oldest-image
 /// tie-break keeps arrival order.
 pub fn pipelined_schedule_released(timeline: &[StageTiming], releases: &[f64]) -> ServedRun {
+    pipelined_schedule_released_traced(timeline, releases, &mut Recorder::disabled())
+}
+
+/// [`pipelined_schedule_released`] with an event [`Recorder`]: every
+/// stage execution and interconnect hand-off is recorded as a typed
+/// span in virtual time (see [`crate::trace`]). The public untraced
+/// entry points delegate here with a disabled recorder, whose hooks
+/// reduce to one inlined branch — recording never touches the
+/// scheduler's arithmetic, so the returned [`ServedRun`] is
+/// bit-identical with tracing on or off (pinned in `tests/trace.rs`).
+pub fn pipelined_schedule_released_traced(
+    timeline: &[StageTiming],
+    releases: &[f64],
+    rec: &mut Recorder,
+) -> ServedRun {
     let images = releases.len();
     let slots = timeline
         .iter()
@@ -734,7 +750,21 @@ pub fn pipelined_schedule_released(timeline: &[StageTiming], releases: &[f64]) -
         let (start, i) = best.expect("pending stages remain");
         let stage = &timeline[next[i]];
         let done = start + stage.seconds;
-        free[stage.resource_for(i).slot()] = done;
+        let resource = stage.resource_for(i);
+        rec.stage(
+            i,
+            next[i],
+            resource,
+            stage.layer,
+            ready[i],
+            ready[i] + stage.transfer_in,
+            start,
+            done,
+        );
+        if stage.transfer_in > 0.0 {
+            rec.transfer(i, next[i], resource, ready[i], ready[i] + stage.transfer_in);
+        }
+        free[resource.slot()] = done;
         started[next[i]] += 1;
         if next[i] == 0 {
             // Latency runs from the moment the image's first transfer
@@ -757,6 +787,7 @@ pub fn pipelined_schedule_released(timeline: &[StageTiming], releases: &[f64]) -
             .map(|r| free[r.slot()])
             .fold(f64::INFINITY, f64::min)
     });
+    rec.run_summary(timeline, images, makespan);
     ServedRun {
         makespan,
         starts,
@@ -924,6 +955,21 @@ impl ClusterPlan {
         self.replica.as_ref().map_or(0.0, |r| r.broadcast_seconds)
     }
 
+    /// Steady-state per-resource utilization under pipelined serving
+    /// at the throughput ceiling: each resource's per-image busy share
+    /// over the bottleneck's ([`Self::bottleneck_seconds`]; the
+    /// bottleneck itself reads 1.0). These are the fractions a
+    /// measured `ServeReport::utilization` approaches at full offered
+    /// load, in the same units and [`crate::trace::format_utilization`]
+    /// format both describe lines print.
+    pub fn utilization(&self) -> Vec<(StageResource, f64)> {
+        let bottleneck = self.bottleneck_seconds();
+        self.resource_busy()
+            .into_iter()
+            .map(|(resource, busy)| (resource, busy / bottleneck))
+            .collect()
+    }
+
     /// Modelled makespan of a batch under `schedule`.
     pub fn batch_seconds(&self, images: usize, schedule: Schedule) -> f64 {
         match schedule {
@@ -967,7 +1013,7 @@ impl ClusterPlan {
             .map(|r| format!(" · {}", r.describe()))
             .unwrap_or_default();
         format!(
-            "{} · {} · {:?} over {} ({}) · {:.3}s/img · {:?} · {:?}{}",
+            "{} · {} · {:?} over {} ({}) · {:.3}s/img · {:?} · {:?}{} · {}",
             self.spec.display_name(),
             self.formats,
             self.target,
@@ -977,6 +1023,7 @@ impl ClusterPlan {
             self.schedule,
             self.partitioner,
             replica,
+            crate::trace::format_utilization(&self.utilization()),
         )
     }
 }

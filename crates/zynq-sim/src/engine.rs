@@ -87,6 +87,7 @@ use crate::precision::{Precision, StageFormats};
 use crate::replica::Replication;
 use crate::serve::{LoadPoint, LoadSweep, ServeReport, ServeRequest};
 use crate::timing::{PlModel, PsModel, Table5Row};
+use crate::trace::{Recorder, Trace};
 use qfixed::{Fix, Fix16};
 use rodenet::{BnMode, LayerName, Network, QuantNetwork, ResBlock, Variant};
 use tensor::{Scalar, Shape4, Tensor};
@@ -899,6 +900,7 @@ pub struct EngineBuilder<'n> {
     schedule: Schedule,
     partitioner: Partitioner,
     replication: Replication,
+    trace: bool,
     custom: Option<Box<dyn Backend + 'n>>,
 }
 
@@ -1028,6 +1030,20 @@ impl<'n> EngineBuilder<'n> {
         self
     }
 
+    /// Record an event trace of every traced run (default: off).
+    /// When on, [`Engine::serve`] and pipelined
+    /// [`Engine::infer_batch_summary`] capture typed spans — stage
+    /// executions per resource, interconnect hand-offs, queue and
+    /// dispatch events — retrievable via [`Engine::last_trace`] /
+    /// `ServeReport::trace()` and exportable with
+    /// [`crate::trace::Trace::to_chrome_json`]. Tracing never touches
+    /// the simulation's arithmetic: schedules, reports, and logits are
+    /// bit-identical on or off (see [`crate::trace`]).
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Plug in a caller-provided [`Backend`] (multi-board sharding,
     /// alternate fabrics, …). Placement planning and conflict checks
     /// are skipped — the backend owns its execution strategy. The
@@ -1125,6 +1141,8 @@ impl<'n> EngineBuilder<'n> {
                 plan: None,
                 cluster_plan: None,
                 backend: custom,
+                trace_enabled: self.trace,
+                last_trace: std::sync::Mutex::new(None),
             });
         }
 
@@ -1214,6 +1232,8 @@ impl<'n> EngineBuilder<'n> {
                 plan: None,
                 cluster_plan: Some(cplan),
                 backend,
+                trace_enabled: self.trace,
+                last_trace: std::sync::Mutex::new(None),
             });
         }
 
@@ -1270,6 +1290,8 @@ impl<'n> EngineBuilder<'n> {
             plan: Some(plan),
             cluster_plan: None,
             backend,
+            trace_enabled: self.trace,
+            last_trace: std::sync::Mutex::new(None),
         })
     }
 }
@@ -1324,6 +1346,11 @@ pub struct Engine<'n> {
     plan: Option<DeploymentPlan>,
     cluster_plan: Option<ClusterPlan>,
     backend: Box<dyn Backend + 'n>,
+    trace_enabled: bool,
+    // Interior-mutable so `serve`/`infer_batch_summary` keep their
+    // `&self` signatures (one engine serves from several threads —
+    // pinned by `engine_serves_from_multiple_threads`).
+    last_trace: std::sync::Mutex<Option<Trace>>,
 }
 
 impl core::fmt::Debug for Engine<'_> {
@@ -1357,6 +1384,7 @@ impl<'n> Engine<'n> {
             schedule: Schedule::default(),
             partitioner: Partitioner::default(),
             replication: Replication::default(),
+            trace: false,
             custom: None,
         }
     }
@@ -1486,6 +1514,24 @@ impl<'n> Engine<'n> {
     ) -> Result<(Vec<RunReport>, BatchSummary), EngineError> {
         let runs = self.infer_batch(xs)?;
         let summary = self.backend.summarize_batch(&runs);
+        if self.trace_enabled {
+            // Replay the pipelined schedule with recording on — the
+            // traced replay is a second run of the identical
+            // deterministic sim, so the summary above is untouched.
+            if let Some(cplan) = &self.cluster_plan {
+                if cplan.schedule() == Schedule::Pipelined && summary.images > 0 {
+                    let mut rec = Recorder::enabled();
+                    crate::cluster::pipelined_schedule_released_traced(
+                        cplan.timeline(),
+                        &vec![0.0f64; summary.images],
+                        &mut rec,
+                    );
+                    let mut trace = rec.finish();
+                    trace.set_broadcast_seconds(cplan.broadcast_seconds());
+                    *self.last_trace.lock().expect("trace mutex") = Some(trace);
+                }
+            }
+        }
         Ok((runs, summary))
     }
 
@@ -1533,14 +1579,36 @@ impl<'n> Engine<'n> {
     /// inference executes here at all — like [`Engine::latency_report`],
     /// this reads the build-time timing model.
     pub fn serve(&self, req: &ServeRequest) -> Result<ServeReport, EngineError> {
-        crate::serve::serve_timeline(&self.serve_pipeline()?, req)
+        let mut report =
+            crate::serve::serve_timeline_traced(&self.serve_pipeline()?, req, self.trace_enabled)?;
+        if let Some(trace) = report.trace.as_mut() {
+            if let Some(cplan) = &self.cluster_plan {
+                trace.set_broadcast_seconds(cplan.broadcast_seconds());
+            }
+            *self.last_trace.lock().expect("trace mutex") = Some(trace.clone());
+        }
+        Ok(report)
     }
 
     /// Walk Poisson offered load across fractions of this deployment's
     /// pipelined throughput ceiling and serve a stream at each point —
-    /// the load/latency curve (see [`crate::serve::LoadSweep`]).
+    /// the load/latency curve (see [`crate::serve::LoadSweep`]). Sweeps
+    /// stay untraced even under [`EngineBuilder::trace`] — a trace per
+    /// load point is rarely what you want; trace one
+    /// [`Engine::serve`] at the load you care about instead (or call
+    /// [`crate::serve::sweep_timeline_traced`] directly).
     pub fn load_sweep(&self, sweep: &LoadSweep) -> Result<Vec<LoadPoint>, EngineError> {
         crate::serve::sweep_timeline(&self.serve_pipeline()?, sweep)
+    }
+
+    /// The event [`Trace`] of the most recent traced run on this
+    /// engine — [`Engine::serve`] or a pipelined
+    /// [`Engine::infer_batch_summary`] under
+    /// [`EngineBuilder::trace`]`(true)`. `None` before the first traced
+    /// run (or when tracing is off). Cloned out so the engine keeps
+    /// serving concurrently.
+    pub fn last_trace(&self) -> Option<Trace> {
+        self.last_trace.lock().expect("trace mutex").clone()
     }
 }
 

@@ -56,7 +56,14 @@
 //!   (dispatch on head-idle or deadline, never on a fixed batch
 //!   filling), and deterministic virtual-time replay through the
 //!   pipelined cluster schedule into a [`ServeReport`] of tail
-//!   latency, goodput, queue depth, and board utilization.
+//!   latency, goodput, queue depth, and board utilization;
+//! * [`trace`] — the observability layer: a zero-cost-when-disabled
+//!   event [`Recorder`] threaded through the virtual-time schedulers,
+//!   capturing per-image stage spans, interconnect hand-offs, queue
+//!   and dispatch events into a [`Trace`] that exports Chrome-trace
+//!   JSON (open in `chrome://tracing` / Perfetto) and aggregates into
+//!   per-resource utilization plus stall attribution
+//!   (waiting-on-upstream vs FIFO-gate-held vs no-work).
 //!
 //! ```
 //! use zynq_sim::resources::{ode_block_resources};
@@ -84,6 +91,7 @@ pub mod resources;
 pub mod serve;
 pub mod system;
 pub mod timing;
+pub mod trace;
 
 pub use board::{Board, ARTY_Z7_10, ARTY_Z7_20, PYNQ_Z2};
 pub use cluster::{
@@ -109,3 +117,4 @@ pub use system::HybridRun;
 #[allow(deprecated)]
 pub use system::{run_hybrid, run_hybrid_with};
 pub use timing::{table5_row, PlModel, PsModel, Table5Row};
+pub use trace::{check_chrome_json, Metrics, Recorder, ResourceMetrics, StallBreakdown, Trace};

@@ -78,8 +78,12 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::cluster::{bottleneck_seconds, pipelined_schedule_released, StageResource, StageTiming};
+use crate::cluster::{
+    bottleneck_seconds, pipelined_schedule_released, pipelined_schedule_released_traced,
+    StageResource, StageTiming,
+};
 use crate::engine::{latency_quantile, EngineError};
+use crate::trace::{Recorder, Trace};
 
 /// How requests enter the system: a pluggable open-loop generator.
 /// All three variants produce a deterministic stream for a given seed
@@ -473,6 +477,9 @@ pub struct ServeReport {
     /// Busy fraction of the horizon per execution resource (head PS,
     /// each board's PL), in timeline order.
     pub utilization: Vec<(StageResource, f64)>,
+    /// The event trace, when the run was served through
+    /// [`serve_timeline_traced`] with tracing on (`None` otherwise).
+    pub(crate) trace: Option<Trace>,
 }
 
 impl ServeReport {
@@ -481,10 +488,18 @@ impl ServeReport {
         self.images as f64 / self.batches as f64
     }
 
+    /// The run's event trace — stage spans, hand-offs, queue and
+    /// dispatch events plus [`Trace::metrics`] stall attribution —
+    /// when the serve was traced ([`serve_timeline_traced`] /
+    /// `EngineBuilder::trace(true)`); `None` for untraced runs.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
     /// One-line human description for logs and examples.
     pub fn describe(&self) -> String {
         format!(
-            "{} img in {} batches · offered {:.2}/s → goodput {:.2}/s · p50 {:.3}s p99 {:.3}s max {:.3}s · queue ≤ {}",
+            "{} img in {} batches · offered {:.2}/s → goodput {:.2}/s · p50 {:.3}s p99 {:.3}s max {:.3}s · queue ≤ {} · {}",
             self.images,
             self.batches,
             self.offered_rate,
@@ -493,6 +508,7 @@ impl ServeReport {
             self.latency_p99,
             self.latency_max,
             self.queue_peak,
+            crate::trace::format_utilization(&self.utilization),
         )
     }
 }
@@ -509,6 +525,23 @@ pub fn serve_timeline(
     timeline: &[StageTiming],
     req: &ServeRequest,
 ) -> Result<ServeReport, EngineError> {
+    serve_timeline_traced(timeline, req, false)
+}
+
+/// [`serve_timeline`] with event tracing: when `traced`, the returned
+/// report carries a [`Trace`] of the run — per-image stage spans and
+/// hand-offs from the release-aware event sim, plus admission-queue
+/// arrivals and micro-batcher dispatch decisions reconstructed from
+/// the release plan. Only the one full replay is traced; the deadline
+/// batcher's per-dispatch head-idle consults stay untraced (they are
+/// planning probes, not execution). Tracing never touches the
+/// simulation's arithmetic: the report's numbers are bit-identical
+/// with tracing on or off (pinned in `tests/trace.rs`).
+pub fn serve_timeline_traced(
+    timeline: &[StageTiming],
+    req: &ServeRequest,
+    traced: bool,
+) -> Result<ServeReport, EngineError> {
     req.validate()?;
     if timeline.is_empty() {
         return Err(EngineError::InvalidServe {
@@ -517,7 +550,33 @@ pub fn serve_timeline(
     }
     let arrivals = req.arrivals.arrivals(req.images, req.seed);
     let plan = MicroBatcher::new(req.dispatch).release_plan(timeline, &arrivals);
-    let run = pipelined_schedule_released(timeline, &plan.releases);
+    let mut rec = if traced {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    if rec.is_enabled() {
+        // Queue/dispatch events replay the batcher's decisions from
+        // the release plan: consecutive equal releases are one batch
+        // (dispatch instants strictly increase), and each batch's
+        // arrivals precede its dispatch — exactly the queue's
+        // push-before-drain order, so the depth series peaks at
+        // `AdmissionQueue::peak()`.
+        let mut idx = 0usize;
+        while idx < plan.releases.len() {
+            let at = plan.releases[idx];
+            let mut count = 0usize;
+            while idx + count < plan.releases.len() && plan.releases[idx + count] == at {
+                count += 1;
+            }
+            for arrival in &arrivals[idx..idx + count] {
+                rec.arrival(*arrival);
+            }
+            rec.dispatch(at, count);
+            idx += count;
+        }
+    }
+    let run = pipelined_schedule_released_traced(timeline, &plan.releases, &mut rec);
 
     let mut latencies: Vec<f64> = run
         .finishes
@@ -546,6 +605,7 @@ pub fn serve_timeline(
         latency_max: latency_quantile(&latencies, 1.0),
         queue_peak: plan.queue_peak,
         utilization,
+        trace: traced.then(|| rec.finish()),
     })
 }
 
@@ -603,6 +663,19 @@ pub fn sweep_timeline(
     timeline: &[StageTiming],
     sweep: &LoadSweep,
 ) -> Result<Vec<LoadPoint>, EngineError> {
+    sweep_timeline_traced(timeline, sweep, false)
+}
+
+/// [`sweep_timeline`] with event tracing: when `traced`, every
+/// [`LoadPoint`]'s report carries its own [`Trace`] (one full event
+/// log per load fraction — useful for comparing stall attribution as
+/// offered load climbs, but proportionally heavier; the default sweep
+/// stays untraced).
+pub fn sweep_timeline_traced(
+    timeline: &[StageTiming],
+    sweep: &LoadSweep,
+    traced: bool,
+) -> Result<Vec<LoadPoint>, EngineError> {
     if sweep.fractions.is_empty() {
         return Err(EngineError::InvalidServe {
             reason: "a load sweep needs at least one load fraction",
@@ -630,7 +703,7 @@ pub fn sweep_timeline(
                 dispatch: sweep.dispatch,
                 seed: sweep.seed,
             };
-            serve_timeline(timeline, &req).map(|report| LoadPoint {
+            serve_timeline_traced(timeline, &req, traced).map(|report| LoadPoint {
                 fraction,
                 offered,
                 report,

@@ -74,6 +74,7 @@ pub mod prelude {
         ArrivalProcess, Dispatch, LoadPoint, LoadSweep, ServeReport, ServeRequest,
     };
     pub use zynq_sim::timing::{paper_row, PlModel, PsModel};
+    pub use zynq_sim::trace::{check_chrome_json, Metrics, Recorder, StallBreakdown, Trace};
     pub use zynq_sim::{
         ode_block_resources, HybridRun, OdeBlockAccel, ARTY_Z7_10, ARTY_Z7_20, PYNQ_Z2,
     };
