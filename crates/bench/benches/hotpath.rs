@@ -1,0 +1,98 @@
+//! PS hot-path face-off: the retained scalar reference kernel vs the
+//! im2col/GEMM fast path, per offloadable layer geometry and end-to-end.
+//!
+//! * `hotpath_conv/{reference,fast}/*` — one convolution of each Table 2
+//!   layer geometry (stride 1) plus the stride-2 downsample entry;
+//! * `hotpath_e2e/{reference,fast}` — batch-32 ODENet-20 inference on the
+//!   `PsSoftware` backend, routed through [`tensor::conv::set_force_reference`]
+//!   so both runs share every call site.
+//!
+//! The two paths are pinned bit-identical (`tests/hotpath.rs`), so this
+//! bench measures pure wall-clock, not a numerics trade.
+
+use bench::random_tensor;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rodenet::{NetSpec, Network, Variant};
+use std::time::Duration;
+use tensor::conv::{conv2d_im2col_3x3, conv2d_reference, set_force_reference, Conv2dParams};
+use tensor::{Shape4, Tensor};
+use zynq_sim::engine::{Engine, Offload};
+use zynq_sim::planner::OffloadTarget;
+
+fn layer_shapes() -> Vec<(&'static str, Shape4, Shape4, Conv2dParams)> {
+    vec![
+        // (name, input, weights, params) — data channels + 1 time channel.
+        (
+            "layer1",
+            Shape4::new(1, 17, 32, 32),
+            Shape4::new(16, 17, 3, 3),
+            Conv2dParams::same_3x3(),
+        ),
+        (
+            "layer2_2",
+            Shape4::new(1, 33, 16, 16),
+            Shape4::new(32, 33, 3, 3),
+            Conv2dParams::same_3x3(),
+        ),
+        (
+            "layer3_2",
+            Shape4::new(1, 65, 8, 8),
+            Shape4::new(64, 65, 3, 3),
+            Conv2dParams::same_3x3(),
+        ),
+        (
+            "down2_1",
+            Shape4::new(1, 17, 32, 32),
+            Shape4::new(32, 17, 3, 3),
+            Conv2dParams::down_3x3(),
+        ),
+    ]
+}
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_conv");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for (name, xs, ws, p) in layer_shapes() {
+        let os_h = p.out_extent(xs.h, 3);
+        let os_w = p.out_extent(xs.w, 3);
+        let macs = (xs.c * ws.n * 9 * os_h * os_w) as u64;
+        g.throughput(Throughput::Elements(macs));
+        let x = random_tensor(xs, 1);
+        let w = random_tensor(ws, 2);
+        g.bench_with_input(BenchmarkId::new("reference", name), &(), |b, _| {
+            b.iter(|| black_box(conv2d_reference(&x, &w, p)))
+        });
+        g.bench_with_input(BenchmarkId::new("fast", name), &(), |b, _| {
+            b.iter(|| black_box(conv2d_im2col_3x3(&x, &w, p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e2e_batch(c: &mut Criterion) {
+    let net = Network::new(NetSpec::new(Variant::ROdeNet3, 20).with_classes(100), 11);
+    let engine = Engine::builder(&net)
+        .offload(Offload::Target(OffloadTarget::None))
+        .build()
+        .expect("pure-software placement always fits");
+    let xs: Vec<Tensor<f32>> = (0..32)
+        .map(|i| random_tensor(Shape4::new(1, 3, 32, 32), 100 + i as u64))
+        .collect();
+    let mut g = c.benchmark_group("hotpath_e2e");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(6));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("reference", |b| {
+        set_force_reference(true);
+        b.iter(|| black_box(engine.infer_batch(&xs).expect("batch runs")));
+        set_force_reference(false);
+    });
+    g.bench_function("fast", |b| {
+        b.iter(|| black_box(engine.infer_batch(&xs).expect("batch runs")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conv_kernels, bench_e2e_batch);
+criterion_main!(benches);

@@ -46,6 +46,11 @@
 //!                 per-resource stall-attribution table, and export the
 //!                 Chrome-trace JSON artifact (chrome://tracing /
 //!                 Perfetto)
+//!   hotpath       Extension: PS hot-path face-off — measured wall-clock
+//!                 seconds per PS stage (scalar reference kernels vs the
+//!                 im2col/GEMM fast path, bit-identical logits) plus
+//!                 end-to-end batch-32 on the PsSoftware backend, the
+//!                 configuration the ≥2× speedup pin guards
 //!   all           Everything except the slow fig6 full sweep
 //!
 //! Flags
@@ -53,7 +58,8 @@
 //!   --epochs=<e>     Override fig6 epochs
 //!   --full           fig6: the full (slow) sweep over N = 20..56
 //!   --seed=<s>       RNG seed (default 42)
-//!   --images=<k>     serve/trace: stream length (default 256)
+//!   --images=<k>     serve/trace: stream length (default 256);
+//!                 hotpath: end-to-end batch size (default 32)
 //!   --out=<path>     Artifact file: `trace` writes its JSON there
 //!                 (default results/trace.json); every other command
 //!                 appends its markdown tables there instead of being
@@ -183,6 +189,7 @@ fn command_registry() -> Vec<Command> {
         ("calibrate", calibrate_cmd),
         ("serve", serve_cmd),
         ("trace", trace_cmd),
+        ("hotpath", hotpath_cmd),
         ("all", all_cmd),
     ]
 }
@@ -208,6 +215,7 @@ fn all_cmd(flags: &Flags) {
     replicate_cmd();
     serve_cmd(flags);
     trace_cmd(flags);
+    hotpath_cmd(flags);
     println!("\n(run `repro fig6`, `repro quantization`, `repro solver`, `repro calibrate` separately — they train networks)");
 }
 
@@ -1694,6 +1702,99 @@ fn trace_cmd(flags: &Flags) {
     }
 }
 
+fn hotpath_cmd(flags: &Flags) {
+    use std::hint::black_box;
+    use std::time::Instant;
+    use tensor::conv::set_force_reference;
+    use zynq_sim::engine::{Engine, Offload};
+
+    /// Best-of-`reps` wall-clock seconds for `f` — min damps scheduler
+    /// noise without needing criterion's statistics for a smoke table.
+    fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            black_box(f());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    /// Time `f` on the scalar reference kernels, then on the im2col/GEMM
+    /// fast path. Numerics are bit-identical either way — the toggle only
+    /// reroutes `conv2d` dispatch — so only the clock differs.
+    fn face_off<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, f64) {
+        set_force_reference(true);
+        let reference = best_of(reps, &mut f);
+        set_force_reference(false);
+        let fast = best_of(reps, &mut f);
+        (reference, fast)
+    }
+
+    let spec = NetSpec::new(Variant::OdeNet, 20).with_classes(100);
+    let net = Network::new(spec, flags.seed);
+    let x = bench::random_tensor(Shape4::new(1, 3, 32, 32), flags.seed ^ 0x9e37);
+
+    let mut t = Table::new(
+        "Extension: PS hot path — scalar reference kernels vs im2col/GEMM fast path \
+         (ODENet-20, wall-clock)",
+        &["Stage", "Reference [s]", "Fast [s]", "Speedup"],
+    );
+    let mut row = |stage: &str, reference: f64, fast: f64| {
+        t.row(vec![
+            stage.to_string(),
+            format!("{reference:.4}"),
+            format!("{fast:.4}"),
+            format!("{:.1}x", reference / fast),
+        ]);
+    };
+
+    // Per-stage single-image walk: conv1, each residual stage on its own
+    // activation, then the classifier head. `stage_forward` re-runs just
+    // that stage, so each row isolates one layer geometry.
+    let (r, f) = face_off(3, || net.pre_forward(&x));
+    row("conv1 (pre)", r, f);
+    let mut z = net.pre_forward(&x);
+    for name in [
+        LayerName::Layer1,
+        LayerName::Layer2_1,
+        LayerName::Layer2_2,
+        LayerName::Layer3_1,
+        LayerName::Layer3_2,
+    ] {
+        let Some(next) = net.stage_forward(name, &z, BnMode::OnTheFly) else {
+            continue;
+        };
+        let (r, f) = face_off(3, || net.stage_forward(name, &z, BnMode::OnTheFly));
+        row(name.name(), r, f);
+        z = next;
+    }
+    let (r, f) = face_off(3, || net.fc_forward(&z));
+    row("fc (head)", r, f);
+
+    // End-to-end: the batch-32 PsSoftware run the >=2x pin in
+    // tests/hotpath.rs guards. One rep on the reference path keeps the
+    // command fast enough for CI smoke; the fast path gets best-of-2.
+    let batch = flags.images.unwrap_or(32);
+    let xs: Vec<Tensor<f32>> = (0..batch)
+        .map(|i| bench::random_tensor(Shape4::new(1, 3, 32, 32), flags.seed + 1 + i as u64))
+        .collect();
+    let engine = Engine::builder(&net)
+        .offload(Offload::Target(OffloadTarget::None))
+        .build()
+        .expect("pure-software placement always fits");
+    set_force_reference(true);
+    let reference = best_of(1, || engine.infer_batch(&xs).expect("reference batch"));
+    set_force_reference(false);
+    let fast = best_of(2, || engine.infer_batch(&xs).expect("fast batch"));
+    row(&format!("e2e batch-{batch} (PsSoftware)"), reference, fast);
+    t.emit("hotpath");
+    println!(
+        "(logits are bit-identical on both paths; tests/hotpath.rs pins the \
+         end-to-end row at >=2x)"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1731,6 +1832,7 @@ mod tests {
             "calibrate",
             "serve",
             "trace",
+            "hotpath",
             "all",
         ];
         assert_eq!(

@@ -475,6 +475,31 @@ impl Network {
             .find(|s| s.name == name && !s.blocks.is_empty())
     }
 
+    /// Run a single residual stage on an activation — the per-stage
+    /// counterpart of [`Network::pre_forward`] / [`Network::fc_forward`],
+    /// used by external executors and the hot-path profiler to time PS
+    /// stages one at a time. Returns `None` when the variant removed the
+    /// stage (its activation passes through unchanged in [`forward`]).
+    ///
+    /// [`forward`]: Network::forward
+    pub fn stage_forward(
+        &self,
+        name: LayerName,
+        z: &Tensor<f32>,
+        mode: BnMode,
+    ) -> Option<Tensor<f32>> {
+        let stage = self.stage(name)?;
+        let mut z = z.clone();
+        for block in &stage.blocks {
+            z = if stage.plan.is_ode {
+                block.ode_forward(&z, stage.plan.execs, mode)
+            } else {
+                block.residual_forward(&z, mode)
+            };
+        }
+        Some(z)
+    }
+
     /// Quantize the whole network into scalar type `S` — conv1, every
     /// residual stage, and the classification head — producing the
     /// forward-only deployment artifact the fully-fixed-point engine
@@ -541,6 +566,32 @@ mod tests {
         let logits = net.forward(&x, BnMode::OnTheFly);
         assert_eq!(logits.shape(), Shape4::new(2, 10, 1, 1));
         assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn stage_forward_chain_matches_forward() {
+        // pre → each stage individually → fc must reproduce the fused
+        // forward pass bit-for-bit (same kernels, same order), for a
+        // variant with removed stages and one with all present.
+        for v in [Variant::ROdeNet3, Variant::ResNet] {
+            let net = Network::new(NetSpec::new(v, 20).with_classes(10), 5);
+            let x = tiny_input(2, 16, 3);
+            let full = net.forward(&x, BnMode::OnTheFly);
+            let mut z = net.pre_forward(&x);
+            for name in [
+                LayerName::Layer1,
+                LayerName::Layer2_1,
+                LayerName::Layer2_2,
+                LayerName::Layer3_1,
+                LayerName::Layer3_2,
+            ] {
+                if let Some(out) = net.stage_forward(name, &z, BnMode::OnTheFly) {
+                    z = out;
+                }
+            }
+            let logits = net.fc_forward(&z);
+            assert_eq!(full.as_slice(), logits.as_slice(), "{v}");
+        }
     }
 
     #[test]

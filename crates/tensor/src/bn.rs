@@ -62,13 +62,16 @@ pub fn bn_apply<S: Scalar>(
     assert_eq!(mean.len(), s.c, "mean length");
     assert_eq!(var.len(), s.c, "var length");
     let mut out = Tensor::<S>::zeros(s);
+    // The statistics are frozen, so 1/σ is the same for every sample:
+    // hoist the divide+sqrt into a per-channel table instead of
+    // recomputing it N times (bit-identical — same value, same uses).
+    let inv: Vec<S> = var.iter().map(|&v| S::ONE.div(v.add(eps).sqrt())).collect();
     for n in 0..s.n {
         for c in 0..s.c {
-            let inv = S::ONE.div(var[c].add(eps).sqrt());
-            let (g, b, mu) = (gamma[c], beta[c], mean[c]);
+            let (g, b, mu, is) = (gamma[c], beta[c], mean[c], inv[c]);
             let xp = x.plane(n, c);
             for (o, &v) in out.plane_mut(n, c).iter_mut().zip(xp) {
-                *o = g.mul(v.sub(mu).mul(inv)).add(b);
+                *o = g.mul(v.sub(mu).mul(is)).add(b);
             }
         }
     }
@@ -89,23 +92,34 @@ pub fn bn_onthefly<S: Scalar>(x: &Tensor<S>, gamma: &[S], beta: &[S], eps: S) ->
     for n in 0..s.n {
         for c in 0..s.c {
             let xp = x.plane(n, c);
-            // Mean: wide-accumulated sum, one division.
+            // Mean: wide-accumulated sum, one division. This pass cannot
+            // fuse with the next — every deviation depends on the final
+            // mean (the hardware streams the plane twice for the same
+            // reason).
             let mut acc = S::acc_zero();
             for &v in xp {
                 acc = S::acc_add(acc, v);
             }
             let mean = S::acc_finish(acc).div(m);
-            // Variance: wide-accumulated sum of squared deviations.
+            // Fused variance + deviation pass: accumulate Σd² while
+            // materializing d = x − μ into the output plane, so the
+            // apply pass below reads the (cache-hot) deviations instead
+            // of re-walking x and re-subtracting. Operation-for-operation
+            // identical to the separate passes — `d` is computed once and
+            // used for both the square and the scale — so the result is
+            // bit-identical (pinned by `fused_pass_matches_two_pass_*`).
+            let op = out.plane_mut(n, c);
             let mut acc = S::acc_zero();
-            for &v in xp {
+            for (o, &v) in op.iter_mut().zip(xp) {
                 let d = v.sub(mean);
                 acc = S::mac(acc, d, d);
+                *o = d;
             }
             let var = S::acc_finish(acc).div(m);
             let inv = S::ONE.div(var.add(eps).sqrt());
             let (g, b) = (gamma[c], beta[c]);
-            for (o, &v) in out.plane_mut(n, c).iter_mut().zip(xp) {
-                *o = g.mul(v.sub(mean).mul(inv)).add(b);
+            for o in op.iter_mut() {
+                *o = g.mul(o.mul(inv)).add(b);
             }
         }
     }
@@ -351,6 +365,87 @@ mod tests {
             let num = (loss(&x, &gamma, &bp) - loss(&x, &gamma, &bm)) / (2.0 * eps);
             assert!((num - dbeta[c]).abs() < 2e-2, "dbeta[{c}]");
         }
+    }
+
+    /// The original two-pass on-the-fly kernel (separate variance and
+    /// apply walks over x), kept as the oracle for the fused pass.
+    fn onthefly_two_pass<S: Scalar>(x: &Tensor<S>, gamma: &[S], beta: &[S], eps: S) -> Tensor<S> {
+        let s = x.shape();
+        let mut out = Tensor::<S>::zeros(s);
+        let m = S::from_f32(s.plane() as f32);
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let xp = x.plane(n, c);
+                let mut acc = S::acc_zero();
+                for &v in xp {
+                    acc = S::acc_add(acc, v);
+                }
+                let mean = S::acc_finish(acc).div(m);
+                let mut acc = S::acc_zero();
+                for &v in xp {
+                    let d = v.sub(mean);
+                    acc = S::mac(acc, d, d);
+                }
+                let var = S::acc_finish(acc).div(m);
+                let inv = S::ONE.div(var.add(eps).sqrt());
+                let (g, b) = (gamma[c], beta[c]);
+                for (o, &v) in out.plane_mut(n, c).iter_mut().zip(xp) {
+                    *o = g.mul(v.sub(mean).mul(inv)).add(b);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fused_pass_matches_two_pass_f32() {
+        let s = Shape4::new(3, 4, 8, 8);
+        let x = probe(s, 19.0);
+        let gamma = [1.5f32, 0.5, -0.75, 2.0];
+        let beta = [0.25f32, -0.25, 0.0, 1.0];
+        let fused = bn_onthefly(&x, &gamma, &beta, DEFAULT_EPS);
+        let two_pass = onthefly_two_pass(&x, &gamma, &beta, DEFAULT_EPS);
+        assert_eq!(fused.as_slice(), two_pass.as_slice(), "bit-identical");
+    }
+
+    #[test]
+    fn fused_pass_matches_two_pass_q20() {
+        let s = Shape4::new(2, 3, 6, 6);
+        let x = probe(s, 23.0);
+        let xq: Tensor<Q20> = Tensor::from_f32_tensor(&x);
+        let gq: Vec<Q20> = [1.25f32, 0.5, 2.0]
+            .iter()
+            .map(|&g| Q20::from_f32(g))
+            .collect();
+        let bq: Vec<Q20> = [0.5f32, -0.5, 0.0]
+            .iter()
+            .map(|&b| Q20::from_f32(b))
+            .collect();
+        let eps = Q20::from_f32(DEFAULT_EPS);
+        let fused = bn_onthefly(&xq, &gq, &bq, eps);
+        let two_pass = onthefly_two_pass(&xq, &gq, &bq, eps);
+        assert_eq!(fused.as_slice(), two_pass.as_slice(), "bit-identical");
+    }
+
+    #[test]
+    fn apply_hoisted_inv_matches_per_sample_recompute() {
+        // bn_apply's per-channel 1/σ table must not change numerics vs
+        // recomputing inside the sample loop.
+        let s = Shape4::new(4, 2, 5, 5);
+        let x = probe(s, 29.0);
+        let (gamma, beta) = ([1.1f32, 0.9], [0.2f32, -0.3]);
+        let (mean, var) = ([0.5f32, -0.25], [1.5f32, 0.75]);
+        let y = bn_apply(&x, &gamma, &beta, &mean, &var, DEFAULT_EPS);
+        let mut expect = Tensor::<f32>::zeros(s);
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let inv = 1.0 / (var[c] + DEFAULT_EPS).sqrt();
+                for (o, &v) in expect.plane_mut(n, c).iter_mut().zip(x.plane(n, c)) {
+                    *o = gamma[c] * ((v - mean[c]) * inv) + beta[c];
+                }
+            }
+        }
+        assert_eq!(y.as_slice(), expect.as_slice(), "bit-identical");
     }
 
     #[test]

@@ -39,29 +39,14 @@ pub fn fc_forward_s<S: Scalar>(x: &Tensor<S>, w: &[S], b: &[S], out_features: us
 }
 
 /// `y = W·x + b` for every batch item.
+///
+/// Thin wrapper over [`fc_forward_s`] at `S = f32`: the generic kernel's
+/// `mac`/`acc_add` chain is literally `acc + w·x` / `(Σ products) + b` in
+/// `f32`, so the results are bit-identical to the hand-written float loop
+/// this used to duplicate — one iterator-shaped dot product to optimize
+/// instead of two.
 pub fn fc_forward(x: &Tensor<f32>, w: &[f32], b: &[f32], out_features: usize) -> Tensor<f32> {
-    let s = x.shape();
-    let in_features = s.item();
-    assert_eq!(
-        w.len(),
-        out_features * in_features,
-        "weight matrix must be out×in = {out_features}×{in_features}"
-    );
-    assert_eq!(b.len(), out_features, "bias length");
-    let mut out = Tensor::<f32>::zeros(Shape4::new(s.n, out_features, 1, 1));
-    for n in 0..s.n {
-        let xv = x.item(n);
-        let ov = out.item_mut(n);
-        for (o, ov_o) in ov.iter_mut().enumerate() {
-            let row = &w[o * in_features..(o + 1) * in_features];
-            let mut acc = 0.0f32;
-            for (wv, xvv) in row.iter().zip(xv) {
-                acc += wv * xvv;
-            }
-            *ov_o = acc + b[o];
-        }
-    }
-    out
+    fc_forward_s::<f32>(x, w, b, out_features)
 }
 
 /// Backward pass: returns `(grad_x, grad_w, grad_b)`.

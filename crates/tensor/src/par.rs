@@ -17,9 +17,31 @@
 //! pinned with [`set_threads`], and can be initialised from the
 //! `ODENET_THREADS` environment variable.
 
+use std::cell::Cell;
 use std::sync::{OnceLock, RwLock};
 
 static THREADS: OnceLock<RwLock<usize>> = OnceLock::new();
+
+thread_local! {
+    /// Set while the current thread is one of our spawned workers, so
+    /// nested [`par_for`]/[`par_chunks_mut`] calls run sequentially
+    /// instead of oversubscribing the pool (batch-level parallelism in
+    /// `Engine::infer_batch` wraps the plane-level parallelism of the
+    /// kernels; without the guard each of T workers would spawn T more).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is already inside a parallel worker (in
+/// which case further parallel calls degrade to sequential loops).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+fn run_as_worker(f: impl FnOnce()) {
+    IN_WORKER.with(|w| w.set(true));
+    f();
+    IN_WORKER.with(|w| w.set(false));
+}
 
 fn threads_lock() -> &'static RwLock<usize> {
     THREADS.get_or_init(|| {
@@ -59,7 +81,8 @@ where
 {
     let t = threads().min(n.max(1));
     // Spawning threads costs ~10µs each; only parallelize meaty loops.
-    if t <= 1 || n.saturating_mul(cost_hint.max(1)) < 4096 {
+    // Workers never re-spawn: nested parallelism runs sequentially.
+    if t <= 1 || in_worker() || n.saturating_mul(cost_hint.max(1)) < 4096 {
         for i in 0..n {
             f(i);
         }
@@ -75,9 +98,11 @@ where
             }
             let f = &f;
             s.spawn(move || {
-                for i in lo..hi {
-                    f(i);
-                }
+                run_as_worker(|| {
+                    for i in lo..hi {
+                        f(i);
+                    }
+                })
             });
         }
     });
@@ -96,7 +121,7 @@ where
     assert!(chunk_len > 0, "chunk_len must be positive");
     let n_chunks = data.len().div_ceil(chunk_len);
     let t = threads().min(n_chunks.max(1));
-    if t <= 1 || data.len().saturating_mul(cost_hint.max(1)) < 4096 {
+    if t <= 1 || in_worker() || data.len().saturating_mul(cost_hint.max(1)) < 4096 {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(i, chunk);
         }
@@ -118,9 +143,11 @@ where
             chunk_base += per;
             let f = &f;
             s.spawn(move || {
-                for (i, chunk) in head.chunks_mut(chunk_len).enumerate() {
-                    f(base + i, chunk);
-                }
+                run_as_worker(|| {
+                    for (i, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                        f(base + i, chunk);
+                    }
+                })
             });
         }
     });
@@ -181,6 +208,27 @@ mod tests {
                 .unwrap_or(1)
         }
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn nested_parallelism_runs_sequentially() {
+        let orig = threads();
+        set_threads(4);
+        let outer = AtomicUsize::new(0);
+        par_for(8, 4096, |_| {
+            assert!(in_worker(), "worker flag set inside spawned closure");
+            // The nested call must degrade to a sequential loop but
+            // still cover every index exactly once.
+            let inner = AtomicUsize::new(0);
+            par_for(100, 4096, |_| {
+                inner.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(inner.load(Ordering::Relaxed), 100);
+            outer.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 8);
+        assert!(!in_worker(), "flag cleared after the scope ends");
+        set_threads(orig);
     }
 
     #[test]

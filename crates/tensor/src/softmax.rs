@@ -9,10 +9,17 @@ use crate::Tensor;
 pub fn softmax(logits: &Tensor<f32>) -> Tensor<f32> {
     let s = logits.shape();
     assert_eq!(s.plane(), 1, "softmax expects (N, K, 1, 1) logits");
+    let k = s.item().max(1);
     let mut out = Tensor::<f32>::zeros(s);
-    for n in 0..s.n {
-        let lv = logits.item(n);
-        let ov = out.item_mut(n);
+    // Flat slice iteration — one exact chunk per batch item, no indexed
+    // loads for the bounds checker to re-prove. The normalization stays
+    // a per-element division (not a multiply by the reciprocal), which
+    // keeps results bit-identical to the original kernel.
+    for (lv, ov) in logits
+        .as_slice()
+        .chunks_exact(k)
+        .zip(out.as_mut_slice().chunks_exact_mut(k))
+    {
         let max = lv.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for (o, &l) in ov.iter_mut().zip(lv) {

@@ -2,8 +2,11 @@
 //! must hold regardless of shapes, plus fixed/float agreement bounds.
 
 use proptest::prelude::*;
-use qfixed::Q20;
-use tensor::conv::{conv2d, conv2d_backward_input, conv2d_backward_weights, Conv2dParams};
+use qfixed::{Q16, Q20};
+use tensor::conv::{
+    conv2d, conv2d_backward_input, conv2d_backward_weights, conv2d_im2col_3x3, conv2d_reference,
+    Conv2dParams,
+};
 use tensor::ops::{concat_time_channel, euler_step, relu, relu_backward, split_time_channel_grad};
 use tensor::pool::{global_avg_pool, shortcut_a};
 use tensor::softmax::{cross_entropy, softmax};
@@ -15,6 +18,36 @@ fn small_tensor(max_c: usize, max_hw: usize) -> impl Strategy<Value = Tensor<f32
         prop::collection::vec(-2.0f32..2.0, len)
             .prop_map(move |data| Tensor::from_vec(Shape4::new(n, c, h, w), data))
     })
+}
+
+/// Random 3×3 convolution instances over the fast path's whole domain:
+/// both strides, 1–2 batch items, and spatial extents from the degenerate
+/// 1×1 (all 9 taps padded for stride 1) through border-dominated 4×4 up
+/// to 8×8.
+fn conv3x3_instance() -> impl Strategy<Value = (Tensor<f32>, Tensor<f32>, Conv2dParams)> {
+    (
+        1usize..=2,
+        1usize..=4,
+        1usize..=8,
+        1usize..=8,
+        1usize..=4,
+        1usize..=2,
+    )
+        .prop_flat_map(|(n, c, h, w, o, stride)| {
+            let xlen = n * c * h * w;
+            let wlen = o * c * 9;
+            (
+                prop::collection::vec(-2.0f32..2.0, xlen),
+                prop::collection::vec(-0.5f32..0.5, wlen),
+            )
+                .prop_map(move |(xd, wd)| {
+                    (
+                        Tensor::from_vec(Shape4::new(n, c, h, w), xd),
+                        Tensor::from_vec(Shape4::new(o, c, 3, 3), wd),
+                        Conv2dParams { stride, pad: 1 },
+                    )
+                })
+        })
 }
 
 fn weights_for(c: usize) -> impl Strategy<Value = Tensor<f32>> {
@@ -99,6 +132,33 @@ proptest! {
         let gw = conv2d_backward_weights(&r, &x, w.shape(), p);
         let rhs: f64 = w.as_slice().iter().zip(gw.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
         prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn fast_conv_matches_reference_f32((x, w, p) in conv3x3_instance()) {
+        // The im2col/GEMM path must be bit-identical to the scalar
+        // reference on every geometry, including fully-padded 1×1 inputs.
+        let fast = conv2d_im2col_3x3(&x, &w, p);
+        let reference = conv2d_reference(&x, &w, p);
+        prop_assert_eq!(fast.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn fast_conv_matches_reference_q20((x, w, p) in conv3x3_instance()) {
+        let xq: Tensor<Q20> = Tensor::from_f32_tensor(&x);
+        let wq: Tensor<Q20> = Tensor::from_f32_tensor(&w);
+        let fast = conv2d_im2col_3x3(&xq, &wq, p);
+        let reference = conv2d_reference(&xq, &wq, p);
+        prop_assert_eq!(fast.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn fast_conv_matches_reference_q16((x, w, p) in conv3x3_instance()) {
+        let xq: Tensor<Q16> = Tensor::from_f32_tensor(&x);
+        let wq: Tensor<Q16> = Tensor::from_f32_tensor(&w);
+        let fast = conv2d_im2col_3x3(&xq, &wq, p);
+        let reference = conv2d_reference(&xq, &wq, p);
+        prop_assert_eq!(fast.as_slice(), reference.as_slice());
     }
 
     #[test]

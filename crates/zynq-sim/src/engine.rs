@@ -90,7 +90,7 @@ use crate::timing::{PlModel, PsModel, Table5Row};
 use crate::trace::{Recorder, Trace};
 use qfixed::{Fix, Fix16};
 use rodenet::{BnMode, LayerName, Network, QuantNetwork, ResBlock, Variant};
-use tensor::{Scalar, Shape4, Tensor};
+use tensor::{par, Scalar, Shape4, Tensor};
 
 /// How the engine chooses the PL placement.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -1491,6 +1491,15 @@ impl<'n> Engine<'n> {
     /// accumulates across reports (fold with
     /// [`BatchSummary::from_runs`]); the board serves one image at a
     /// time, so latency is additive.
+    ///
+    /// Images are spread across cores at batch grain via
+    /// [`tensor::par`]: each image's report lands in its own slot
+    /// (disjoint outputs, so logits and modelled timings are
+    /// bit-identical for any [`par::threads`] setting), and the kernels'
+    /// plane-level parallelism degrades to sequential inside batch
+    /// workers (`par::in_worker`) so the pool is never oversubscribed.
+    /// Errors are reported deterministically: the lowest-index failure
+    /// wins regardless of completion order.
     pub fn infer_batch(&self, xs: &[Tensor<f32>]) -> Result<Vec<RunReport>, EngineError> {
         if xs.is_empty() {
             return Err(EngineError::EmptyBatch);
@@ -1498,7 +1507,18 @@ impl<'n> Engine<'n> {
         for x in xs {
             self.check_shape(x)?;
         }
-        xs.iter().map(|x| self.backend.infer(x)).collect()
+        let mut slots: Vec<Option<Result<RunReport, EngineError>>> =
+            (0..xs.len()).map(|_| None).collect();
+        // One image is far above the spawn-amortization gate; the hint
+        // only needs to say so.
+        par::par_chunks_mut(&mut slots, 1, usize::MAX / 2, |i, slot| {
+            slot[0] = Some(self.backend.infer(&xs[i]));
+        });
+        let mut runs = Vec::with_capacity(xs.len());
+        for slot in slots {
+            runs.push(slot.expect("every batch slot filled")?);
+        }
+        Ok(runs)
     }
 
     /// [`Engine::infer_batch`] plus the backend's batch schedule: the
