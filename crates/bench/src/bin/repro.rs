@@ -51,6 +51,12 @@
 //!                 im2col/GEMM fast path, bit-identical logits) plus
 //!                 end-to-end batch-32 on the PsSoftware backend, the
 //!                 configuration the ≥2× speedup pin guards
+//!   faults        Extension: fault injection & failover — kill one
+//!                 placement group's board mid-run on the 4-board rack
+//!                 and compare the fault-free and faulted serves: the
+//!                 recovery window (detect + drain + re-broadcast),
+//!                 availability, and the goodput retained after the
+//!                 survivors replan
 //!   all           Everything except the slow fig6 full sweep
 //!
 //! Flags
@@ -190,6 +196,7 @@ fn command_registry() -> Vec<Command> {
         ("serve", serve_cmd),
         ("trace", trace_cmd),
         ("hotpath", hotpath_cmd),
+        ("faults", faults_cmd),
         ("all", all_cmd),
     ]
 }
@@ -216,6 +223,7 @@ fn all_cmd(flags: &Flags) {
     serve_cmd(flags);
     trace_cmd(flags);
     hotpath_cmd(flags);
+    faults_cmd(flags);
     println!("\n(run `repro fig6`, `repro quantization`, `repro solver`, `repro calibrate` separately — they train networks)");
 }
 
@@ -1467,7 +1475,7 @@ fn serve_cmd(flags: &Flags) {
     use zynq_sim::engine::Offload;
     use zynq_sim::plan::PlFormat;
     use zynq_sim::serve::{
-        serve_timeline, sweep_timeline, ArrivalProcess, Dispatch, LoadSweep, ServeRequest,
+        serve_timeline, sweep_timeline, ArrivalProcess, Dispatch, LoadSweep, ServeRequest, Window,
     };
     use zynq_sim::{
         plan_cluster, Cluster, ClusterRequest, Interconnect, Replication, Schedule, ARTY_Z7_20,
@@ -1578,6 +1586,7 @@ fn serve_cmd(flags: &Flags) {
                 images,
                 dispatch,
                 seed: flags.seed,
+                window: Window::default(),
             },
         )
         .expect("valid request");
@@ -1601,7 +1610,7 @@ fn serve_cmd(flags: &Flags) {
 fn trace_cmd(flags: &Flags) {
     use zynq_sim::engine::Offload;
     use zynq_sim::plan::PlFormat;
-    use zynq_sim::serve::{serve_timeline_traced, ArrivalProcess, Dispatch, ServeRequest};
+    use zynq_sim::serve::{serve_timeline_traced, ArrivalProcess, Dispatch, ServeRequest, Window};
     use zynq_sim::trace::{check_chrome_json, resource_label};
     use zynq_sim::{
         plan_cluster, Cluster, ClusterRequest, Interconnect, Partitioner, Replication, Schedule,
@@ -1633,6 +1642,7 @@ fn trace_cmd(flags: &Flags) {
         images,
         dispatch: Dispatch::default(),
         seed: flags.seed,
+        window: Window::default(),
     };
     let report = serve_timeline_traced(plan.timeline(), &serve_req, true)
         .expect("the traced serve replays the same virtual timeline");
@@ -1795,6 +1805,115 @@ fn hotpath_cmd(flags: &Flags) {
     );
 }
 
+fn faults_cmd(flags: &Flags) {
+    use zynq_sim::engine::Offload;
+    use zynq_sim::fault::{serve_faulted, FaultEvent, FaultPlan, HealthPolicy};
+    use zynq_sim::plan::PlFormat;
+    use zynq_sim::serve::{ArrivalProcess, Dispatch, ServeRequest, Window};
+    use zynq_sim::{
+        plan_cluster, Cluster, ClusterRequest, Interconnect, Replication, Schedule, ARTY_Z7_20,
+    };
+
+    // The acceptance rack from tests/fault.rs: two data-parallel
+    // placement groups on 4 Arty boards, serving 0.8x Poisson. Board 3
+    // carries the second group's PL stages — killing it forces a
+    // drain, a replan over {0, 1, 2}, and a priced re-broadcast.
+    let request = ClusterRequest {
+        cluster: Cluster::homogeneous(&ARTY_Z7_20, 4, Interconnect::GIGABIT_ETHERNET),
+        offload: Offload::Auto,
+        bn: BnMode::OnTheFly,
+        ps: PsModel::Calibrated,
+        pl: PlModel::default(),
+        precision: PlFormat::Q20.into(),
+        schedule: Schedule::Pipelined,
+        partitioner: zynq_sim::Partitioner::FirstFit,
+        replication: Replication::Placement(2),
+    };
+    let spec = NetSpec::new(Variant::OdeNet, 20);
+    let plan = plan_cluster(&spec, &request).expect("4 XC7Z020s carry two placement groups");
+    let images = flags.images.unwrap_or(256);
+    let req = ServeRequest {
+        arrivals: ArrivalProcess::Poisson {
+            rate: 0.8 / plan.bottleneck_seconds(),
+        },
+        images,
+        dispatch: Dispatch::default(),
+        seed: flags.seed,
+        window: Window::default(),
+    };
+    println!("serving {} at 0.8x ceiling", plan.describe());
+
+    let free = serve_faulted(
+        &plan,
+        &req,
+        &FaultPlan::none(),
+        &HealthPolicy::default(),
+        false,
+    )
+    .expect("fault-free serve");
+    let crash_at = 0.4 * free.horizon;
+    let faults = FaultPlan::new(vec![FaultEvent::BoardCrash {
+        board: 3,
+        at: crash_at,
+    }]);
+    let faulted = serve_faulted(&plan, &req, &faults, &HealthPolicy::default(), false)
+        .expect("the faulted serve completes");
+    let avail = faulted
+        .availability
+        .as_ref()
+        .expect("faulted serves carry an availability section");
+
+    let mut t = Table::new(
+        "Extension: fault injection — board 3 killed mid-run, 4-board rack with 2 placement groups (ODENet-20, Q20, 0.8x Poisson)",
+        &[
+            "run",
+            "goodput [img/s]",
+            "horizon [s]",
+            "p99 [s]",
+            "completed",
+            "dropped",
+            "availability",
+        ],
+    );
+    t.row(vec![
+        "fault-free".into(),
+        format!("{:.2}", free.goodput),
+        format!("{:.2}", free.horizon),
+        s2(free.latency_p99),
+        free.images.to_string(),
+        "0".into(),
+        "100.0%".into(),
+    ]);
+    t.row(vec![
+        format!("board 3 crash @ {crash_at:.2}s"),
+        format!("{:.2}", faulted.goodput),
+        format!("{:.2}", faulted.horizon),
+        s2(faulted.latency_p99),
+        avail.completed.to_string(),
+        avail.dropped.to_string(),
+        format!("{:.1}%", avail.availability * 100.0),
+    ]);
+    t.emit("faults");
+
+    let f = avail.failovers.first().expect("one failover");
+    println!(
+        "(recovery window: detected {:.4}s after the crash, drained {:.4}s of in-flight \
+         work, re-broadcast the survivor placement's weights in {:.4}s — {:.4}s total; \
+         {} image(s) re-dispatched, goodput retained {:.0}% of fault-free{})",
+        f.detect_at - f.crash_at,
+        f.drain_seconds,
+        f.rebroadcast_seconds,
+        f.recovery_seconds,
+        avail.redispatched,
+        100.0 * faulted.goodput / free.goodput,
+        if f.degraded {
+            " — degraded to head-PS software"
+        } else {
+            ""
+        },
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1833,6 +1952,7 @@ mod tests {
             "serve",
             "trace",
             "hotpath",
+            "faults",
             "all",
         ];
         assert_eq!(

@@ -52,6 +52,13 @@
 //! makespan), and a hand-off into a replica is priced like the
 //! hand-off into the primary (replica boards sit symmetric on the
 //! modelled interconnect).
+//!
+//! Fault injection ([`crate::fault`]) perturbs this execution model
+//! without changing it: a [`crate::fault::FaultPlan`] stretches stage
+//! durations (slowdowns), defers starts (hangs), dilates transfers
+//! (link degradation), or removes a board outright (crash →
+//! drain-then-replan failover over the survivors). An empty plan is
+//! bit-identical to [`pipelined_schedule_released`] by construction.
 
 use crate::board::Board;
 use crate::engine::{EngineError, Offload};

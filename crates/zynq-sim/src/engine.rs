@@ -250,6 +250,18 @@ pub enum EngineError {
         /// What is malformed, in the caller's terms.
         reason: &'static str,
     },
+    /// A fault plan or health policy the fault subsystem cannot
+    /// honour: an unknown board index, overlapping windows on one
+    /// board, a non-positive duration or out-of-range factor, or
+    /// fault injection configured without a cluster deployment (see
+    /// [`crate::fault`]).
+    InvalidFaultPlan {
+        /// Index of the offending [`crate::fault::FaultEvent`] in the
+        /// plan (`None` when the problem is not a single event).
+        event: Option<usize>,
+        /// What is malformed, naming the offending parameters.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for EngineError {
@@ -387,6 +399,13 @@ impl core::fmt::Display for EngineError {
             EngineError::InvalidServe { reason } => {
                 write!(f, "invalid serve request: {reason}")
             }
+            EngineError::InvalidFaultPlan { event, reason } => match event {
+                Some(i) => write!(
+                    f,
+                    "invalid fault plan: event #{i}: {reason} (see zynq_sim::fault)"
+                ),
+                None => write!(f, "invalid fault plan: {reason} (see zynq_sim::fault)"),
+            },
         }
     }
 }
@@ -901,6 +920,8 @@ pub struct EngineBuilder<'n> {
     partitioner: Partitioner,
     replication: Replication,
     trace: bool,
+    faults: crate::fault::FaultPlan,
+    health: crate::fault::HealthPolicy,
     custom: Option<Box<dyn Backend + 'n>>,
 }
 
@@ -1044,6 +1065,29 @@ impl<'n> EngineBuilder<'n> {
         self
     }
 
+    /// Inject deterministic faults into every [`Engine::serve`] run
+    /// (default: the empty plan, which is bit-identical to the
+    /// fault-free path end to end). Crashes trigger health-driven
+    /// failover onto the surviving boards; slowdowns, hangs, and link
+    /// degrades stretch the schedule in place. Requires a configured
+    /// [`EngineBuilder::cluster`] — the plan is validated against it
+    /// at build time (see [`crate::fault`]). [`Engine::load_sweep`]
+    /// stays fault-free by design (it characterizes the healthy
+    /// load/latency curve).
+    pub fn faults(mut self, faults: crate::fault::FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Failure-detection policy for injected crashes (default:
+    /// [`crate::fault::HealthPolicy`] with a 3× stage-seconds
+    /// timeout). Only consulted when a non-empty fault plan is
+    /// configured.
+    pub fn health(mut self, health: crate::fault::HealthPolicy) -> Self {
+        self.health = health;
+        self
+    }
+
     /// Plug in a caller-provided [`Backend`] (multi-board sharding,
     /// alternate fabrics, …). Placement planning and conflict checks
     /// are skipped — the backend owns its execution strategy. The
@@ -1132,6 +1176,23 @@ impl<'n> EngineBuilder<'n> {
     /// sharding, resource, format, calibration, and mode errors surface
     /// here, never inside `infer`.
     pub fn build(mut self) -> Result<Engine<'n>, EngineError> {
+        if !self.faults.is_empty() {
+            // Fault injection replays serves over the cluster plan's
+            // stage pipeline and replans over the surviving boards —
+            // neither exists for custom backends or the single-board
+            // additive engine.
+            if self.custom.is_some() || self.cluster.is_none() {
+                return Err(EngineError::InvalidFaultPlan {
+                    event: None,
+                    reason: "fault injection needs a cluster deployment — configure \
+                             EngineBuilder::cluster with a built-in backend"
+                        .to_string(),
+                });
+            }
+            self.faults
+                .validate(self.cluster.as_ref().map_or(1, Cluster::len))?;
+            self.health.validate()?;
+        }
         if let Some(custom) = self.custom.take() {
             return Ok(Engine {
                 target: OffloadTarget::None,
@@ -1142,6 +1203,8 @@ impl<'n> EngineBuilder<'n> {
                 cluster_plan: None,
                 backend: custom,
                 trace_enabled: self.trace,
+                faults: self.faults,
+                health: self.health,
                 last_trace: std::sync::Mutex::new(None),
             });
         }
@@ -1233,6 +1296,8 @@ impl<'n> EngineBuilder<'n> {
                 cluster_plan: Some(cplan),
                 backend,
                 trace_enabled: self.trace,
+                faults: self.faults,
+                health: self.health,
                 last_trace: std::sync::Mutex::new(None),
             });
         }
@@ -1291,6 +1356,8 @@ impl<'n> EngineBuilder<'n> {
             cluster_plan: None,
             backend,
             trace_enabled: self.trace,
+            faults: self.faults,
+            health: self.health,
             last_trace: std::sync::Mutex::new(None),
         })
     }
@@ -1347,6 +1414,8 @@ pub struct Engine<'n> {
     cluster_plan: Option<ClusterPlan>,
     backend: Box<dyn Backend + 'n>,
     trace_enabled: bool,
+    faults: crate::fault::FaultPlan,
+    health: crate::fault::HealthPolicy,
     // Interior-mutable so `serve`/`infer_batch_summary` keep their
     // `&self` signatures (one engine serves from several threads —
     // pinned by `engine_serves_from_multiple_threads`).
@@ -1385,6 +1454,8 @@ impl<'n> Engine<'n> {
             partitioner: Partitioner::default(),
             replication: Replication::default(),
             trace: false,
+            faults: crate::fault::FaultPlan::none(),
+            health: crate::fault::HealthPolicy::default(),
             custom: None,
         }
     }
@@ -1598,9 +1669,23 @@ impl<'n> Engine<'n> {
     /// never *what* it computes: logits are untouched, and no
     /// inference executes here at all — like [`Engine::latency_report`],
     /// this reads the build-time timing model.
+    ///
+    /// With a non-empty [`EngineBuilder::faults`] plan the run goes
+    /// through [`crate::fault::serve_faulted`] instead: the same
+    /// virtual-time replay, plus injected faults, health-driven
+    /// failover replanning onto the surviving boards, and an
+    /// availability section on the report. An empty plan is
+    /// bit-identical to the fault-free path.
     pub fn serve(&self, req: &ServeRequest) -> Result<ServeReport, EngineError> {
-        let mut report =
-            crate::serve::serve_timeline_traced(&self.serve_pipeline()?, req, self.trace_enabled)?;
+        let mut report = if self.faults.is_empty() {
+            crate::serve::serve_timeline_traced(&self.serve_pipeline()?, req, self.trace_enabled)?
+        } else {
+            let cplan = self
+                .cluster_plan
+                .as_ref()
+                .expect("build() rejects fault plans without a cluster");
+            crate::fault::serve_faulted(cplan, req, &self.faults, &self.health, self.trace_enabled)?
+        };
         if let Some(trace) = report.trace.as_mut() {
             if let Some(cplan) = &self.cluster_plan {
                 trace.set_broadcast_seconds(cplan.broadcast_seconds());

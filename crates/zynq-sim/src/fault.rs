@@ -1,0 +1,1288 @@
+//! Fault injection, health-driven failover, and degraded-mode serving.
+//!
+//! Every layer below this one — the pipelined cluster scheduler
+//! ([`crate::cluster`]), replication ([`crate::replica`]), and the
+//! virtual-time serving simulator ([`crate::serve`]) — assumes boards
+//! and links never fail. Real multi-FPGA racks lose boards, hang DMA
+//! engines, and degrade links; this module makes those events part of
+//! the simulation while keeping it deterministic and wall-clock-free.
+//!
+//! Three pieces:
+//!
+//! 1. **Injection** — a declarative [`FaultPlan`] lists [`FaultEvent`]s
+//!    in virtual time. Degradations (slowdowns, hangs, link degrades)
+//!    are consumed by [`faulted_schedule_released`], a fault-aware
+//!    variant of [`pipelined_schedule_released`]; crashes are consumed
+//!    by the failover orchestrator ([`serve_faulted`]). An **empty plan
+//!    is bit-identical and zero-overhead**: both entry points delegate
+//!    straight to the unfaulted path (the same pattern as the disabled
+//!    [`crate::trace::Recorder`]).
+//! 2. **Detection + failover** — a [`HealthMonitor`] with a timeout
+//!    policy marks a board failed once a stage exceeds
+//!    `timeout × expected stage seconds` in virtual time. On failure
+//!    the orchestrator drains in-flight images (work lost on the
+//!    crashed board is re-dispatched, never silently dropped), re-runs
+//!    the partition/replica search over the surviving [`Cluster`],
+//!    prices the replan's weight re-broadcast over the modelled
+//!    interconnect ([`restage_seconds`]) into a recovery window, and
+//!    resumes — falling back to head-PS software execution
+//!    ([`OffloadTarget::None`]) as the last-resort degraded mode when
+//!    no feasible PL placement survives.
+//! 3. **Reporting** — the resulting [`crate::serve::ServeReport`]
+//!    carries an [`AvailabilityReport`] (per-failover recovery windows,
+//!    dropped/re-dispatched counts, goodput during degradation) and the
+//!    trace gains [`crate::trace::FaultTraceEvent`]s so the Chrome
+//!    export shows the outage and the recovery.
+//!
+//! Modelling assumptions (load-bearing, see ROADMAP):
+//!
+//! - Detection is timeout-based in virtual time; the health monitor
+//!   never false-positives and the detection delay is
+//!   `timeout × max stage seconds` on the crashed board.
+//! - Replans are atomic drain-then-resume: in-flight images unaffected
+//!   by the crash run to completion, then the new placement starts.
+//!   The partition search itself is priced at zero (virtual) seconds —
+//!   only the weight re-broadcast is billed.
+//! - A slowdown/hang/degrade window affects a stage (or transfer) by
+//!   its **begin instant**: work that starts inside the window pays the
+//!   factor for its whole duration, work already running when the
+//!   window opens completes unaffected.
+//! - The micro-batcher plans dispatches against the healthy pipeline;
+//!   faults surprise it (dispatch instants never leak fault knowledge).
+//! - Faults change *when and where* images run, never numerics:
+//!   completed logits stay bit-identical to the fault-free run.
+
+use crate::cluster::{
+    pipelined_schedule_released, plan_cluster, Cluster, ClusterPlan, ClusterRequest, ServedRun,
+    StageResource, StageTiming,
+};
+use crate::engine::{latency_quantile, EngineError, Offload};
+use crate::partition::board_stage_seconds;
+use crate::planner::OffloadTarget;
+use crate::replica::{restage_seconds, Replication};
+use crate::serve::{window_report, MicroBatcher, ServeReport, ServeRequest};
+use crate::trace::{FaultKind, FaultTraceEvent, Recorder};
+use rodenet::LayerName;
+
+/// One deterministic fault, placed in virtual time.
+///
+/// Board indices refer to positions in the serving [`Cluster`]; virtual
+/// instants are seconds from the start of the serve run (the same
+/// clock as [`crate::serve::ArrivalProcess`] arrivals).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Board `board` dies at `at` and never comes back. In-flight work
+    /// on it is lost (and re-dispatched by the failover orchestrator).
+    BoardCrash {
+        /// Cluster index of the crashing board.
+        board: usize,
+        /// Virtual instant of the crash, seconds.
+        at: f64,
+    },
+    /// Stages **starting** on `board` during `[at, at + duration)` take
+    /// `factor ×` their modelled seconds (thermal throttling, a noisy
+    /// neighbour on the PS, DDR pressure). `factor ≥ 1`.
+    BoardSlowdown {
+        /// Cluster index of the slowed board.
+        board: usize,
+        /// Window start, virtual seconds.
+        at: f64,
+        /// Stage-seconds multiplier (`≥ 1`).
+        factor: f64,
+        /// Window length, virtual seconds (`> 0`).
+        duration: f64,
+    },
+    /// Interconnect transfers **beginning** during `[at, at + duration)`
+    /// see `bandwidth_factor ×` the modelled bandwidth
+    /// (`0 < bandwidth_factor ≤ 1`), i.e. transfers take
+    /// `1 / bandwidth_factor ×` as long.
+    LinkDegrade {
+        /// Window start, virtual seconds.
+        at: f64,
+        /// Remaining bandwidth fraction (`0 < f ≤ 1`).
+        bandwidth_factor: f64,
+        /// Window length, virtual seconds (`> 0`).
+        duration: f64,
+    },
+    /// Board `board` accepts no new stage starts during
+    /// `[at, at + duration)` (a wedged DMA engine); work already
+    /// running completes. Deferred starts resume at window end.
+    BoardHang {
+        /// Cluster index of the hung board.
+        board: usize,
+        /// Window start, virtual seconds.
+        at: f64,
+        /// Window length, virtual seconds (`> 0`).
+        duration: f64,
+    },
+}
+
+impl FaultEvent {
+    /// The event's (start) instant in virtual seconds.
+    pub fn at(&self) -> f64 {
+        match *self {
+            FaultEvent::BoardCrash { at, .. }
+            | FaultEvent::BoardSlowdown { at, .. }
+            | FaultEvent::LinkDegrade { at, .. }
+            | FaultEvent::BoardHang { at, .. } => at,
+        }
+    }
+
+    /// The board the event targets (`None` for link-wide events).
+    pub fn board(&self) -> Option<usize> {
+        match *self {
+            FaultEvent::BoardCrash { board, .. }
+            | FaultEvent::BoardSlowdown { board, .. }
+            | FaultEvent::BoardHang { board, .. } => Some(board),
+            FaultEvent::LinkDegrade { .. } => None,
+        }
+    }
+
+    /// The trace-facing category of the event.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            FaultEvent::BoardCrash { .. } => FaultKind::Crash,
+            FaultEvent::BoardSlowdown { .. } => FaultKind::Slowdown,
+            FaultEvent::LinkDegrade { .. } => FaultKind::LinkDegrade,
+            FaultEvent::BoardHang { .. } => FaultKind::Hang,
+        }
+    }
+
+    /// `[start, end)` for the windowed **per-board** events (slowdown,
+    /// hang); `None` for crashes and link degrades.
+    fn board_window(&self) -> Option<(usize, f64, f64)> {
+        match *self {
+            FaultEvent::BoardSlowdown {
+                board,
+                at,
+                duration,
+                ..
+            }
+            | FaultEvent::BoardHang {
+                board,
+                at,
+                duration,
+            } => Some((board, at, at + duration)),
+            _ => None,
+        }
+    }
+}
+
+/// A declarative list of faults to inject into one serve run.
+///
+/// The default (and [`FaultPlan::none`]) is the empty plan, which is
+/// guaranteed bit-identical to the unfaulted path end to end.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, bit-identical to the pre-fault path.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan injecting `events` (validated at [`Engine::build`] time
+    /// or by [`FaultPlan::validate`]).
+    ///
+    /// [`Engine::build`]: crate::engine::EngineBuilder::build
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// The events, in declaration order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Check the plan against a cluster of `boards` boards.
+    ///
+    /// Rejects (with [`EngineError::InvalidFaultPlan`] naming the
+    /// offending event): board indices outside the cluster, non-finite
+    /// or negative instants, non-positive durations, slowdown factors
+    /// below 1 (that would be a speedup), link bandwidth factors
+    /// outside `(0, 1]`, and overlapping slowdown/hang windows on one
+    /// board (their composition would be ambiguous). Link-degrade
+    /// windows **may** overlap — their bandwidth factors multiply.
+    /// Duplicate crashes of one board are allowed; the later one is a
+    /// no-op.
+    pub fn validate(&self, boards: usize) -> Result<(), EngineError> {
+        let err = |event: usize, reason: String| {
+            Err(EngineError::InvalidFaultPlan {
+                event: Some(event),
+                reason,
+            })
+        };
+        for (i, e) in self.events.iter().enumerate() {
+            if let Some(b) = e.board() {
+                if b >= boards {
+                    return err(
+                        i,
+                        format!("board {b} does not exist — the cluster has {boards} board(s)"),
+                    );
+                }
+            }
+            let at = e.at();
+            if !at.is_finite() || at < 0.0 {
+                return err(i, format!("instant {at} must be finite and ≥ 0 seconds"));
+            }
+            match *e {
+                FaultEvent::BoardSlowdown {
+                    factor, duration, ..
+                } => {
+                    if !duration.is_finite() || duration <= 0.0 {
+                        return err(i, format!("duration {duration} must be finite and > 0"));
+                    }
+                    if !factor.is_finite() || factor < 1.0 {
+                        return err(
+                            i,
+                            format!("slowdown factor {factor} must be finite and ≥ 1 (a factor below 1 would be a speedup)"),
+                        );
+                    }
+                }
+                FaultEvent::LinkDegrade {
+                    bandwidth_factor,
+                    duration,
+                    ..
+                } => {
+                    if !duration.is_finite() || duration <= 0.0 {
+                        return err(i, format!("duration {duration} must be finite and > 0"));
+                    }
+                    if !bandwidth_factor.is_finite()
+                        || bandwidth_factor <= 0.0
+                        || bandwidth_factor > 1.0
+                    {
+                        return err(
+                            i,
+                            format!(
+                                "bandwidth factor {bandwidth_factor} must lie in (0, 1] — it is the fraction of link bandwidth that remains"
+                            ),
+                        );
+                    }
+                }
+                FaultEvent::BoardHang { duration, .. } => {
+                    if !duration.is_finite() || duration <= 0.0 {
+                        return err(i, format!("duration {duration} must be finite and > 0"));
+                    }
+                }
+                FaultEvent::BoardCrash { .. } => {}
+            }
+        }
+        // Per-board slowdown/hang windows must not overlap.
+        let mut windows: Vec<(usize, f64, f64, usize)> = self
+            .events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.board_window().map(|(b, lo, hi)| (b, lo, hi, i)))
+            .collect();
+        windows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for pair in windows.windows(2) {
+            let (b1, lo1, hi1, i1) = pair[0];
+            let (b2, lo2, _, i2) = pair[1];
+            if b1 == b2 && lo2 < hi1 {
+                return err(
+                    i2,
+                    format!(
+                        "its window [{lo2:.6}, ..) s on board {b2} overlaps event #{i1}'s window [{lo1:.6}, {hi1:.6}) s"
+                    ),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// When to declare a board dead.
+///
+/// Detection is modelled in virtual time: a board is marked failed once
+/// a stage it serves has been outstanding for `timeout ×` the board's
+/// largest expected stage seconds (so slower boards get proportionally
+/// longer grace). There are no false positives — only crashed boards
+/// are ever detected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthPolicy {
+    /// Multiple of the expected stage seconds a stage may be
+    /// outstanding before the board is declared failed (`> 0`;
+    /// default 3).
+    pub timeout: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy { timeout: 3.0 }
+    }
+}
+
+impl HealthPolicy {
+    /// Check the policy is usable.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if !self.timeout.is_finite() || self.timeout <= 0.0 {
+            return Err(EngineError::InvalidFaultPlan {
+                event: None,
+                reason: format!(
+                    "health timeout {} must be a finite positive multiple of the expected stage seconds",
+                    self.timeout
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Timeout-based failure detector over a stage timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthMonitor {
+    policy: HealthPolicy,
+}
+
+impl HealthMonitor {
+    /// A monitor applying `policy`.
+    pub fn new(policy: HealthPolicy) -> Self {
+        HealthMonitor { policy }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// The virtual instant a crash at `crash_at` of `board` is
+    /// detected: `crash_at + timeout × max expected stage seconds` on
+    /// that board under `timeline` (immediate when the board serves no
+    /// stage — there is nothing to time out on, and nothing to fail
+    /// over either).
+    pub fn detect_at(&self, timeline: &[StageTiming], board: usize, crash_at: f64) -> f64 {
+        crash_at + self.policy.timeout * board_stage_seconds(timeline, board)
+    }
+}
+
+/// One completed failover, priced into the recovery window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailoverRecord {
+    /// The crashed board's cluster index.
+    pub board: usize,
+    /// Virtual instant the board died.
+    pub crash_at: f64,
+    /// Virtual instant the health monitor declared it dead.
+    pub detect_at: f64,
+    /// Seconds from the crash until surviving in-flight work drained
+    /// (at least the detection delay).
+    pub drain_seconds: f64,
+    /// Seconds to re-broadcast the replanned weights over the modelled
+    /// interconnect ([`restage_seconds`] of the replacement plan).
+    pub rebroadcast_seconds: f64,
+    /// The full recovery window: `drain_seconds + rebroadcast_seconds`.
+    pub recovery_seconds: f64,
+    /// Virtual instant serving resumed on the replacement placement.
+    pub resume_at: f64,
+    /// Whether the replacement placement is the degraded head-PS
+    /// software fallback ([`OffloadTarget::None`]).
+    pub degraded: bool,
+    /// Images whose in-flight work died with the board and were
+    /// re-dispatched onto the replacement placement.
+    pub redispatched: usize,
+}
+
+/// The availability section of a faulted serve run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AvailabilityReport {
+    /// One record per failover, in crash order.
+    pub failovers: Vec<FailoverRecord>,
+    /// Images that completed (equals the report's `images`).
+    pub completed: usize,
+    /// Admitted images dropped because no board survived to serve
+    /// them. Conservation: `completed + dropped == admitted`.
+    pub dropped: usize,
+    /// Total re-dispatch events (work lost on a crashed board, re-run
+    /// after failover).
+    pub redispatched: usize,
+    /// Fraction of the horizon outside recovery windows, clamped to
+    /// `[0, 1]`. Exactly 1 for a fault-free run.
+    pub availability: f64,
+    /// Virtual seconds served in degraded (head-PS fallback) mode.
+    pub degraded_seconds: f64,
+    /// Completions per second while degraded (0 when never degraded).
+    pub degraded_goodput: f64,
+}
+
+impl AvailabilityReport {
+    /// One-line human summary.
+    pub fn describe(&self) -> String {
+        let recovery: f64 = self.failovers.iter().map(|f| f.recovery_seconds).sum();
+        format!(
+            "availability {:.1}% · {} failover(s), {:.4} s total recovery · {} completed · {} dropped · {} redispatched · degraded {:.4} s ({:.1} img/s)",
+            self.availability * 100.0,
+            self.failovers.len(),
+            recovery,
+            self.completed,
+            self.dropped,
+            self.redispatched,
+            self.degraded_seconds,
+            self.degraded_goodput,
+        )
+    }
+}
+
+/// Degradation windows, precomputed for the scheduler's inner loop.
+struct FaultWindows {
+    /// Per board: sorted `(start, end)` hang windows.
+    hangs: Vec<Vec<(f64, f64)>>,
+    /// Per board: sorted `(start, end, factor)` slowdown windows.
+    slowdowns: Vec<Vec<(f64, f64, f64)>>,
+    /// Sorted `(start, end, bandwidth_factor)` link windows.
+    links: Vec<(f64, f64, f64)>,
+}
+
+impl FaultWindows {
+    fn from_plan(plan: &FaultPlan, boards: usize) -> Self {
+        let mut w = FaultWindows {
+            hangs: vec![Vec::new(); boards],
+            slowdowns: vec![Vec::new(); boards],
+            links: Vec::new(),
+        };
+        for e in plan.events() {
+            match *e {
+                FaultEvent::BoardHang {
+                    board,
+                    at,
+                    duration,
+                } if board < boards => w.hangs[board].push((at, at + duration)),
+                FaultEvent::BoardSlowdown {
+                    board,
+                    at,
+                    factor,
+                    duration,
+                } if board < boards => w.slowdowns[board].push((at, at + duration, factor)),
+                FaultEvent::LinkDegrade {
+                    at,
+                    bandwidth_factor,
+                    duration,
+                } => w.links.push((at, at + duration, bandwidth_factor)),
+                _ => {}
+            }
+        }
+        for v in &mut w.hangs {
+            v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        for v in &mut w.slowdowns {
+            v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        w.links.sort_by(|a, b| a.0.total_cmp(&b.0));
+        w
+    }
+
+    fn has_degrades(&self) -> bool {
+        !self.links.is_empty()
+            || self.hangs.iter().any(|v| !v.is_empty())
+            || self.slowdowns.iter().any(|v| !v.is_empty())
+    }
+
+    /// Product of the bandwidth factors of link windows containing `t`
+    /// (1 outside every window).
+    fn link_factor(&self, t: f64) -> f64 {
+        self.links
+            .iter()
+            .filter(|(lo, hi, _)| t >= *lo && t < *hi)
+            .map(|(_, _, f)| f)
+            .product()
+    }
+
+    /// Push `t` past every hang window on `board` containing it
+    /// (monotone in `t`; windows are sorted by start).
+    fn past_hangs(&self, board: usize, mut t: f64) -> f64 {
+        if let Some(v) = self.hangs.get(board) {
+            for &(lo, hi) in v {
+                if t >= lo && t < hi {
+                    t = hi;
+                }
+            }
+        }
+        t
+    }
+
+    /// Product of the slowdown factors on `board` containing `t`
+    /// (1 outside every window; factors are ≥ 1).
+    fn slowdown_factor(&self, board: usize, t: f64) -> f64 {
+        self.slowdowns.get(board).map_or(1.0, |v| {
+            v.iter()
+                .filter(|(lo, hi, _)| t >= *lo && t < *hi)
+                .map(|(_, _, f)| f)
+                .product()
+        })
+    }
+
+    /// `(transfer_seconds, start, duration)` for image `image` entering
+    /// stage `stage` with its input pending at `pending`, given the
+    /// per-slot free instants. The single placement rule shared by the
+    /// scheduler's selection and commit steps, so both always agree.
+    fn place(
+        &self,
+        stage: &StageTiming,
+        image: usize,
+        pending: f64,
+        free: &[f64],
+    ) -> (f64, f64, f64) {
+        let t_in = if stage.transfer_in > 0.0 {
+            stage.transfer_in / self.link_factor(pending)
+        } else {
+            0.0
+        };
+        let resource = stage.resource_for(image);
+        let start0 = (pending + t_in).max(free[resource.slot()]);
+        let start = self.past_hangs(resource.board(), start0);
+        let dur = stage.seconds * self.slowdown_factor(resource.board(), start);
+        (t_in, start, dur)
+    }
+}
+
+/// One committed stage execution, kept so the failover orchestrator can
+/// classify work against a crash instant and replay survivors into the
+/// trace.
+struct SpanRec {
+    image: usize,
+    stage: usize,
+    resource: StageResource,
+    layer: Option<LayerName>,
+    pending: f64,
+    start: f64,
+    end: f64,
+    /// `(start, end)` of the leading interconnect hand-off, if any.
+    transfer: Option<(f64, f64)>,
+}
+
+/// The fault-aware core loop: [`pipelined_schedule_released`] with the
+/// degradation windows applied at every placement decision, collecting
+/// the committed spans.
+fn faulted_run(
+    timeline: &[StageTiming],
+    releases: &[f64],
+    windows: &FaultWindows,
+) -> (ServedRun, Vec<SpanRec>) {
+    let images = releases.len();
+    let slots = timeline
+        .iter()
+        .flat_map(|s| s.resources())
+        .map(|r| r.slot())
+        .max()
+        .map_or(1, |m| m + 1);
+    let mut free = vec![0.0f64; slots];
+    let mut next = vec![0usize; images];
+    let mut ready = releases.to_vec();
+    let mut starts = vec![0.0f64; images];
+    let mut finishes = vec![0.0f64; images];
+    let mut started = vec![0usize; timeline.len()];
+    let mut makespan = 0.0f64;
+    let mut spans = Vec::with_capacity(images * timeline.len());
+    for _ in 0..images * timeline.len() {
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..images {
+            let Some(stage) = timeline.get(next[i]) else {
+                continue;
+            };
+            if started[next[i]] != i {
+                continue;
+            }
+            let (_, start, _) = windows.place(stage, i, ready[i], &free);
+            if best.is_none_or(|(b, _)| start < b) {
+                best = Some((start, i));
+            }
+        }
+        let (_, i) = best.expect("pending stages remain");
+        let stage = &timeline[next[i]];
+        let (t_in, start, dur) = windows.place(stage, i, ready[i], &free);
+        let done = start + dur;
+        let resource = stage.resource_for(i);
+        spans.push(SpanRec {
+            image: i,
+            stage: next[i],
+            resource,
+            layer: stage.layer,
+            pending: ready[i],
+            start,
+            end: done,
+            transfer: (t_in > 0.0).then_some((ready[i], ready[i] + t_in)),
+        });
+        free[resource.slot()] = done;
+        started[next[i]] += 1;
+        if next[i] == 0 {
+            starts[i] = start - t_in;
+        }
+        ready[i] = done;
+        next[i] += 1;
+        if next[i] == timeline.len() {
+            finishes[i] = done;
+            makespan = makespan.max(done);
+        }
+    }
+    let head_idle = timeline.first().map_or(0.0, |s| {
+        s.resources()
+            .iter()
+            .map(|r| free[r.slot()])
+            .fold(f64::INFINITY, f64::min)
+    });
+    (
+        ServedRun {
+            makespan,
+            starts,
+            finishes,
+            head_idle,
+        },
+        spans,
+    )
+}
+
+/// Fault-aware [`pipelined_schedule_released`]: the same greedy
+/// event-driven schedule, with `plan`'s slowdown/hang/link-degrade
+/// windows applied at every placement decision. Crash events do not
+/// alter the low-level schedule — the failover orchestrator
+/// ([`serve_faulted`]) splits runs at crashes instead.
+///
+/// A plan with no degradation windows (including the empty plan)
+/// delegates verbatim to the unfaulted scheduler, so the result is
+/// **bit-identical** and the overhead is one branch.
+pub fn faulted_schedule_released(
+    timeline: &[StageTiming],
+    releases: &[f64],
+    plan: &FaultPlan,
+) -> ServedRun {
+    let boards = timeline
+        .iter()
+        .flat_map(|s| s.resources())
+        .map(|r| r.board())
+        .max()
+        .map_or(1, |m| m + 1)
+        .max(
+            plan.events()
+                .iter()
+                .filter_map(|e| e.board())
+                .max()
+                .map_or(0, |m| m + 1),
+        );
+    let windows = FaultWindows::from_plan(plan, boards);
+    if !windows.has_degrades() {
+        return pipelined_schedule_released(timeline, releases);
+    }
+    faulted_run(timeline, releases, &windows).0
+}
+
+/// Add `seconds` of busy time to `resource`'s bucket.
+fn add_busy(busy: &mut Vec<(StageResource, f64)>, resource: StageResource, seconds: f64) {
+    if let Some(slot) = busy.iter_mut().find(|(r, _)| *r == resource) {
+        slot.1 += seconds;
+    } else {
+        busy.push((resource, seconds));
+    }
+}
+
+/// Replay one committed span (stage + optional hand-off) into the trace
+/// under the image's **original** id, and bill its busy time.
+fn replay_span(
+    rec: &mut Recorder,
+    busy: &mut Vec<(StageResource, f64)>,
+    span: &SpanRec,
+    id: usize,
+) {
+    let delivered = span.transfer.map_or(span.pending, |(_, e)| e);
+    rec.stage(
+        id,
+        span.stage,
+        span.resource,
+        span.layer,
+        span.pending,
+        delivered,
+        span.start,
+        span.end,
+    );
+    if let Some((s, e)) = span.transfer {
+        rec.transfer(id, span.stage, span.resource, s, e);
+    }
+    add_busy(busy, span.resource, span.end - span.start);
+}
+
+/// Replay the epoch's arrivals + dispatches whose dispatch instant
+/// precedes `until`, returning how many batches that is. Mirrors the
+/// grouping in [`crate::serve::serve_timeline_traced`].
+fn replay_batches(rec: &mut Recorder, avails: &[f64], releases: &[f64], until: f64) -> usize {
+    let mut batches = 0usize;
+    let mut i = 0usize;
+    while i < releases.len() {
+        let at = releases[i];
+        let mut j = i;
+        while j < releases.len() && releases[j] == at {
+            j += 1;
+        }
+        if at < until {
+            for arrival in &avails[i..j] {
+                rec.arrival(*arrival);
+            }
+            rec.dispatch(at, j - i);
+            batches += 1;
+        }
+        i = j;
+    }
+    batches
+}
+
+/// Serve `req` over `plan` while injecting `faults`, detecting crashes
+/// with `policy`, and failing over onto the surviving boards.
+///
+/// The orchestrator runs the serve in **epochs** separated by board
+/// crashes. Within an epoch the fault-aware scheduler applies the
+/// degradation windows; at each crash the health monitor prices a
+/// detection delay, in-flight images untouched by the dead board drain
+/// to completion, work lost on it is re-dispatched, the partition /
+/// replica search re-runs over the surviving [`Cluster`]
+/// (`Offload::Auto` + [`Replication::Auto`], which admits the head-PS
+/// software fallback as the degraded last resort), and the replacement
+/// placement's weight re-broadcast ([`restage_seconds`]) is billed
+/// before serving resumes. An empty `faults` delegates verbatim to
+/// [`crate::serve::serve_timeline_traced`] — bit-identical reports and
+/// traces.
+///
+/// Returns [`EngineError::InvalidFaultPlan`] for an unusable plan or
+/// policy, and any error the serve request itself fails with.
+pub fn serve_faulted(
+    plan: &ClusterPlan,
+    req: &ServeRequest,
+    faults: &FaultPlan,
+    policy: &HealthPolicy,
+    traced: bool,
+) -> Result<ServeReport, EngineError> {
+    faults.validate(plan.cluster().len())?;
+    policy.validate()?;
+    if faults.is_empty() {
+        return crate::serve::serve_timeline_traced(plan.timeline(), req, traced);
+    }
+    req.validate()?;
+    let arrivals = req.arrivals.arrivals(req.images, req.seed);
+    let windows = FaultWindows::from_plan(faults, plan.cluster().len());
+    let monitor = HealthMonitor::new(*policy);
+    let mut rec = if traced {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    // Degradations are announced at their window start; crashes are
+    // announced when the orchestrator consumes them.
+    for e in faults.events() {
+        if !matches!(e, FaultEvent::BoardCrash { .. }) {
+            rec.fault(FaultTraceEvent::FaultInjected {
+                at: e.at(),
+                kind: e.kind(),
+                board: e.board(),
+            });
+        }
+    }
+    let mut crashes: Vec<(f64, usize)> = faults
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            FaultEvent::BoardCrash { board, at } => Some((at, board)),
+            _ => None,
+        })
+        .collect();
+    crashes.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut survivors: Vec<usize> = (0..plan.cluster().len()).collect();
+    let mut timeline: Vec<StageTiming> = plan.timeline().to_vec();
+    // (original image id, availability instant), kept sorted.
+    let mut pending: Vec<(usize, f64)> = arrivals.iter().copied().enumerate().collect();
+    let mut finishes: Vec<Option<f64>> = vec![None; req.images];
+    let mut failovers: Vec<FailoverRecord> = Vec::new();
+    let mut dropped = 0usize;
+    let mut batches = 0usize;
+    let mut queue_peak = 0usize;
+    let mut busy: Vec<(StageResource, f64)> = Vec::new();
+    let mut degraded_seconds = 0.0f64;
+    let mut degraded_completions = 0usize;
+    let mut degraded_now = false;
+    let mut t0 = 0.0f64;
+    let mut crash_idx = 0usize;
+
+    while !pending.is_empty() {
+        // Pull the next crash that actually triggers a failover.
+        // Crashes of already-dead boards are no-ops; crashes of boards
+        // the current placement does not use silently shrink the
+        // survivor set (nothing times out, so nothing is detected).
+        let mut crash: Option<(f64, usize)> = None;
+        while crash_idx < crashes.len() {
+            let (at, b) = crashes[crash_idx];
+            crash_idx += 1;
+            let eff = at.max(t0);
+            rec.fault(FaultTraceEvent::FaultInjected {
+                at: eff,
+                kind: FaultKind::Crash,
+                board: Some(b),
+            });
+            if !survivors.contains(&b) {
+                continue;
+            }
+            if board_stage_seconds(&timeline, b) == 0.0 {
+                survivors.retain(|&s| s != b);
+                continue;
+            }
+            crash = Some((eff, b));
+            break;
+        }
+
+        let avails: Vec<f64> = pending.iter().map(|(_, a)| *a).collect();
+        let rel = MicroBatcher::new(req.dispatch).release_plan(&timeline, &avails);
+        queue_peak = queue_peak.max(rel.queue_peak);
+        let (run, spans) = faulted_run(&timeline, &rel.releases, &windows);
+
+        let Some((t_c, b)) = crash else {
+            // Final epoch: every remaining image completes.
+            batches += replay_batches(&mut rec, &avails, &rel.releases, f64::INFINITY);
+            let mut epoch_end = t0;
+            for (k, &(id, _)) in pending.iter().enumerate() {
+                finishes[id] = Some(run.finishes[k]);
+                epoch_end = epoch_end.max(run.finishes[k]);
+                if degraded_now {
+                    degraded_completions += 1;
+                }
+            }
+            for span in &spans {
+                replay_span(&mut rec, &mut busy, span, pending[span.image].0);
+            }
+            if degraded_now {
+                degraded_seconds += epoch_end - t0;
+            }
+            break;
+        };
+
+        let detect_at = monitor.detect_at(&timeline, b, t_c);
+        rec.fault(FaultTraceEvent::FailoverStart {
+            at: detect_at,
+            board: b,
+        });
+
+        // Classify this epoch's images against the crash: an image is
+        // *committed* when it began before detection and none of its
+        // work died with the board; otherwise it goes back in the
+        // queue (re-dispatched when its lost work had already started).
+        let n = pending.len();
+        let mut first_start = vec![f64::INFINITY; n];
+        let mut lost = vec![false; n];
+        for s in &spans {
+            first_start[s.image] = first_start[s.image].min(s.start);
+            if s.resource.board() == b && s.end > t_c {
+                lost[s.image] = true;
+            }
+        }
+        let committed: Vec<bool> = (0..n)
+            .map(|k| first_start[k] < detect_at && !lost[k])
+            .collect();
+        let mut drain_end = detect_at;
+        for (k, &(id, _)) in pending.iter().enumerate() {
+            if committed[k] {
+                finishes[id] = Some(run.finishes[k]);
+                drain_end = drain_end.max(run.finishes[k]);
+                if degraded_now {
+                    degraded_completions += 1;
+                }
+            }
+        }
+        batches += replay_batches(&mut rec, &avails, &rel.releases, detect_at);
+        for span in &spans {
+            if committed[span.image] {
+                replay_span(&mut rec, &mut busy, span, pending[span.image].0);
+            }
+        }
+        if degraded_now {
+            degraded_seconds += drain_end - t0;
+        }
+
+        let redispatched_here = (0..n)
+            .filter(|&k| !committed[k] && first_start[k] < detect_at)
+            .count();
+        let survivors_next: Vec<usize> = survivors.iter().copied().filter(|&s| s != b).collect();
+
+        if survivors_next.is_empty() {
+            // Nothing left to fail over to: everything not yet
+            // committed is dropped (counted, never silently lost).
+            dropped += (0..n).filter(|&k| !committed[k]).count();
+            let drain_seconds = drain_end - t_c;
+            failovers.push(FailoverRecord {
+                board: b,
+                crash_at: t_c,
+                detect_at,
+                drain_seconds,
+                rebroadcast_seconds: 0.0,
+                recovery_seconds: drain_seconds,
+                resume_at: drain_end,
+                degraded: true,
+                redispatched: 0,
+            });
+            rec.fault(FaultTraceEvent::FailoverEnd {
+                at: drain_end,
+                degraded: true,
+            });
+            pending.clear();
+            break;
+        }
+        survivors = survivors_next;
+
+        // Replan over the survivors. `Offload::Auto` + `Replication::
+        // Auto` always admit the head-PS software placement, so with at
+        // least one board left this cannot fail.
+        let boards: Vec<_> = survivors
+            .iter()
+            .map(|&s| plan.cluster().boards()[s])
+            .collect();
+        let creq = ClusterRequest {
+            cluster: Cluster::new(boards, *plan.cluster().interconnect()),
+            offload: Offload::Auto,
+            bn: plan.bn_mode(),
+            ps: *plan.ps_model(),
+            pl: *plan.pl_model(),
+            // The deployed per-stage formats carry over verbatim — a
+            // failover never re-runs calibration.
+            precision: *plan.precision(),
+            schedule: plan.schedule(),
+            partitioner: plan.partitioner(),
+            replication: Replication::Auto,
+        };
+        let nplan = plan_cluster(plan.spec(), &creq)?;
+        let degraded = nplan.target() == OffloadTarget::None;
+        let rebroadcast_seconds = restage_seconds(&nplan);
+        let drain_seconds = drain_end - t_c;
+        let resume_at = drain_end + rebroadcast_seconds;
+        failovers.push(FailoverRecord {
+            board: b,
+            crash_at: t_c,
+            detect_at,
+            drain_seconds,
+            rebroadcast_seconds,
+            recovery_seconds: drain_seconds + rebroadcast_seconds,
+            resume_at,
+            degraded,
+            redispatched: redispatched_here,
+        });
+        rec.fault(FaultTraceEvent::FailoverEnd {
+            at: resume_at,
+            degraded,
+        });
+
+        // Map the replan's sub-cluster board indices back to the
+        // original rack's, so traces, utilization, and the degradation
+        // windows keep addressing physical boards.
+        let remap = |r: StageResource| -> StageResource {
+            let original = |j: usize| survivors[j];
+            match r {
+                StageResource::Ps => {
+                    if original(0) == 0 {
+                        StageResource::Ps
+                    } else {
+                        StageResource::PsOn(original(0))
+                    }
+                }
+                StageResource::PsOn(j) => {
+                    if original(j) == 0 {
+                        StageResource::Ps
+                    } else {
+                        StageResource::PsOn(original(j))
+                    }
+                }
+                StageResource::Pl(j) => StageResource::Pl(original(j)),
+            }
+        };
+        timeline = nplan
+            .timeline()
+            .iter()
+            .map(|row| StageTiming {
+                resource: remap(row.resource),
+                replicas: row.replicas.iter().map(|&r| remap(r)).collect(),
+                ..row.clone()
+            })
+            .collect();
+
+        // Everything not committed re-enters the queue at resume time
+        // (its own arrival instant when it arrives even later).
+        let mut requeued: Vec<(usize, f64)> = pending
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| !committed[*k])
+            .map(|(k, &(id, avail))| {
+                if first_start[k] < detect_at {
+                    rec.fault(FaultTraceEvent::Redispatch {
+                        at: resume_at,
+                        image: id,
+                    });
+                }
+                (id, avail.max(resume_at))
+            })
+            .collect();
+        requeued.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        pending = requeued;
+        degraded_now = degraded;
+        t0 = resume_at;
+    }
+
+    // Assemble the report over the whole faulted run.
+    let completed = finishes.iter().flatten().count();
+    let last_arrival = arrivals.last().copied().unwrap_or(0.0);
+    let horizon = finishes
+        .iter()
+        .flatten()
+        .fold(last_arrival, |m, &f| m.max(f))
+        .max(failovers.last().map_or(0.0, |f| f.resume_at));
+    let mut latencies: Vec<f64> = finishes
+        .iter()
+        .enumerate()
+        .filter_map(|(id, f)| f.map(|f| f - arrivals[id]))
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    busy.sort_by_key(|(r, _)| r.slot());
+    let utilization = busy
+        .iter()
+        .map(|&(r, s)| (r, if horizon > 0.0 { s / horizon } else { 0.0 }))
+        .collect();
+    let recovery: f64 = failovers.iter().map(|f| f.recovery_seconds).sum();
+    let availability = if horizon > 0.0 {
+        (1.0 - recovery / horizon).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    let redispatched = failovers.iter().map(|f| f.redispatched).sum();
+    debug_assert_eq!(completed + dropped, req.images, "image conservation");
+    rec.run_summary(plan.timeline(), completed, horizon);
+    Ok(ServeReport {
+        images: completed,
+        batches,
+        offered_rate: req.arrivals.rate(),
+        goodput: if horizon > 0.0 {
+            completed as f64 / horizon
+        } else {
+            0.0
+        },
+        horizon,
+        latency_p50: latency_quantile(&latencies, 0.5),
+        latency_p99: latency_quantile(&latencies, 0.99),
+        latency_p999: latency_quantile(&latencies, 0.999),
+        latency_max: latencies.last().copied().unwrap_or(0.0),
+        queue_peak,
+        utilization,
+        window: window_report(&req.window, horizon, finishes.iter().flatten().copied()),
+        availability: Some(AvailabilityReport {
+            failovers,
+            completed,
+            dropped,
+            redispatched,
+            availability,
+            degraded_seconds,
+            degraded_goodput: if degraded_seconds > 0.0 {
+                degraded_completions as f64 / degraded_seconds
+            } else {
+                0.0
+            },
+        }),
+        trace: traced.then(|| rec.finish()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Vec<StageTiming> {
+        vec![
+            StageTiming {
+                resource: StageResource::Ps,
+                layer: None,
+                seconds: 0.010,
+                transfer_in: 0.0,
+                replicas: Vec::new(),
+            },
+            StageTiming {
+                resource: StageResource::Pl(1),
+                layer: Some(LayerName::Layer1),
+                seconds: 0.020,
+                transfer_in: 0.002,
+                replicas: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn empty_plan_schedule_is_bit_identical() {
+        let timeline = chain();
+        let releases: Vec<f64> = (0..16).map(|i| i as f64 * 0.003).collect();
+        let base = pipelined_schedule_released(&timeline, &releases);
+        let faulted = faulted_schedule_released(&timeline, &releases, &FaultPlan::none());
+        assert_eq!(base.makespan.to_bits(), faulted.makespan.to_bits());
+        assert_eq!(base.starts, faulted.starts);
+        assert_eq!(base.finishes, faulted.finishes);
+        assert_eq!(base.head_idle.to_bits(), faulted.head_idle.to_bits());
+    }
+
+    #[test]
+    fn crash_only_plan_keeps_low_level_schedule() {
+        let timeline = chain();
+        let releases: Vec<f64> = (0..8).map(|i| i as f64 * 0.005).collect();
+        let plan = FaultPlan::new(vec![FaultEvent::BoardCrash { board: 1, at: 0.01 }]);
+        let base = pipelined_schedule_released(&timeline, &releases);
+        let faulted = faulted_schedule_released(&timeline, &releases, &plan);
+        assert_eq!(base.finishes, faulted.finishes);
+    }
+
+    #[test]
+    fn slowdown_stretches_stage_starts_inside_window() {
+        let timeline = chain();
+        let releases = vec![0.0];
+        let plan = FaultPlan::new(vec![FaultEvent::BoardSlowdown {
+            board: 1,
+            at: 0.0,
+            factor: 2.0,
+            duration: 1.0,
+        }]);
+        let base = pipelined_schedule_released(&timeline, &releases);
+        let faulted = faulted_schedule_released(&timeline, &releases, &plan);
+        assert!(faulted.makespan > base.makespan);
+        assert!((faulted.makespan - (base.makespan + 0.020)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hang_defers_starts_to_window_end() {
+        let timeline = chain();
+        let releases = vec![0.0];
+        let plan = FaultPlan::new(vec![FaultEvent::BoardHang {
+            board: 0,
+            at: 0.0,
+            duration: 0.5,
+        }]);
+        let run = faulted_schedule_released(&timeline, &releases, &plan);
+        // The head stage cannot start before the hang lifts at 0.5 s.
+        assert!(run.starts[0] >= 0.5);
+    }
+
+    #[test]
+    fn link_degrade_slows_transfers_only() {
+        let timeline = chain();
+        let releases = vec![0.0];
+        let plan = FaultPlan::new(vec![FaultEvent::LinkDegrade {
+            at: 0.0,
+            bandwidth_factor: 0.5,
+            duration: 1.0,
+        }]);
+        let base = pipelined_schedule_released(&timeline, &releases);
+        let faulted = faulted_schedule_released(&timeline, &releases, &plan);
+        // The 2 ms hand-off doubles to 4 ms; compute time is untouched.
+        assert!((faulted.makespan - (base.makespan + 0.002)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_board() {
+        let plan = FaultPlan::new(vec![FaultEvent::BoardCrash { board: 4, at: 0.1 }]);
+        let err = plan.validate(4).unwrap_err();
+        match err {
+            EngineError::InvalidFaultPlan { event, ref reason } => {
+                assert_eq!(event, Some(0));
+                assert!(reason.contains("board 4"), "{reason}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert!(plan.validate(5).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_board_windows() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::BoardSlowdown {
+                board: 0,
+                at: 0.0,
+                factor: 2.0,
+                duration: 0.5,
+            },
+            FaultEvent::BoardHang {
+                board: 0,
+                at: 0.4,
+                duration: 0.2,
+            },
+        ]);
+        let err = plan.validate(1).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("overlaps"), "{text}");
+        // The same windows on different boards are fine.
+        let apart = FaultPlan::new(vec![
+            FaultEvent::BoardSlowdown {
+                board: 0,
+                at: 0.0,
+                factor: 2.0,
+                duration: 0.5,
+            },
+            FaultEvent::BoardHang {
+                board: 1,
+                at: 0.4,
+                duration: 0.2,
+            },
+        ]);
+        assert!(apart.validate(2).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        for (plan, needle) in [
+            (
+                FaultPlan::new(vec![FaultEvent::BoardSlowdown {
+                    board: 0,
+                    at: 0.0,
+                    factor: 0.5,
+                    duration: 1.0,
+                }]),
+                "speedup",
+            ),
+            (
+                FaultPlan::new(vec![FaultEvent::BoardHang {
+                    board: 0,
+                    at: 0.0,
+                    duration: 0.0,
+                }]),
+                "duration",
+            ),
+            (
+                FaultPlan::new(vec![FaultEvent::LinkDegrade {
+                    at: 0.0,
+                    bandwidth_factor: 1.5,
+                    duration: 1.0,
+                }]),
+                "bandwidth factor",
+            ),
+            (
+                FaultPlan::new(vec![FaultEvent::BoardCrash { board: 0, at: -1.0 }]),
+                "finite",
+            ),
+        ] {
+            let err = plan.validate(2).unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn health_policy_validates() {
+        assert!(HealthPolicy::default().validate().is_ok());
+        assert!(HealthPolicy { timeout: 0.0 }.validate().is_err());
+        assert!(HealthPolicy {
+            timeout: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn detect_at_scales_with_board_stage_seconds() {
+        let timeline = chain();
+        let monitor = HealthMonitor::new(HealthPolicy { timeout: 2.0 });
+        // Board 1 carries the 20 ms PL stage.
+        assert!((monitor.detect_at(&timeline, 1, 1.0) - 1.04).abs() < 1e-12);
+        // Board 0 carries the 10 ms PS stage.
+        assert!((monitor.detect_at(&timeline, 0, 1.0) - 1.02).abs() < 1e-12);
+        // An unused board is "detected" immediately (nothing times out).
+        assert_eq!(monitor.detect_at(&timeline, 3, 1.0), 1.0);
+    }
+}

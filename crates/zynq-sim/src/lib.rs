@@ -63,7 +63,15 @@
 //!   and dispatch events into a [`Trace`] that exports Chrome-trace
 //!   JSON (open in `chrome://tracing` / Perfetto) and aggregates into
 //!   per-resource utilization plus stall attribution
-//!   (waiting-on-upstream vs FIFO-gate-held vs no-work).
+//!   (waiting-on-upstream vs FIFO-gate-held vs no-work);
+//! * [`fault`] — fault injection and failover: a declarative
+//!   [`FaultPlan`] of deterministic virtual-time faults (board
+//!   crashes, slowdowns, hangs, link degradation), a timeout-based
+//!   [`HealthMonitor`], drain-then-replan failover onto the surviving
+//!   boards with the weight re-broadcast priced into a recovery
+//!   window, head-PS degraded mode as the last resort, and an
+//!   [`AvailabilityReport`] on the serve report — the empty plan is
+//!   bit-identical to the fault-free path.
 //!
 //! ```
 //! use zynq_sim::resources::{ode_block_resources};
@@ -81,6 +89,7 @@ pub mod board;
 pub mod cluster;
 pub mod datapath;
 pub mod engine;
+pub mod fault;
 pub mod partition;
 pub mod plan;
 pub mod planner;
@@ -102,19 +111,26 @@ pub use datapath::{block_exec_cycles, conv_cycles, OdeBlockAccel};
 pub use engine::{
     Backend, BackendKind, BatchSummary, Engine, EngineBuilder, EngineError, Offload, RunReport,
 };
-pub use partition::{partition_placement, resource_busy, Partitioner};
+pub use fault::{
+    faulted_schedule_released, serve_faulted, AvailabilityReport, FailoverRecord, FaultEvent,
+    FaultPlan, HealthMonitor, HealthPolicy,
+};
+pub use partition::{board_stage_seconds, partition_placement, resource_busy, Partitioner};
 pub use plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest, PlannedStage};
 pub use planner::{plan_offload, OffloadTarget};
 pub use power::{EnergyReport, PowerModel};
 pub use precision::{Precision, StageFormats};
-pub use replica::{ReplicaPlan, Replication};
+pub use replica::{restage_seconds, ReplicaPlan, Replication};
 pub use resources::{ode_block_resources, ResourceReport};
 pub use serve::{
     AdmissionQueue, ArrivalProcess, Dispatch, LoadPoint, LoadSweep, MicroBatcher, ServeReport,
-    ServeRequest,
+    ServeRequest, Window, WindowReport,
 };
 pub use system::HybridRun;
 #[allow(deprecated)]
 pub use system::{run_hybrid, run_hybrid_with};
 pub use timing::{table5_row, PlModel, PsModel, Table5Row};
-pub use trace::{check_chrome_json, Metrics, Recorder, ResourceMetrics, StallBreakdown, Trace};
+pub use trace::{
+    check_chrome_json, FaultKind, FaultTraceEvent, Metrics, Recorder, ResourceMetrics,
+    StallBreakdown, Trace,
+};

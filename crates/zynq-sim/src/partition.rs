@@ -116,6 +116,19 @@ pub fn resource_busy(timeline: &[StageTiming]) -> Vec<(StageResource, f64)> {
     busy
 }
 
+/// The largest modelled stage seconds any resource on `board` serves
+/// under `timeline` (0 when the board carries no stage). This is the
+/// expected-progress yardstick [`crate::fault::HealthMonitor`] scales
+/// its timeout by: a board is declared failed once a stage has been
+/// outstanding longer than `timeout ×` this bound.
+pub fn board_stage_seconds(timeline: &[StageTiming], board: usize) -> f64 {
+    timeline
+        .iter()
+        .filter(|s| s.resources().iter().any(|r| r.board() == board))
+        .map(|s| s.seconds)
+        .fold(0.0, f64::max)
+}
+
 /// Split `target`'s layers across the request's cluster under the
 /// request's [`Partitioner`]. The public entry point for callers that
 /// already resolved a placement; [`crate::cluster::plan_cluster`] goes

@@ -188,7 +188,9 @@ pub struct PlannedStage {
     /// 32-bit AXI bus words per inference.
     pub dma_words: u64,
     /// Parameter bytes the stage's circuit holds at this word width —
-    /// the payload a replica broadcast ships (see [`crate::replica`]).
+    /// the payload a replica broadcast ships (see [`crate::replica`])
+    /// and the unit a failover re-broadcast is priced in (see
+    /// [`crate::fault`]).
     pub param_bytes: u64,
 }
 

@@ -126,6 +126,23 @@ impl ReplicaPlan {
     }
 }
 
+/// Seconds to (re-)stage `plan`'s weights onto its non-head boards
+/// over the modelled interconnect: every parameter payload a non-head
+/// shard carries is broadcast from the head exactly once. This is the
+/// price [`crate::fault::serve_faulted`] bills into a failover's
+/// recovery window — the same per-stage payloads PR 7's replica
+/// broadcast prices, but summed over the whole placement (a failover
+/// re-ships everything, clone and primary alike).
+pub fn restage_seconds(plan: &crate::cluster::ClusterPlan) -> f64 {
+    let link = plan.cluster().interconnect();
+    plan.shards()
+        .iter()
+        .filter(|s| s.board != 0)
+        .flat_map(|s| s.stages.iter())
+        .map(|st| link.transfer_seconds(st.param_bytes))
+        .sum()
+}
+
 /// The replica resolver's output — everything [`crate::cluster::plan_cluster`]
 /// needs to finish a plan.
 pub(crate) struct Resolved {

@@ -405,6 +405,87 @@ impl MicroBatcher {
     }
 }
 
+/// An optional measurement window over a serve run's horizon, trimming
+/// the finite-stream artefacts off the goodput measurement: the warmup
+/// ramp while the pipeline fills, and the drain-out after the last
+/// arrival when an overloaded queue is merely flushing. The default
+/// window is the whole horizon (no trimming — reports unchanged).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Window {
+    /// Fraction of the horizon to drop from the front (`0 ≤ f`,
+    /// `warmup + drain < 1`).
+    pub warmup_fraction: f64,
+    /// Fraction of the horizon to drop from the back.
+    pub drain_fraction: f64,
+}
+
+impl Window {
+    /// Whether the window covers the whole horizon (no trimming).
+    pub fn is_whole(&self) -> bool {
+        self.warmup_fraction == 0.0 && self.drain_fraction == 0.0
+    }
+
+    /// Reject non-finite, negative, or over-full fractions with a
+    /// typed [`EngineError::InvalidServe`].
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if !self.warmup_fraction.is_finite()
+            || !self.drain_fraction.is_finite()
+            || self.warmup_fraction < 0.0
+            || self.drain_fraction < 0.0
+        {
+            return Err(EngineError::InvalidServe {
+                reason: "measurement-window fractions must be finite and ≥ 0",
+            });
+        }
+        if self.warmup_fraction + self.drain_fraction >= 1.0 {
+            return Err(EngineError::InvalidServe {
+                reason: "measurement-window warmup + drain fractions must sum below 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Goodput measured inside a [`Window`] — completions whose instant
+/// falls in `[start, end]`, divided by the window's length.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowReport {
+    /// Window start, virtual seconds (`warmup_fraction × horizon`).
+    pub start: f64,
+    /// Window end, virtual seconds (`(1 − drain_fraction) × horizon`).
+    pub end: f64,
+    /// Completions inside the window.
+    pub completed: usize,
+    /// `completed / (end − start)` — the steady-state goodput estimate.
+    pub goodput: f64,
+}
+
+/// Build the [`WindowReport`] for `window` over completions
+/// `finishes`, or `None` when the window is the whole horizon.
+pub(crate) fn window_report(
+    window: &Window,
+    horizon: f64,
+    finishes: impl Iterator<Item = f64>,
+) -> Option<WindowReport> {
+    if window.is_whole() {
+        return None;
+    }
+    let start = window.warmup_fraction * horizon;
+    let end = (1.0 - window.drain_fraction) * horizon;
+    let completed = finishes.filter(|f| *f >= start && *f <= end).count();
+    let span = end - start;
+    Some(WindowReport {
+        start,
+        end,
+        completed,
+        goodput: if span > 0.0 {
+            completed as f64 / span
+        } else {
+            0.0
+        },
+    })
+}
+
 /// One online-serving experiment: who arrives, how many, and when the
 /// batcher dispatches.
 #[derive(Clone, Debug)]
@@ -419,6 +500,9 @@ pub struct ServeRequest {
     /// Seed for the arrival stream (ignored by
     /// [`ArrivalProcess::Trace`]).
     pub seed: u64,
+    /// Optional measurement-window trimming for the reported goodput
+    /// (whole-horizon by default).
+    pub window: Window,
 }
 
 impl ServeRequest {
@@ -430,6 +514,7 @@ impl ServeRequest {
             images: 256,
             dispatch: Dispatch::default(),
             seed: 42,
+            window: Window::default(),
         }
     }
 
@@ -441,7 +526,8 @@ impl ServeRequest {
             });
         }
         self.arrivals.validate()?;
-        self.dispatch.validate()
+        self.dispatch.validate()?;
+        self.window.validate()
     }
 }
 
@@ -450,8 +536,10 @@ impl ServeRequest {
 /// deterministic virtual seconds.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeReport {
-    /// Images served (every admitted image completes — the simulator
-    /// never drops).
+    /// Images served to completion. Fault-free serving never drops, so
+    /// this equals the admitted stream; under fault injection
+    /// ([`crate::fault::serve_faulted`]) images dropped by a total
+    /// outage are counted in the availability section instead.
     pub images: usize,
     /// Dispatches the micro-batcher issued.
     pub batches: usize,
@@ -477,6 +565,13 @@ pub struct ServeReport {
     /// Busy fraction of the horizon per execution resource (head PS,
     /// each board's PL), in timeline order.
     pub utilization: Vec<(StageResource, f64)>,
+    /// Goodput inside the request's measurement [`Window`] (`None`
+    /// when the request measured the whole horizon).
+    pub window: Option<WindowReport>,
+    /// Availability accounting, present when the run was served under
+    /// fault injection ([`crate::fault::serve_faulted`]); `None` for
+    /// the fault-free path.
+    pub availability: Option<crate::fault::AvailabilityReport>,
     /// The event trace, when the run was served through
     /// [`serve_timeline_traced`] with tracing on (`None` otherwise).
     pub(crate) trace: Option<Trace>,
@@ -486,6 +581,13 @@ impl ServeReport {
     /// Mean images per dispatch.
     pub fn mean_batch(&self) -> f64 {
         self.images as f64 / self.batches as f64
+    }
+
+    /// The run's availability as a fraction of the horizon: exactly 1
+    /// for fault-free runs (no availability section), otherwise the
+    /// availability section's clamped `[0, 1]` value.
+    pub fn availability_fraction(&self) -> f64 {
+        self.availability.as_ref().map_or(1.0, |a| a.availability)
     }
 
     /// The run's event trace — stage spans, hand-offs, queue and
@@ -605,6 +707,8 @@ pub fn serve_timeline_traced(
         latency_max: latency_quantile(&latencies, 1.0),
         queue_peak: plan.queue_peak,
         utilization,
+        window: window_report(&req.window, horizon, run.finishes.iter().copied()),
+        availability: None,
         trace: traced.then(|| rec.finish()),
     })
 }
@@ -702,6 +806,7 @@ pub fn sweep_timeline_traced(
                 images: sweep.images,
                 dispatch: sweep.dispatch,
                 seed: sweep.seed,
+                window: Window::default(),
             };
             serve_timeline_traced(timeline, &req, traced).map(|report| LoadPoint {
                 fraction,
@@ -877,6 +982,7 @@ mod tests {
             images: 64,
             dispatch: Dispatch::default(),
             seed: 11,
+            window: Window::default(),
         };
         let a = serve_timeline(&toy(), &req).expect("valid");
         let b = serve_timeline(&toy(), &req).expect("valid");

@@ -122,6 +122,71 @@ pub struct DispatchEvent {
     pub images: usize,
 }
 
+/// The category of an injected fault (mirrors
+/// [`crate::fault::FaultEvent`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A board died permanently.
+    Crash,
+    /// A board's stages ran `factor ×` slower for a window.
+    Slowdown,
+    /// The interconnect lost bandwidth for a window.
+    LinkDegrade,
+    /// A board accepted no new stage starts for a window.
+    Hang,
+}
+
+/// One fault-subsystem event on the trace's failover track — injected
+/// faults, failover boundaries, and re-dispatches of work lost on a
+/// crashed board (see [`crate::fault`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultTraceEvent {
+    /// A [`crate::fault::FaultEvent`] took effect.
+    FaultInjected {
+        /// Virtual instant the fault takes effect.
+        at: f64,
+        /// What kind of fault.
+        kind: FaultKind,
+        /// The targeted board (`None` for link-wide faults).
+        board: Option<usize>,
+    },
+    /// The health monitor declared `board` failed; the drain +
+    /// replan + re-broadcast recovery window opens.
+    FailoverStart {
+        /// Detection instant.
+        at: f64,
+        /// The board declared dead.
+        board: usize,
+    },
+    /// Serving resumed on the replacement placement.
+    FailoverEnd {
+        /// Resume instant (drain end + re-broadcast).
+        at: f64,
+        /// Whether the replacement is the degraded head-PS fallback.
+        degraded: bool,
+    },
+    /// An image whose in-flight work died with a crashed board was
+    /// re-dispatched onto the replacement placement.
+    Redispatch {
+        /// The re-dispatch instant (the failover's resume).
+        at: f64,
+        /// Stream index of the re-dispatched image.
+        image: usize,
+    },
+}
+
+impl FaultTraceEvent {
+    /// The event's virtual instant.
+    pub fn at(&self) -> f64 {
+        match *self {
+            FaultTraceEvent::FaultInjected { at, .. }
+            | FaultTraceEvent::FailoverStart { at, .. }
+            | FaultTraceEvent::FailoverEnd { at, .. }
+            | FaultTraceEvent::Redispatch { at, .. } => at,
+        }
+    }
+}
+
 /// A finished event log plus the run summary needed to aggregate it.
 ///
 /// Produced by [`Recorder::finish`]; carried on
@@ -140,6 +205,11 @@ pub struct Trace {
     pub queue: Vec<QueueEvent>,
     /// Micro-batcher dispatch decisions, ascending.
     pub dispatches: Vec<DispatchEvent>,
+    /// Fault-subsystem events (injections, failover boundaries,
+    /// re-dispatches), in orchestrator order. Empty for fault-free
+    /// runs — the exports of those stay byte-identical to pre-fault
+    /// traces.
+    pub faults: Vec<FaultTraceEvent>,
     images: usize,
     horizon: f64,
     per_image_busy: Vec<(StageResource, f64)>,
@@ -306,6 +376,7 @@ impl Trace {
     pub fn to_chrome_json(&self) -> String {
         const TID_INTERCONNECT: usize = 100;
         const TID_DISPATCH: usize = 101;
+        const TID_FAULTS: usize = 102;
         let us = |t: f64| t * 1e6;
         // (ts, rank, seq) sort key: metadata first, then E before X/C/i
         // before B at equal instants so same-track spans close before
@@ -331,6 +402,9 @@ impl Trace {
         }
         if !self.dispatches.is_empty() {
             tracks.push((TID_DISPATCH, "dispatch".to_string()));
+        }
+        if !self.faults.is_empty() {
+            tracks.push((TID_FAULTS, "faults".to_string()));
         }
         for (tid, name) in &tracks {
             push(
@@ -404,6 +478,47 @@ impl Trace {
                     "{{\"name\":\"dispatch\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{TID_DISPATCH},\"ts\":{},\"args\":{{\"images\":{}}}}}",
                     us(d.at),
                     d.images
+                ),
+            );
+        }
+
+        for f in &self.faults {
+            let (name, args) = match *f {
+                FaultTraceEvent::FaultInjected { kind, board, .. } => {
+                    let what = match kind {
+                        FaultKind::Crash => "crash",
+                        FaultKind::Slowdown => "slowdown",
+                        FaultKind::LinkDegrade => "link degrade",
+                        FaultKind::Hang => "hang",
+                    };
+                    match board {
+                        Some(b) => (format!("{what} board {b}"), String::new()),
+                        None => (what.to_string(), String::new()),
+                    }
+                }
+                FaultTraceEvent::FailoverStart { board, .. } => {
+                    (format!("failover start (board {board})"), String::new())
+                }
+                FaultTraceEvent::FailoverEnd { degraded, .. } => (
+                    if degraded {
+                        "failover end (degraded)".to_string()
+                    } else {
+                        "failover end".to_string()
+                    },
+                    String::new(),
+                ),
+                FaultTraceEvent::Redispatch { image, .. } => (
+                    "redispatch".to_string(),
+                    format!(",\"args\":{{\"image\":{image}}}"),
+                ),
+            };
+            push(
+                &mut events,
+                us(f.at()),
+                2,
+                format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{TID_FAULTS},\"ts\":{}{args}}}",
+                    us(f.at())
                 ),
             );
         }
@@ -597,6 +712,16 @@ impl Recorder {
             delta: -(images as i64),
         });
         self.trace.dispatches.push(DispatchEvent { at, images });
+    }
+
+    /// Record one fault-subsystem event (injection, failover boundary,
+    /// re-dispatch) onto the trace's failover track.
+    #[inline]
+    pub fn fault(&mut self, event: FaultTraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.trace.faults.push(event);
     }
 
     /// Stamp the run summary the aggregations need: the timeline's

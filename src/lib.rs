@@ -65,16 +65,23 @@ pub mod prelude {
     pub use zynq_sim::engine::{
         Backend, BackendKind, BatchSummary, Engine, EngineBuilder, EngineError, Offload, RunReport,
     };
+    pub use zynq_sim::fault::{
+        serve_faulted, AvailabilityReport, FailoverRecord, FaultEvent, FaultPlan, HealthMonitor,
+        HealthPolicy,
+    };
     pub use zynq_sim::partition::{partition_placement, resource_busy, Partitioner};
     pub use zynq_sim::plan::{plan_deployment, DeploymentPlan, PlFormat, PlanRequest};
     pub use zynq_sim::planner::{plan_offload, OffloadTarget};
     pub use zynq_sim::precision::{Precision, StageFormats};
     pub use zynq_sim::replica::{ReplicaPlan, Replication};
     pub use zynq_sim::serve::{
-        ArrivalProcess, Dispatch, LoadPoint, LoadSweep, ServeReport, ServeRequest,
+        ArrivalProcess, Dispatch, LoadPoint, LoadSweep, ServeReport, ServeRequest, Window,
+        WindowReport,
     };
     pub use zynq_sim::timing::{paper_row, PlModel, PsModel};
-    pub use zynq_sim::trace::{check_chrome_json, Metrics, Recorder, StallBreakdown, Trace};
+    pub use zynq_sim::trace::{
+        check_chrome_json, FaultTraceEvent, Metrics, Recorder, StallBreakdown, Trace,
+    };
     pub use zynq_sim::{
         ode_block_resources, HybridRun, OdeBlockAccel, ARTY_Z7_10, ARTY_Z7_20, PYNQ_Z2,
     };

@@ -58,6 +58,7 @@ fn poisson_at(plan: &ClusterPlan, fraction: f64, dispatch: Dispatch) -> ServeReq
         images: 256,
         dispatch,
         seed: 42,
+        window: Window::default(),
     }
 }
 
@@ -194,6 +195,7 @@ fn pinned_poisson_serve_report_is_bit_stable() {
         images: 64,
         dispatch: Dispatch::default(),
         seed: 7,
+        window: Window::default(),
     };
     let report = serve_timeline(plan.timeline(), &req).expect("valid");
     let again = serve_timeline(plan.timeline(), &req).expect("valid");
@@ -276,6 +278,7 @@ proptest! {
             images: 48,
             dispatch,
             seed: 1,
+            window: Window::default(),
         };
         let deadline =
             serve_timeline(&timeline, &request(Dispatch::Deadline { deadline: 0.0 }))
@@ -317,6 +320,7 @@ proptest! {
                 images,
                 dispatch,
                 seed: 3,
+                window: Window::default(),
             },
         )
         .expect("valid");

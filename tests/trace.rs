@@ -79,6 +79,7 @@ fn replicated_rack_trace_names_the_head_ps_as_bottleneck() {
         images: 256,
         dispatch: Dispatch::default(),
         seed: 42,
+        window: Window::default(),
     };
     let report = serve_timeline_traced(plan.timeline(), &req, true).expect("valid request");
     let trace = report.trace().expect("tracing was requested");
@@ -145,6 +146,7 @@ fn traced_serve_report_is_bit_identical_to_untraced() {
         images: 128,
         dispatch: Dispatch::default(),
         seed: 7,
+        window: Window::default(),
     };
     let traced = serve_timeline_traced(plan.timeline(), &req, true).expect("valid");
     let untraced = serve_timeline(plan.timeline(), &req).expect("valid");
@@ -194,6 +196,7 @@ fn golden_chrome_export_is_byte_stable() {
         images: 6,
         dispatch: Dispatch::default(),
         seed: 0,
+        window: Window::default(),
     };
     let report = serve_timeline_traced(&timeline, &req, true).expect("valid");
     let mut trace = report.trace().expect("traced").clone();
@@ -224,6 +227,7 @@ fn checker_rejects_corrupted_exports() {
         images: 4,
         dispatch: Dispatch::default(),
         seed: 1,
+        window: Window::default(),
     };
     let report = serve_timeline_traced(&timeline, &req, true).expect("valid");
     let json = report.trace().expect("traced").to_chrome_json();
@@ -258,6 +262,7 @@ fn engine_trace_flag_exposes_last_trace() {
         images: 32,
         dispatch: Dispatch::default(),
         seed: 3,
+        window: Window::default(),
     };
     let report = engine.serve(&req).expect("valid request");
     let trace = report.trace().expect("trace(true) engines trace serves");
@@ -400,6 +405,7 @@ proptest! {
             images: 48,
             dispatch: Dispatch::default(),
             seed: 5,
+            window: Window::default(),
         };
         let report = serve_timeline_traced(&timeline, &req, true).expect("valid");
         let trace = report.trace().expect("traced");
